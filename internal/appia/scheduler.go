@@ -1,0 +1,209 @@
+package appia
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrSchedulerClosed is returned by insertions into a stopped scheduler.
+var ErrSchedulerClosed = errors.New("appia: scheduler closed")
+
+// task is one unit of scheduler work: either a routed event hop, a direct
+// delivery to a session, or a plain function (timer callbacks).
+type task struct {
+	ch     *Channel
+	ev     Event
+	direct Session // when non-nil, deliver ev straight to this session
+	fn     func()  // when non-nil, just run it
+}
+
+// Scheduler executes all the sessions of one protocol stack on a single
+// goroutine, in the style of the Appia event scheduler. Channels that share
+// sessions must share the scheduler; in this codebase every simulated node
+// owns exactly one scheduler for all its channels.
+//
+// The mailbox is unbounded: insertions never block, which is essential
+// because the scheduler goroutine itself re-queues events while forwarding
+// them.
+type Scheduler struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []task
+	head   int // index of the next task; amortised-O(1) deque
+	closed bool
+
+	wg      sync.WaitGroup
+	started bool
+
+	timerMu sync.Mutex
+	timers  map[*time.Timer]struct{}
+}
+
+// NewScheduler returns a scheduler; call Start before inserting events.
+func NewScheduler() *Scheduler {
+	s := &Scheduler{timers: make(map[*time.Timer]struct{})}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Start launches the scheduler goroutine. It is a no-op if already started.
+func (s *Scheduler) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started || s.closed {
+		return
+	}
+	s.started = true
+	s.wg.Add(1)
+	go s.run()
+}
+
+// Close stops the scheduler after draining already-queued work, cancels
+// outstanding timers, and waits for the goroutine to exit. It is safe to
+// call more than once, but must not be called from the scheduler goroutine
+// itself.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	s.timerMu.Lock()
+	for t := range s.timers {
+		t.Stop()
+	}
+	s.timers = make(map[*time.Timer]struct{})
+	s.timerMu.Unlock()
+
+	s.wg.Wait()
+}
+
+// post enqueues a task. Returns ErrSchedulerClosed after Close.
+func (s *Scheduler) post(t task) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrSchedulerClosed
+	}
+	s.queue = append(s.queue, t)
+	s.cond.Signal()
+	return nil
+}
+
+// Do runs fn on the scheduler goroutine. It is the bridge for application
+// and network code that must touch session state safely.
+func (s *Scheduler) Do(fn func()) error {
+	return s.post(task{fn: fn})
+}
+
+// After runs fn on the scheduler goroutine after d. The returned cancel
+// function stops the timer if it has not fired.
+func (s *Scheduler) After(d time.Duration, fn func()) (cancel func()) {
+	var t *time.Timer
+	t = time.AfterFunc(d, func() {
+		s.timerMu.Lock()
+		delete(s.timers, t)
+		s.timerMu.Unlock()
+		_ = s.Do(fn) // a closed scheduler drops late timers by design
+	})
+	s.timerMu.Lock()
+	s.timers[t] = struct{}{}
+	s.timerMu.Unlock()
+	return func() {
+		t.Stop()
+		s.timerMu.Lock()
+		delete(s.timers, t)
+		s.timerMu.Unlock()
+	}
+}
+
+// Every runs fn on the scheduler goroutine every d until the returned
+// cancel function is called or the scheduler closes.
+func (s *Scheduler) Every(d time.Duration, fn func()) (cancel func()) {
+	var (
+		mu       sync.Mutex
+		stopped  bool
+		stopCurr func()
+	)
+	var arm func()
+	arm = func() {
+		mu.Lock()
+		defer mu.Unlock()
+		if stopped {
+			return
+		}
+		stopCurr = s.After(d, func() {
+			fn()
+			arm()
+		})
+	}
+	arm()
+	return func() {
+		mu.Lock()
+		defer mu.Unlock()
+		stopped = true
+		if stopCurr != nil {
+			stopCurr()
+		}
+	}
+}
+
+// Flush blocks until every task queued before the call has been processed.
+// It is intended for tests and for orderly shutdown sequencing; calling it
+// from the scheduler goroutine would deadlock and is therefore forbidden.
+func (s *Scheduler) Flush() {
+	done := make(chan struct{})
+	if err := s.Do(func() { close(done) }); err != nil {
+		return // closed: queue already drained
+	}
+	<-done
+}
+
+// run is the scheduler loop.
+func (s *Scheduler) run() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for s.head >= len(s.queue) && !s.closed {
+			s.cond.Wait()
+		}
+		if s.head >= len(s.queue) && s.closed {
+			s.mu.Unlock()
+			return
+		}
+		t := s.queue[s.head]
+		s.queue[s.head] = task{} // release for the GC
+		s.head++
+		// Compact once the consumed prefix dominates, keeping pops and
+		// appends amortised O(1) even under deep backlogs.
+		if s.head > 64 && s.head*2 >= len(s.queue) {
+			n := copy(s.queue, s.queue[s.head:])
+			for i := n; i < len(s.queue); i++ {
+				s.queue[i] = task{}
+			}
+			s.queue = s.queue[:n]
+			s.head = 0
+		}
+		s.mu.Unlock()
+
+		s.dispatch(t)
+	}
+}
+
+// dispatch executes one task.
+func (s *Scheduler) dispatch(t task) {
+	switch {
+	case t.fn != nil:
+		t.fn()
+	case t.direct != nil:
+		t.direct.Handle(t.ch, t.ev)
+	case t.ch != nil:
+		t.ch.step(t.ev)
+	}
+}

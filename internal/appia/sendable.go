@@ -1,0 +1,88 @@
+package appia
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// NodeID identifies a node of the distributed system. In the virtual
+// network it doubles as the address; a real deployment would map it to a
+// host:port pair.
+type NodeID int32
+
+// NoNode is the zero NodeID, used for "unaddressed" (group-wide) traffic.
+const NoNode NodeID = 0
+
+// SendableEvent is the root of all events that cross the network. Layers
+// push protocol headers onto Msg on the way down and pop them on the way
+// up; the struct fields below are kernel-local metadata and never travel on
+// the wire except where the transport explicitly encodes them.
+//
+// Concrete wire events embed SendableEvent and register a factory with
+// RegisterEventKind so receivers can reconstruct them by kind name.
+type SendableEvent struct {
+	EventBase
+	// Msg is the header stack plus payload.
+	Msg *Message
+	// Source is the originating node. Filled by the sender's transport on
+	// the way down and by the receiver's transport on the way up.
+	Source NodeID
+	// Dest is the destination node for point-to-point traffic, or NoNode
+	// for group traffic (the bottom layers decide how to spread it).
+	Dest NodeID
+	// Class tags the event for accounting: "data" or "control". The
+	// virtual network counts transmissions per class, which is how the
+	// paper's Figure 3 separates payload from adaptation overhead.
+	Class string
+}
+
+// EnsureMsg lazily allocates the message.
+func (e *SendableEvent) EnsureMsg() *Message {
+	if e.Msg == nil {
+		e.Msg = &Message{}
+	}
+	return e.Msg
+}
+
+// Sendable is implemented by every event embedding SendableEvent; it gives
+// layers typed access to the shared wire metadata without knowing the
+// concrete event type.
+type Sendable interface {
+	Event
+	SendableBase() *SendableEvent
+}
+
+// SendableBase implements Sendable.
+func (e *SendableEvent) SendableBase() *SendableEvent { return e }
+
+var _ Sendable = (*SendableEvent)(nil)
+
+// Classes used for transmission accounting.
+const (
+	ClassData    = "data"
+	ClassControl = "control"
+)
+
+// CloneSendable returns a fresh event of the same concrete type with a deep
+// copy of the message and the wire metadata. Struct fields outside
+// SendableEvent are NOT copied: by convention all state that must survive
+// the network lives in pushed message headers, so a clone made below the
+// layers that pushed those headers is complete. Fan-out layers use this to
+// turn one logical multicast into per-destination copies.
+func CloneSendable(e Sendable) Sendable {
+	t := reflect.TypeOf(e).Elem()
+	cp, ok := reflect.New(t).Interface().(Sendable)
+	if !ok {
+		// Unreachable: e's type implements Sendable by construction.
+		panic(fmt.Sprintf("appia: %v does not implement Sendable", t))
+	}
+	src := e.SendableBase()
+	dst := cp.SendableBase()
+	if src.Msg != nil {
+		dst.Msg = src.Msg.Clone()
+	}
+	dst.Source = src.Source
+	dst.Dest = src.Dest
+	dst.Class = src.Class
+	return cp
+}

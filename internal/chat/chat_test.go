@@ -1,0 +1,160 @@
+package chat
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"morpheus/internal/appia"
+)
+
+func TestMessageEncodeDecode(t *testing.T) {
+	in := Message{Room: "lobby", From: "ana", Sender: 7, Text: "olá", Seq: 42}
+	out, err := Decode(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("roundtrip: %+v != %+v", out, in)
+	}
+}
+
+func TestMessageEncodeDecodeProperty(t *testing.T) {
+	f := func(room, from, text string, sender uint32, seq uint64) bool {
+		in := Message{Room: room, From: from, Sender: appia.NodeID(sender), Text: text, Seq: seq}
+		out, err := Decode(in.Encode())
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode([]byte{0xff, 0xff}); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}
+
+// fakeSender records sent payloads.
+type fakeSender struct {
+	mu       sync.Mutex
+	payloads [][]byte
+	err      error
+}
+
+func (f *fakeSender) Send(p []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.err != nil {
+		return f.err
+	}
+	cp := make([]byte, len(p))
+	copy(cp, p)
+	f.payloads = append(f.payloads, cp)
+	return nil
+}
+
+func TestClientSayBeforeBind(t *testing.T) {
+	c := NewClient("ana", "lobby", 1)
+	if err := c.Say("hi"); !errors.Is(err, ErrNotBound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestClientSayReceiveLoop(t *testing.T) {
+	alice := NewClient("alice", "lobby", 1)
+	bob := NewClient("bob", "lobby", 2)
+	s := &fakeSender{}
+	alice.Bind(s)
+
+	var got []Message
+	var mu sync.Mutex
+	bob.OnMessage(func(m Message) {
+		mu.Lock()
+		got = append(got, m)
+		mu.Unlock()
+	})
+
+	if err := alice.Say("first"); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Say("second"); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range s.payloads {
+		bob.Receive(1, p)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 || got[0].Text != "first" || got[1].Text != "second" {
+		t.Fatalf("got = %+v", got)
+	}
+	if got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Fatalf("sequence numbers: %d, %d", got[0].Seq, got[1].Seq)
+	}
+	if bob.Delivered() != 2 {
+		t.Fatalf("Delivered = %d", bob.Delivered())
+	}
+	if h := bob.History(); len(h) != 2 || h[0].From != "alice" {
+		t.Fatalf("history = %+v", h)
+	}
+}
+
+func TestClientIgnoresOtherRooms(t *testing.T) {
+	games := NewClient("ana", "games", 1)
+	work := NewClient("ana", "work", 1)
+	s := &fakeSender{}
+	games.Bind(s)
+	if err := games.Say("gg"); err != nil {
+		t.Fatal(err)
+	}
+	work.Receive(1, s.payloads[0])
+	if work.Delivered() != 0 {
+		t.Fatal("message crossed interest groups")
+	}
+}
+
+func TestClientIgnoresNonChatTraffic(t *testing.T) {
+	c := NewClient("ana", "lobby", 1)
+	c.Receive(2, []byte{0x01})
+	if c.Delivered() != 0 {
+		t.Fatal("non-chat payload delivered")
+	}
+}
+
+func TestScriptFlatOut(t *testing.T) {
+	c := NewClient("bot", "lobby", 1)
+	s := &fakeSender{}
+	c.Bind(s)
+	if err := (Script{Count: 25}).Run(c); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.payloads) != 25 {
+		t.Fatalf("sent %d", len(s.payloads))
+	}
+}
+
+func TestScriptPaced(t *testing.T) {
+	c := NewClient("bot", "lobby", 1)
+	s := &fakeSender{}
+	c.Bind(s)
+	start := time.Now()
+	if err := (Script{Count: 5, Rate: 100}).Run(c); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took < 40*time.Millisecond {
+		t.Fatalf("5 msgs at 100/s took only %v", took)
+	}
+}
+
+func TestScriptPropagatesError(t *testing.T) {
+	c := NewClient("bot", "lobby", 1)
+	s := &fakeSender{err: errors.New("down")}
+	c.Bind(s)
+	if err := (Script{Count: 1}).Run(c); err == nil {
+		t.Fatal("send error swallowed")
+	}
+}

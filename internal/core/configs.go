@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+
+	"morpheus/internal/appia"
+	"morpheus/internal/appia/appiaxml"
+)
+
+// Configuration document builders. These are what policies ship to the
+// participants; the names double as identity for "is a change needed"
+// comparisons, so anything that must trigger a redeployment (such as the
+// relay choice) is baked into the name.
+
+// dataChannel is the channel name every data configuration uses.
+const dataChannel = "data"
+
+// PlainConfig is the non-optimized stack of Figure 2(a): point-to-point
+// fan-out best-effort multicast under the reliable group suite.
+func PlainConfig() *appiaxml.Document {
+	return &appiaxml.Document{Channels: []appiaxml.ChannelSpec{{
+		Name: dataChannel,
+		QoS:  "plain",
+		Sessions: []appiaxml.SessionSpec{
+			{Layer: "transport.ptp"},
+			{Layer: "group.fanout"},
+			{Layer: "group.nak"},
+			{Layer: "group.gms"},
+		},
+	}}}
+}
+
+// PlainConfigName names the plain configuration.
+const PlainConfigName = "plain"
+
+// MechoConfig is the hybrid stack of Figure 2(b): Mecho replaces the
+// fan-out, with the given fixed node relaying for the wireless devices.
+// The "auto" mode resolves per node: the relay echoes, other mobiles send
+// a single unicast to it, fixed nodes fan out.
+func MechoConfig(relay appia.NodeID) *appiaxml.Document {
+	return &appiaxml.Document{Channels: []appiaxml.ChannelSpec{{
+		Name: dataChannel,
+		QoS:  "mecho",
+		Sessions: []appiaxml.SessionSpec{
+			{Layer: "transport.ptp"},
+			{Layer: "mecho", Params: []appiaxml.ParamSpec{
+				{Name: "relay", Value: fmt.Sprintf("%d", relay)},
+				{Name: "mode", Value: "auto"},
+			}},
+			{Layer: "group.nak"},
+			{Layer: "group.gms"},
+		},
+	}}}
+}
+
+// MechoConfigName names a Mecho configuration with its relay baked in, so
+// relay changes are configuration changes.
+func MechoConfigName(relay appia.NodeID) string {
+	return fmt.Sprintf("mecho:relay=%d", relay)
+}
+
+// ArqConfigName names the retransmission-based error recovery stack.
+const ArqConfigName = "arq"
+
+// ArqConfig is the detect-and-retransmit error recovery stack (identical
+// composition to plain; the name communicates the intent in the
+// error-recovery policy's state machine).
+func ArqConfig() *appiaxml.Document {
+	d := PlainConfig()
+	d.Channels[0].QoS = ArqConfigName
+	return d
+}
+
+// FecConfigName names the masking error recovery stack.
+const FecConfigName = "fec"
+
+// FecConfig is the masking error recovery stack of §2: forward error
+// correction over the best-effort fan-out, with no retransmissions.
+func FecConfig(k, m int) *appiaxml.Document {
+	return &appiaxml.Document{Channels: []appiaxml.ChannelSpec{{
+		Name: dataChannel,
+		QoS:  FecConfigName,
+		Sessions: []appiaxml.SessionSpec{
+			{Layer: "transport.ptp"},
+			{Layer: "group.fanout"},
+			{Layer: "fec", Params: []appiaxml.ParamSpec{
+				{Name: "k", Value: fmt.Sprintf("%d", k)},
+				{Name: "m", Value: fmt.Sprintf("%d", m)},
+			}},
+		},
+	}}}
+}
+
+// EpidemicConfigName names the gossip dissemination stack.
+const EpidemicConfigName = "epidemic"
+
+// EpidemicConfig is the large-group dissemination stack motivated in §1:
+// gossip under the reliable suite.
+func EpidemicConfig(fanout, rounds int) *appiaxml.Document {
+	return &appiaxml.Document{Channels: []appiaxml.ChannelSpec{{
+		Name: dataChannel,
+		QoS:  EpidemicConfigName,
+		Sessions: []appiaxml.SessionSpec{
+			{Layer: "transport.ptp"},
+			{Layer: "epidemic", Params: []appiaxml.ParamSpec{
+				{Name: "fanout", Value: fmt.Sprintf("%d", fanout)},
+				{Name: "rounds", Value: fmt.Sprintf("%d", rounds)},
+			}},
+			{Layer: "group.nak"},
+			{Layer: "group.gms"},
+		},
+	}}}
+}

@@ -1,0 +1,390 @@
+// Package core implements the paper's Control and Reconfiguration
+// sub-system (§3.3): a distributed component whose coordinator —
+// deterministically elected as the lowest-identifier member of the control
+// group — monitors the disseminated context, decides when adaptation is
+// required by evaluating global policies, and drives the reconfiguration
+// procedure; a local module on every node (stack.Manager) deploys the new
+// XML-described protocol stack once the data channel is quiescent.
+package core
+
+import (
+	"sync"
+	"time"
+
+	"morpheus/internal/appia"
+	"morpheus/internal/appia/appiaxml"
+	"morpheus/internal/cocaditem"
+	"morpheus/internal/group"
+	"morpheus/internal/stack"
+)
+
+// PrepareEvent instructs every participant to deploy a new configuration.
+// Reliable (embeds CastEvent). Headers: epoch, config name, members, XML.
+type PrepareEvent struct {
+	group.CastEvent
+	Epoch      uint64
+	ConfigName string
+	Members    []appia.NodeID
+	XML        string
+}
+
+// AckEvent reports a completed local deployment. It is a reliable cast so
+// the whole control group (and in particular the coordinator) learns the
+// deployment status even over lossy links.
+type AckEvent struct {
+	group.CastEvent
+	Epoch uint64
+}
+
+// RegisterWireEvents registers core's wire kinds (idempotent).
+func RegisterWireEvents(reg *appia.EventKindRegistry) {
+	if reg == nil {
+		reg = appia.DefaultRegistry()
+	}
+	reg.Register("core.prepare", func() appia.Sendable { return &PrepareEvent{} })
+	reg.Register("core.ack", func() appia.Sendable { return &AckEvent{} })
+}
+
+// PolicyInput is what a policy sees: the current control-group view, the
+// context store, and the currently deployed configuration.
+type PolicyInput struct {
+	View    group.View
+	Context *cocaditem.Session
+	Current string
+}
+
+// Decision is a policy's verdict: deploy Doc under ConfigName for Members.
+type Decision struct {
+	ConfigName string
+	Doc        *appiaxml.Document
+	Members    []appia.NodeID
+	Reason     string
+}
+
+// Policy evaluates context into configuration decisions. Policies are
+// global: they see the whole distributed context and decide for the whole
+// group, which is precisely what entangling adaptation code inside each
+// protocol cannot do (paper §2).
+type Policy interface {
+	// Name identifies the policy in logs.
+	Name() string
+	// Evaluate returns nil when no change is warranted.
+	Evaluate(in PolicyInput) *Decision
+}
+
+// Config configures the Core layer.
+type Config struct {
+	// Self is this node's identifier.
+	Self appia.NodeID
+	// Manager is the local deployment module.
+	Manager *stack.Manager
+	// Policies are evaluated in order at the coordinator; the first
+	// decision wins.
+	Policies []Policy
+	// EvalInterval is the policy evaluation period (default 200ms).
+	EvalInterval time.Duration
+	// OnReconfigured, when set, is called at the coordinator once every
+	// member has acknowledged an epoch, with the wall time the procedure
+	// took. Used by the reconfiguration-latency experiment.
+	OnReconfigured func(epoch uint64, configName string, took time.Duration)
+	// Logf receives diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) evalInterval() time.Duration {
+	if c.EvalInterval <= 0 {
+		return 200 * time.Millisecond
+	}
+	return c.EvalInterval
+}
+
+func (c *Config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// Layer is the Core control layer; place it at the top of the control
+// channel, above cocaditem.
+type Layer struct {
+	appia.BaseLayer
+	cfg Config
+}
+
+// NewLayer returns a Core layer.
+func NewLayer(cfg Config) *Layer {
+	return &Layer{
+		BaseLayer: appia.BaseLayer{
+			LayerName: "core",
+			LayerSpec: appia.LayerSpec{
+				Accepts: []appia.EventType{
+					appia.T[*PrepareEvent](),
+					appia.T[*AckEvent](),
+					appia.T[*group.ViewInstall](),
+					appia.T[*evalTick](),
+					appia.T[*appia.ChannelInit](),
+				},
+				Provides: []appia.EventType{
+					appia.T[*PrepareEvent](),
+					appia.T[*AckEvent](),
+				},
+			},
+		},
+		cfg: cfg,
+	}
+}
+
+// NewSession implements appia.Layer.
+func (l *Layer) NewSession() appia.Session {
+	return &Session{cfg: l.cfg}
+}
+
+// evalTick is the private policy evaluation timer.
+type evalTick struct {
+	appia.EventBase
+}
+
+// Session is the per-node Core instance.
+type Session struct {
+	cfg      Config
+	ctx      *cocaditem.Session
+	stopTick func()
+
+	view    group.View
+	epoch   uint64
+	current string
+
+	// Coordinator reconfiguration-in-flight state.
+	inFlight   bool
+	acks       map[appia.NodeID]bool
+	decidedAt  time.Time
+	flightName string
+
+	mu sync.Mutex // guards the fields below, written from deploy goroutines
+	// deployedEpoch tracks what the local manager finished deploying.
+	deployedEpoch uint64
+}
+
+var _ appia.Session = (*Session)(nil)
+
+// Handle implements appia.Session.
+func (s *Session) Handle(ch *appia.Channel, ev appia.Event) {
+	switch e := ev.(type) {
+	case *appia.ChannelInit:
+		if sess, ok := ch.SessionFor("cocaditem").(*cocaditem.Session); ok {
+			s.ctx = sess
+		}
+		self := appia.Session(s)
+		s.stopTick = ch.DeliverEvery(s.cfg.evalInterval(), self, func() appia.Event { return &evalTick{} })
+		s.current = s.cfg.Manager.ConfigName()
+		s.epoch = s.cfg.Manager.Epoch()
+		ch.Forward(ev)
+	case *appia.ChannelClose:
+		if s.stopTick != nil {
+			s.stopTick()
+		}
+		ch.Forward(ev)
+	case *group.ViewInstall:
+		if e.Dir() == appia.Up {
+			s.view = e.View
+		}
+		ch.Forward(ev)
+	case *evalTick:
+		s.evaluate(ch)
+	case *PrepareEvent:
+		s.onPrepare(ch, e)
+	case *AckEvent:
+		s.onAck(ch, e)
+	default:
+		ch.Forward(ev)
+	}
+}
+
+// coordinator reports whether this node currently coordinates adaptation.
+func (s *Session) coordinator() bool {
+	return len(s.view.Members) > 0 && s.view.Coordinator() == s.cfg.Self
+}
+
+// evaluate runs the policies at the coordinator.
+func (s *Session) evaluate(ch *appia.Channel) {
+	if s.inFlight && time.Since(s.decidedAt) > 30*time.Second {
+		// Safety valve: a member died mid-deployment and its ack will
+		// never come; the control view change will resolve membership,
+		// and adaptation must not stay wedged meanwhile.
+		s.cfg.logf("core[%d]: epoch %d acks incomplete after 30s; unblocking", s.cfg.Self, s.epoch)
+		s.inFlight = false
+	}
+	if !s.coordinator() || s.inFlight || s.ctx == nil || len(s.cfg.Policies) == 0 {
+		return
+	}
+	in := PolicyInput{View: s.view.Clone(), Context: s.ctx, Current: s.current}
+	for _, p := range s.cfg.Policies {
+		d := p.Evaluate(in)
+		if d == nil {
+			continue
+		}
+		if d.ConfigName == s.current {
+			continue
+		}
+		s.initiate(ch, p, d)
+		return
+	}
+}
+
+// initiate starts a reconfiguration: ship the XML to everybody (§3.3: "the
+// coordinator sends to each participant the configuration that should be
+// deployed at that node").
+func (s *Session) initiate(ch *appia.Channel, p Policy, d *Decision) {
+	xml, err := d.Doc.Marshal()
+	if err != nil {
+		s.cfg.logf("core[%d]: marshal config %q: %v", s.cfg.Self, d.ConfigName, err)
+		return
+	}
+	s.epoch++
+	s.inFlight = true
+	s.acks = make(map[appia.NodeID]bool)
+	s.decidedAt = time.Now()
+	s.flightName = d.ConfigName
+	s.cfg.logf("core[%d]: policy %q: %s -> %s (epoch %d): %s",
+		s.cfg.Self, p.Name(), s.current, d.ConfigName, s.epoch, d.Reason)
+	s.current = d.ConfigName
+
+	members := d.Members
+	if len(members) == 0 {
+		members = s.view.Members
+	}
+	ev := &PrepareEvent{
+		Epoch:      s.epoch,
+		ConfigName: d.ConfigName,
+		Members:    append([]appia.NodeID(nil), members...),
+		XML:        xml,
+	}
+	ev.Class = appia.ClassControl
+	m := ev.EnsureMsg()
+	m.PushString(ev.XML)
+	ids := make([]uint64, len(ev.Members))
+	for i, id := range ev.Members {
+		ids[i] = uint64(uint32(id))
+	}
+	m.PushUvarintSlice(ids)
+	m.PushString(ev.ConfigName)
+	m.PushUvarint(ev.Epoch)
+	sess := appia.Session(s)
+	_ = ch.SendFrom(sess, ev, appia.Down)
+}
+
+// onPrepare deploys the new configuration locally (every member, including
+// the coordinator, through the reliable self-delivery).
+func (s *Session) onPrepare(ch *appia.Channel, e *PrepareEvent) {
+	if e.Dir() == appia.Down {
+		ch.Forward(e)
+		return
+	}
+	m := e.EnsureMsg()
+	epoch, err := m.PopUvarint()
+	if err != nil {
+		return
+	}
+	name, err := m.PopString()
+	if err != nil {
+		return
+	}
+	ids, err := m.PopUvarintSlice()
+	if err != nil {
+		return
+	}
+	xml, err := m.PopString()
+	if err != nil {
+		return
+	}
+	members := make([]appia.NodeID, len(ids))
+	for i, u := range ids {
+		members[i] = appia.NodeID(uint32(u))
+	}
+	e.Epoch, e.ConfigName, e.Members, e.XML = epoch, name, members, xml
+
+	doc, err := appiaxml.ParseString(xml)
+	if err != nil {
+		s.cfg.logf("core[%d]: bad config XML for epoch %d: %v", s.cfg.Self, epoch, err)
+		return
+	}
+	if epoch > s.epoch {
+		s.epoch = epoch
+	}
+	s.current = name
+
+	// The deployment blocks on view-synchronous quiescence, so it runs off
+	// the scheduler goroutine; the Ack is inserted thread-safely after.
+	go func() {
+		if err := s.cfg.Manager.Reconfigure(doc, name, epoch, members); err != nil {
+			s.cfg.logf("core[%d]: reconfigure epoch %d: %v", s.cfg.Self, epoch, err)
+			return
+		}
+		s.mu.Lock()
+		if epoch > s.deployedEpoch {
+			s.deployedEpoch = epoch
+		}
+		s.mu.Unlock()
+		ack := &AckEvent{Epoch: epoch}
+		ack.Class = appia.ClassControl
+		ack.EnsureMsg().PushUvarint(epoch)
+		if err := ch.Insert(ack, appia.Down); err != nil {
+			s.cfg.logf("core[%d]: ack epoch %d: %v", s.cfg.Self, epoch, err)
+		}
+	}()
+}
+
+// onAck tallies deployment acknowledgements at the coordinator.
+func (s *Session) onAck(ch *appia.Channel, e *AckEvent) {
+	if e.Dir() == appia.Down {
+		ch.Forward(e)
+		return
+	}
+	epoch, err := e.EnsureMsg().PopUvarint()
+	if err != nil {
+		return
+	}
+	if !s.inFlight || epoch != s.epoch || s.acks == nil {
+		return
+	}
+	// Origin (set by the reliable layer) identifies the deployer; the
+	// vnet-level Source may be a relay.
+	s.acks[e.Origin] = true
+	for _, m := range s.view.Members {
+		if m == s.cfg.Self {
+			continue // our own deployment is tracked via deployedEpoch
+		}
+		if !s.acks[m] {
+			return
+		}
+	}
+	// All remote members acked; require the local deployment too.
+	s.mu.Lock()
+	localDone := s.deployedEpoch >= epoch
+	s.mu.Unlock()
+	if !localDone {
+		// Re-check on the next ack or tick; cheap approach: leave
+		// inFlight set, the eval tick will not fire policies, and the
+		// local goroutine's ack-to-self closes the loop below.
+		return
+	}
+	s.inFlight = false
+	took := time.Since(s.decidedAt)
+	if s.cfg.OnReconfigured != nil {
+		s.cfg.OnReconfigured(epoch, s.flightName, took)
+	}
+	s.cfg.logf("core[%d]: epoch %d (%s) deployed group-wide in %v", s.cfg.Self, epoch, s.flightName, took)
+}
+
+// DeployedEpoch reports the last epoch the local manager finished (safe
+// from any goroutine).
+func (s *Session) DeployedEpoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deployedEpoch
+}
+
+// CurrentConfig returns the configuration name this node believes active.
+// Scheduler-goroutine safety: reads a field written on the scheduler; for
+// test/diagnostic use only.
+func (s *Session) CurrentConfig() string { return s.current }

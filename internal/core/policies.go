@@ -1,0 +1,235 @@
+package core
+
+import (
+	"fmt"
+
+	"morpheus/internal/appia"
+	"morpheus/internal/cocaditem"
+)
+
+// HybridMechoPolicy reproduces the paper's headline adaptation (§3.4): when
+// the group mixes mobile and fixed devices, deploy Mecho with a fixed node
+// as relay; when the group is homogeneous, deploy the plain stack. The
+// relay is the fixed node with the best advertised bandwidth (falling back
+// to the lowest identifier), demonstrating a *global* optimisation
+// criterion no individual protocol could apply on its own.
+type HybridMechoPolicy struct{}
+
+var _ Policy = HybridMechoPolicy{}
+
+// Name implements Policy.
+func (HybridMechoPolicy) Name() string { return "hybrid-mecho" }
+
+// Evaluate implements Policy.
+func (HybridMechoPolicy) Evaluate(in PolicyInput) *Decision {
+	var mobiles, fixed []appia.NodeID
+	for _, m := range in.View.Members {
+		sm, ok := in.Context.Latest(cocaditem.TopicDeviceClass, m)
+		if !ok {
+			return nil // incomplete context: wait for dissemination
+		}
+		if sm.Str == "mobile" {
+			mobiles = append(mobiles, m)
+		} else {
+			fixed = append(fixed, m)
+		}
+	}
+	if len(mobiles) == 0 || len(fixed) == 0 {
+		// Homogeneous: Figure 2(a).
+		if in.Current == PlainConfigName {
+			return nil
+		}
+		return &Decision{
+			ConfigName: PlainConfigName,
+			Doc:        PlainConfig(),
+			Members:    in.View.Members,
+			Reason:     fmt.Sprintf("homogeneous group (%d mobile, %d fixed)", len(mobiles), len(fixed)),
+		}
+	}
+	// Hybrid: Figure 2(b). Pick the best-bandwidth fixed relay.
+	relay := fixed[0]
+	best := -1.0
+	for _, f := range fixed {
+		bw := 0.0
+		if sm, ok := in.Context.Latest(cocaditem.TopicBandwidth, f); ok {
+			bw = sm.Num
+		}
+		if bw > best {
+			best = bw
+			relay = f
+		}
+	}
+	name := MechoConfigName(relay)
+	if in.Current == name {
+		return nil
+	}
+	return &Decision{
+		ConfigName: name,
+		Doc:        MechoConfig(relay),
+		Members:    in.View.Members,
+		Reason:     fmt.Sprintf("hybrid group (%d mobile, %d fixed), relay %d", len(mobiles), len(fixed), relay),
+	}
+}
+
+// EnergyPolicy implements the §1 motivation of using battery information to
+// increase network lifetime: in an all-mobile group the relay role rotates
+// to the member with the most remaining battery, with hysteresis so the
+// group does not thrash. (Compare [20]'s session-based energy-aware
+// broadcasting.)
+type EnergyPolicy struct {
+	// Hysteresis is how much better (in battery fraction) a candidate
+	// must be before the relay moves (default 0.15).
+	Hysteresis float64
+}
+
+var _ Policy = EnergyPolicy{}
+
+// Name implements Policy.
+func (EnergyPolicy) Name() string { return "energy-relay" }
+
+func (p EnergyPolicy) hysteresis() float64 {
+	if p.Hysteresis <= 0 {
+		return 0.15
+	}
+	return p.Hysteresis
+}
+
+// Evaluate implements Policy.
+func (p EnergyPolicy) Evaluate(in PolicyInput) *Decision {
+	var best appia.NodeID
+	bestLevel := -1.0
+	levels := make(map[appia.NodeID]float64, len(in.View.Members))
+	for _, m := range in.View.Members {
+		sm, ok := in.Context.Latest(cocaditem.TopicBattery, m)
+		if !ok {
+			return nil // incomplete context
+		}
+		levels[m] = sm.Num
+		if sm.Num > bestLevel {
+			bestLevel = sm.Num
+			best = m
+		}
+	}
+	var currentRelay appia.NodeID
+	if _, err := fmt.Sscanf(in.Current, "mecho:relay=%d", &currentRelay); err == nil {
+		if lvl, ok := levels[currentRelay]; ok && bestLevel-lvl < p.hysteresis() {
+			return nil // current relay still close enough to the best
+		}
+	}
+	name := MechoConfigName(best)
+	if name == in.Current {
+		return nil
+	}
+	return &Decision{
+		ConfigName: name,
+		Doc:        MechoConfig(best),
+		Members:    in.View.Members,
+		Reason:     fmt.Sprintf("relay -> %d (battery %.2f)", best, bestLevel),
+	}
+}
+
+// ErrorRecoveryPolicy implements the §2 motivation: "for small error rates
+// it is preferable to detect and recover (using retransmissions) while for
+// larger error rates it is preferable to mask the errors (using forward
+// error recovery techniques)". It watches the link-loss topic and switches
+// between the ARQ and FEC stacks with a hysteresis band.
+type ErrorRecoveryPolicy struct {
+	// High is the loss rate above which FEC is deployed (default 0.08).
+	High float64
+	// Low is the loss rate below which ARQ is restored (default 0.03).
+	Low float64
+	// K and M are the FEC block geometry (defaults 8 and 2).
+	K, M int
+}
+
+var _ Policy = ErrorRecoveryPolicy{}
+
+// Name implements Policy.
+func (ErrorRecoveryPolicy) Name() string { return "error-recovery" }
+
+func (p ErrorRecoveryPolicy) high() float64 {
+	if p.High <= 0 {
+		return 0.08
+	}
+	return p.High
+}
+
+func (p ErrorRecoveryPolicy) low() float64 {
+	if p.Low <= 0 {
+		return 0.03
+	}
+	return p.Low
+}
+
+func (p ErrorRecoveryPolicy) k() int {
+	if p.K <= 0 {
+		return 8
+	}
+	return p.K
+}
+
+func (p ErrorRecoveryPolicy) m() int {
+	if p.M <= 0 {
+		return 2
+	}
+	return p.M
+}
+
+// Evaluate implements Policy.
+func (p ErrorRecoveryPolicy) Evaluate(in PolicyInput) *Decision {
+	worst := -1.0
+	for _, m := range in.View.Members {
+		sm, ok := in.Context.Latest(cocaditem.TopicLinkLoss, m)
+		if !ok {
+			continue // loss is only reported by nodes that measure it
+		}
+		if sm.Num > worst {
+			worst = sm.Num
+		}
+	}
+	if worst < 0 {
+		return nil // nobody reports loss yet
+	}
+	switch {
+	case worst > p.high() && in.Current != FecConfigName:
+		return &Decision{
+			ConfigName: FecConfigName,
+			Doc:        FecConfig(p.k(), p.m()),
+			Members:    in.View.Members,
+			Reason:     fmt.Sprintf("loss %.1f%% > %.1f%%: mask errors", worst*100, p.high()*100),
+		}
+	case worst >= 0 && worst < p.low() && in.Current == FecConfigName:
+		return &Decision{
+			ConfigName: ArqConfigName,
+			Doc:        ArqConfig(),
+			Members:    in.View.Members,
+			Reason:     fmt.Sprintf("loss %.1f%% < %.1f%%: detect and recover", worst*100, p.low()*100),
+		}
+	default:
+		return nil
+	}
+}
+
+// StaticPolicy always wants one fixed configuration; useful as a baseline
+// and in tests.
+type StaticPolicy struct {
+	Config string
+	Make   func() Decision
+}
+
+var _ Policy = StaticPolicy{}
+
+// Name implements Policy.
+func (p StaticPolicy) Name() string { return "static:" + p.Config }
+
+// Evaluate implements Policy.
+func (p StaticPolicy) Evaluate(in PolicyInput) *Decision {
+	if in.Current == p.Config {
+		return nil
+	}
+	d := p.Make()
+	if len(d.Members) == 0 {
+		d.Members = in.View.Members
+	}
+	return &d
+}

@@ -1,0 +1,180 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFigure3ShapeSmall runs the Figure 3 reproduction at reduced scale and
+// asserts the paper's qualitative result: the optimized (Mecho) mobile load
+// stays flat while the non-optimized load grows with the group size.
+func TestFigure3ShapeSmall(t *testing.T) {
+	rows, err := RunFigure3(Figure3Config{
+		Sizes:    []int{2, 3, 6},
+		Messages: 300,
+		Timeout:  60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		t.Logf("n=%d optimized=%d (data %d, control %d) notOptimized=%d (data %d) relay=%d",
+			r.Nodes, r.Optimized, r.OptimizedData, r.OptimizedControl,
+			r.NotOptimized, r.NotOptimizedData, r.RelayData)
+		// The adapted mobile sends exactly one data message per cast.
+		if r.OptimizedData != 300 {
+			t.Errorf("n=%d: optimized data tx = %d, want 300", r.Nodes, r.OptimizedData)
+		}
+		// The baseline mobile fans out to n−1 peers per cast.
+		wantBase := uint64(300 * (r.Nodes - 1))
+		if r.NotOptimizedData != wantBase {
+			t.Errorf("n=%d: baseline data tx = %d, want %d", r.Nodes, r.NotOptimizedData, wantBase)
+		}
+	}
+	// Equal at n=2 (both are a single point-to-point message per cast, as
+	// the paper notes); divergence beyond.
+	if rows[0].OptimizedData != rows[0].NotOptimizedData {
+		t.Errorf("n=2: data loads must match: %d vs %d", rows[0].OptimizedData, rows[0].NotOptimizedData)
+	}
+	if rows[2].NotOptimized <= rows[2].Optimized {
+		t.Errorf("n=6: baseline (%d) must exceed optimized (%d)", rows[2].NotOptimized, rows[2].Optimized)
+	}
+	// E2: the relay absorbs the echo load in the optimized runs.
+	if rows[2].RelayData == 0 {
+		t.Error("n=6: relay transmitted nothing; echo not happening")
+	}
+}
+
+func TestReconfigLatencySmall(t *testing.T) {
+	rows, err := RunReconfigLatency([]int{2, 4}, 30*time.Second, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		t.Logf("n=%d reconfig latency=%v", r.Nodes, r.Latency)
+		if r.Latency <= 0 || r.Latency > 20*time.Second {
+			t.Errorf("implausible latency %v", r.Latency)
+		}
+	}
+}
+
+func TestMulticastStrategiesSmall(t *testing.T) {
+	rows, err := RunMulticastStrategies(StrategyConfig{
+		Sizes:    []int{8, 16},
+		Messages: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := make(map[string]StrategyRow)
+	for _, r := range rows {
+		t.Logf("n=%d %-12s senderTx=%d maxNodeTx=%d totalTx=%d delivery=%.2f",
+			r.Nodes, r.Strategy, r.SenderTx, r.MaxNodeTx, r.TotalTx, r.DeliveryRatio)
+		byKey[key(r.Nodes, r.Strategy)] = r
+	}
+	// Native multicast: one transmission per cast regardless of n.
+	if got := byKey[key(16, "nativemcast")].SenderTx; got != 50 {
+		t.Errorf("nativemcast sender tx = %d, want 50", got)
+	}
+	// Fan-out: n−1 per cast.
+	if got := byKey[key(16, "fanout")].SenderTx; got != 50*15 {
+		t.Errorf("fanout sender tx = %d, want %d", got, 50*15)
+	}
+	// Epidemic: the worst node's load must be far below the fan-out
+	// sender's load at n=16 — that is the paper's scalability argument.
+	if ep, fo := byKey[key(16, "epidemic")].MaxNodeTx, byKey[key(16, "fanout")].SenderTx; ep >= fo {
+		t.Errorf("epidemic max per-node load %d not below fanout sender load %d", ep, fo)
+	}
+	// Lossless coverage: fan-out and native multicast are complete;
+	// epidemic must cover nearly everyone.
+	for _, strat := range []string{"fanout", "nativemcast"} {
+		if got := byKey[key(16, strat)].DeliveryRatio; got < 0.999 {
+			t.Errorf("%s delivery = %.3f, want 1.0", strat, got)
+		}
+	}
+	if got := byKey[key(16, "epidemic")].DeliveryRatio; got < 0.90 {
+		t.Errorf("epidemic delivery = %.3f, want >= 0.90", got)
+	}
+}
+
+func key(n int, s string) string { return s + ":" + string(rune('0'+n)) }
+
+func TestErrorRecoveryShape(t *testing.T) {
+	rows, err := RunErrorRecovery(ErrorRecoveryConfig{
+		LossRates: []float64{0.01, 0.20},
+		Nodes:     3,
+		Messages:  120,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(strat string, loss float64) ErrorRecoveryRow {
+		for _, r := range rows {
+			if r.Strategy == strat && r.Loss == loss {
+				return r
+			}
+		}
+		t.Fatalf("row %s %g missing", strat, loss)
+		return ErrorRecoveryRow{}
+	}
+	for _, r := range rows {
+		t.Logf("p=%.2f %-4s delivery=%.3f totalTx=%d tx/delivery=%.2f elapsed=%v",
+			r.Loss, r.Strategy, r.DeliveryRatio, r.TotalTx, r.TxPerDelivery, r.Elapsed)
+	}
+	// ARQ always converges to full delivery.
+	if got := get("arq", 0.20).DeliveryRatio; got < 0.999 {
+		t.Errorf("arq@20%% delivery = %.3f", got)
+	}
+	// FEC at low loss masks essentially everything without retransmission.
+	if got := get("fec", 0.01).DeliveryRatio; got < 0.99 {
+		t.Errorf("fec@1%% delivery = %.3f", got)
+	}
+	// The ARQ repair traffic at high loss must exceed its low-loss
+	// traffic — that growth is what motivates switching to FEC.
+	if lo, hi := get("arq", 0.01).TotalTx, get("arq", 0.20).TotalTx; hi <= lo {
+		t.Errorf("arq traffic did not grow with loss: %d -> %d", lo, hi)
+	}
+}
+
+func TestEnergyLifetime(t *testing.T) {
+	rows, err := RunEnergyLifetime(EnergyConfig{Nodes: 4, Capacity: 0.25, Timeout: 45 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var static, adaptive EnergyRow
+	for _, r := range rows {
+		t.Logf("%-8s casts=%d firstDead=%d reconfigs=%d", r.Mode, r.CastsBeforeDeath, r.FirstDead, r.ReconfigurationsN)
+		if r.Mode == "static" {
+			static = r
+		} else {
+			adaptive = r
+		}
+	}
+	if adaptive.CastsBeforeDeath <= static.CastsBeforeDeath {
+		t.Errorf("adaptive relay rotation (%d casts) did not outlive static relay (%d casts)",
+			adaptive.CastsBeforeDeath, static.CastsBeforeDeath)
+	}
+}
+
+func TestFlushAblation(t *testing.T) {
+	rows, err := RunFlushAblation(200, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flush, force FlushAblationRow
+	for _, r := range rows {
+		t.Logf("%-6s sent=%d minDelivered=%d lost=%d reconfigs=%d", r.Mode, r.Sent, r.MinGotAll, r.Lost, r.Reconfigs)
+		if r.Mode == "flush" {
+			flush = r
+		} else {
+			force = r
+		}
+	}
+	if flush.Lost != 0 {
+		t.Errorf("view-synchronous reconfiguration lost %d messages", flush.Lost)
+	}
+	_ = force // the force mode may or may not lose messages on a fast LAN; it must at least complete
+}

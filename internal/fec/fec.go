@@ -1,0 +1,150 @@
+// Package fec implements forward error correction for the communication
+// stack: the "mask the errors" alternative to detect-and-retransmit that
+// the paper's motivation (§2, citing RFC 3452) calls for at high error
+// rates. It provides a systematic Reed–Solomon block codec over GF(2⁸) and
+// an Appia layer that groups outgoing casts into blocks of k data shards
+// plus m parity shards; any k of the k+m shards reconstruct the block, so
+// up to m losses per block cost no round trips.
+package fec
+
+import (
+	"errors"
+	"fmt"
+
+	"morpheus/internal/gf256"
+)
+
+// Codec errors.
+var (
+	ErrBadParams      = errors.New("fec: k and m must be positive and k+m <= 255")
+	ErrShardSize      = errors.New("fec: shards must be non-empty and equally sized")
+	ErrNotEnough      = errors.New("fec: not enough shards to reconstruct")
+	ErrSingularMatrix = errors.New("fec: reconstruction matrix is singular")
+)
+
+// Codec is a systematic Reed–Solomon erasure codec: Encode produces m
+// parity shards from k data shards; Reconstruct recovers all data shards
+// from any k survivors.
+type Codec struct {
+	k, m   int
+	parity *gf256.Matrix // m×k parity generator rows
+}
+
+// NewCodec builds a codec for k data and m parity shards.
+func NewCodec(k, m int) (*Codec, error) {
+	if k <= 0 || m <= 0 || k+m > 255 {
+		return nil, fmt.Errorf("%w: k=%d m=%d", ErrBadParams, k, m)
+	}
+	// Systematic construction: right-multiplying the (k+m)×k Vandermonde
+	// matrix by the inverse of its top k×k block turns the top into the
+	// identity while preserving the MDS property (any k rows of the
+	// result remain invertible). The bottom m rows are the parity
+	// generator.
+	v := gf256.Vandermonde(k+m, k)
+	top := v.SubMatrix(0, k, 0, k)
+	topInv, ok := top.Invert()
+	if !ok {
+		// Unreachable: a Vandermonde matrix with distinct points is
+		// always invertible.
+		return nil, ErrSingularMatrix
+	}
+	sys, err := v.Mul(topInv)
+	if err != nil {
+		return nil, err
+	}
+	parity := sys.SubMatrix(k, k+m, 0, k)
+	return &Codec{k: k, m: m, parity: parity}, nil
+}
+
+// K returns the number of data shards per block.
+func (c *Codec) K() int { return c.k }
+
+// M returns the number of parity shards per block.
+func (c *Codec) M() int { return c.m }
+
+// Encode returns the m parity shards for the k equally-sized data shards.
+func (c *Codec) Encode(data [][]byte) ([][]byte, error) {
+	if err := c.checkShards(data, c.k); err != nil {
+		return nil, err
+	}
+	return c.parity.MulVec(data, len(data[0])), nil
+}
+
+// Reconstruct rebuilds the k data shards from any k survivors. The input
+// slice must have length k+m with nil entries for missing shards (indices
+// 0..k-1 are data, k..k+m-1 parity). It returns the complete data shards.
+func (c *Codec) Reconstruct(shards [][]byte) ([][]byte, error) {
+	if len(shards) != c.k+c.m {
+		return nil, fmt.Errorf("%w: got %d slots, want %d", ErrShardSize, len(shards), c.k+c.m)
+	}
+	var shardLen int
+	present := 0
+	for _, s := range shards {
+		if s == nil {
+			continue
+		}
+		if shardLen == 0 {
+			shardLen = len(s)
+		}
+		if len(s) != shardLen || shardLen == 0 {
+			return nil, ErrShardSize
+		}
+		present++
+	}
+	if present < c.k {
+		return nil, fmt.Errorf("%w: %d of %d", ErrNotEnough, present, c.k)
+	}
+	// Fast path: all data shards intact.
+	intact := true
+	for i := 0; i < c.k; i++ {
+		if shards[i] == nil {
+			intact = false
+			break
+		}
+	}
+	if intact {
+		return shards[:c.k], nil
+	}
+	// Build the k×k decode matrix from the first k available shards'
+	// generator rows (identity rows for data, parity rows otherwise).
+	dec := gf256.NewMatrix(c.k, c.k)
+	input := make([][]byte, 0, c.k)
+	row := 0
+	for idx := 0; idx < c.k+c.m && row < c.k; idx++ {
+		if shards[idx] == nil {
+			continue
+		}
+		if idx < c.k {
+			dec.Set(row, idx, 1)
+		} else {
+			for col := 0; col < c.k; col++ {
+				dec.Set(row, col, c.parity.At(idx-c.k, col))
+			}
+		}
+		input = append(input, shards[idx])
+		row++
+	}
+	inv, ok := dec.Invert()
+	if !ok {
+		return nil, ErrSingularMatrix
+	}
+	out := inv.MulVec(input, shardLen)
+	return out, nil
+}
+
+// checkShards validates a shard group.
+func (c *Codec) checkShards(shards [][]byte, want int) error {
+	if len(shards) != want {
+		return fmt.Errorf("%w: got %d shards, want %d", ErrShardSize, len(shards), want)
+	}
+	n := len(shards[0])
+	if n == 0 {
+		return ErrShardSize
+	}
+	for _, s := range shards {
+		if len(s) != n {
+			return ErrShardSize
+		}
+	}
+	return nil
+}

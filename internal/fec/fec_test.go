@@ -1,0 +1,213 @@
+package fec
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodecParams(t *testing.T) {
+	if _, err := NewCodec(0, 1); !errors.Is(err, ErrBadParams) {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NewCodec(1, 0); !errors.Is(err, ErrBadParams) {
+		t.Fatal("m=0 accepted")
+	}
+	if _, err := NewCodec(200, 56); !errors.Is(err, ErrBadParams) {
+		t.Fatal("k+m>255 accepted")
+	}
+	c, err := NewCodec(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K() != 4 || c.M() != 2 {
+		t.Fatal("accessors")
+	}
+}
+
+func mkShards(k, size int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]byte, k)
+	for i := range out {
+		out[i] = make([]byte, size)
+		rng.Read(out[i])
+	}
+	return out
+}
+
+func TestEncodeReconstructAllErasurePatterns(t *testing.T) {
+	const k, m, size = 5, 3, 64
+	codec, err := NewCodec(k, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := mkShards(k, size, 42)
+	parity, err := codec.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parity) != m {
+		t.Fatalf("parity count = %d", len(parity))
+	}
+
+	// Try every pattern of up to m erasures.
+	total := k + m
+	for mask := 0; mask < 1<<total; mask++ {
+		erased := 0
+		for i := 0; i < total; i++ {
+			if mask&(1<<i) != 0 {
+				erased++
+			}
+		}
+		if erased == 0 || erased > m {
+			continue
+		}
+		shards := make([][]byte, total)
+		for i := 0; i < k; i++ {
+			if mask&(1<<i) == 0 {
+				shards[i] = data[i]
+			}
+		}
+		for i := 0; i < m; i++ {
+			if mask&(1<<(k+i)) == 0 {
+				shards[k+i] = parity[i]
+			}
+		}
+		out, err := codec.Reconstruct(shards)
+		if err != nil {
+			t.Fatalf("mask %b: %v", mask, err)
+		}
+		for i := 0; i < k; i++ {
+			if !bytes.Equal(out[i], data[i]) {
+				t.Fatalf("mask %b: shard %d corrupted", mask, i)
+			}
+		}
+	}
+}
+
+func TestReconstructTooFewShards(t *testing.T) {
+	codec, err := NewCodec(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := mkShards(3, 16, 1)
+	parity, err := codec.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := make([][]byte, 5)
+	shards[0] = data[0]
+	shards[3] = parity[0]
+	if _, err := codec.Reconstruct(shards); !errors.Is(err, ErrNotEnough) {
+		t.Fatalf("err = %v, want ErrNotEnough", err)
+	}
+}
+
+func TestReconstructSizeMismatch(t *testing.T) {
+	codec, err := NewCodec(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := [][]byte{{1, 2}, {3}, nil}
+	if _, err := codec.Reconstruct(shards); !errors.Is(err, ErrShardSize) {
+		t.Fatalf("err = %v, want ErrShardSize", err)
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	codec, err := NewCodec(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := codec.Encode([][]byte{{1}}); !errors.Is(err, ErrShardSize) {
+		t.Fatal("wrong shard count accepted")
+	}
+	if _, err := codec.Encode([][]byte{{1}, {2, 3}}); !errors.Is(err, ErrShardSize) {
+		t.Fatal("unequal shards accepted")
+	}
+}
+
+// Property: random (k, m, erasure pattern with <= m losses) always
+// reconstructs exactly.
+func TestReconstructProperty(t *testing.T) {
+	f := func(kSeed, mSeed uint8, seed int64) bool {
+		k := int(kSeed%10) + 1
+		m := int(mSeed%5) + 1
+		codec, err := NewCodec(k, m)
+		if err != nil {
+			return false
+		}
+		data := mkShards(k, 32, seed)
+		parity, err := codec.Encode(data)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		shards := make([][]byte, k+m)
+		for i := 0; i < k; i++ {
+			shards[i] = data[i]
+		}
+		for i := 0; i < m; i++ {
+			shards[k+i] = parity[i]
+		}
+		// Erase up to m random shards.
+		erase := rng.Intn(m + 1)
+		for n := 0; n < erase; n++ {
+			shards[rng.Intn(k+m)] = nil
+		}
+		out, err := codec.Reconstruct(shards)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < k; i++ {
+			if !bytes.Equal(out[i], data[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncode8x2(b *testing.B) {
+	codec, err := NewCodec(8, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := mkShards(8, 1024, 3)
+	b.SetBytes(8 * 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.Encode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstruct8x2(b *testing.B) {
+	codec, err := NewCodec(8, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := mkShards(8, 1024, 3)
+	parity, err := codec.Encode(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(8 * 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shards := make([][]byte, 10)
+		for j := 2; j < 8; j++ {
+			shards[j] = data[j]
+		}
+		shards[8], shards[9] = parity[0], parity[1]
+		if _, err := codec.Reconstruct(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+// Package gf256 implements arithmetic over GF(2⁸) with the AES polynomial
+// x⁸+x⁴+x³+x+1 (0x11b), as needed by the Reed–Solomon forward error
+// correction codec in the fec package.
+package gf256
+
+// tables holds the exp/log lookup tables for the field.
+type tables struct {
+	exp [512]byte // doubled to avoid modular reduction in Mul
+	log [256]byte
+}
+
+// _t is computed once at package initialisation from a pure function.
+var _t = buildTables()
+
+func buildTables() *tables {
+	var t tables
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		t.exp[i] = x
+		t.log[x] = byte(i)
+		// Multiply x by the generator 0x03 (a primitive element).
+		x = mulSlow(x, 3)
+	}
+	for i := 255; i < 512; i++ {
+		t.exp[i] = t.exp[i-255]
+	}
+	return &t
+}
+
+// mulSlow is carry-less multiplication with reduction, used only to build
+// the tables.
+func mulSlow(a, b byte) byte {
+	var p byte
+	for b > 0 {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a <<= 1
+		if hi != 0 {
+			a ^= 0x1b
+		}
+		b >>= 1
+	}
+	return p
+}
+
+// Add returns a+b (= a-b) in GF(2⁸).
+func Add(a, b byte) byte { return a ^ b }
+
+// Mul returns a·b in GF(2⁸).
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return _t.exp[int(_t.log[a])+int(_t.log[b])]
+}
+
+// Div returns a/b in GF(2⁸); division by zero panics, as it would for
+// integers.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf256: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return _t.exp[int(_t.log[a])+255-int(_t.log[b])]
+}
+
+// Inv returns the multiplicative inverse of a; Inv(0) panics.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("gf256: zero has no inverse")
+	}
+	return _t.exp[255-int(_t.log[a])]
+}
+
+// Exp returns the generator raised to the n-th power.
+func Exp(n int) byte {
+	n %= 255
+	if n < 0 {
+		n += 255
+	}
+	return _t.exp[n]
+}
+
+// MulSlice computes dst[i] ^= c·src[i] for all i; it is the inner loop of
+// the Reed–Solomon matrix application.
+func MulSlice(c byte, src, dst []byte) {
+	if c == 0 {
+		return
+	}
+	logC := int(_t.log[c])
+	n := len(src)
+	if len(dst) < n {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		if s := src[i]; s != 0 {
+			dst[i] ^= _t.exp[logC+int(_t.log[s])]
+		}
+	}
+}
+
+// Matrix is a dense GF(2⁸) matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []byte // row-major
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]byte, rows*cols)}
+}
+
+// At returns the element at (r, c).
+func (m *Matrix) At(r, c int) byte { return m.Data[r*m.Cols+c] }
+
+// Set writes the element at (r, c).
+func (m *Matrix) Set(r, c int, v byte) { m.Data[r*m.Cols+c] = v }
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	cp := NewMatrix(m.Rows, m.Cols)
+	copy(cp.Data, m.Data)
+	return cp
+}
+
+// Vandermonde builds the rows×cols matrix with entry g^(r·c), whose every
+// square submatrix is invertible — the property Reed–Solomon relies on.
+func Vandermonde(rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			m.Set(r, c, Exp(r*c))
+		}
+	}
+	return m
+}
+
+// Invert returns the inverse of a square matrix using Gauss–Jordan
+// elimination, or false if it is singular.
+func (m *Matrix) Invert() (*Matrix, bool) {
+	if m.Rows != m.Cols {
+		return nil, false
+	}
+	n := m.Rows
+	a := m.Clone()
+	inv := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		inv.Set(i, i, 1)
+	}
+	for col := 0; col < n; col++ {
+		// Find a pivot.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if a.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, false
+		}
+		if pivot != col {
+			swapRows(a, pivot, col)
+			swapRows(inv, pivot, col)
+		}
+		// Scale the pivot row to 1.
+		p := a.At(col, col)
+		scale := Inv(p)
+		scaleRow(a, col, scale)
+		scaleRow(inv, col, scale)
+		// Eliminate the column from all other rows.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a.At(r, col)
+			if f == 0 {
+				continue
+			}
+			addScaledRow(a, r, col, f)
+			addScaledRow(inv, r, col, f)
+		}
+	}
+	return inv, true
+}
+
+func swapRows(m *Matrix, a, b int) {
+	ra := m.Data[a*m.Cols : (a+1)*m.Cols]
+	rb := m.Data[b*m.Cols : (b+1)*m.Cols]
+	for i := range ra {
+		ra[i], rb[i] = rb[i], ra[i]
+	}
+}
+
+func scaleRow(m *Matrix, r int, c byte) {
+	row := m.Data[r*m.Cols : (r+1)*m.Cols]
+	for i := range row {
+		row[i] = Mul(row[i], c)
+	}
+}
+
+// addScaledRow does row[dst] ^= f · row[src].
+func addScaledRow(m *Matrix, dst, src int, f byte) {
+	rd := m.Data[dst*m.Cols : (dst+1)*m.Cols]
+	rs := m.Data[src*m.Cols : (src+1)*m.Cols]
+	for i := range rd {
+		rd[i] ^= Mul(f, rs[i])
+	}
+}
+
+// Mul returns the matrix product m·other.
+func (m *Matrix) Mul(other *Matrix) (*Matrix, error) {
+	if m.Cols != other.Rows {
+		return nil, &DimensionError{ARows: m.Rows, ACols: m.Cols, BRows: other.Rows, BCols: other.Cols}
+	}
+	out := NewMatrix(m.Rows, other.Cols)
+	for r := 0; r < m.Rows; r++ {
+		for k := 0; k < m.Cols; k++ {
+			f := m.At(r, k)
+			if f == 0 {
+				continue
+			}
+			for c := 0; c < other.Cols; c++ {
+				out.Data[r*out.Cols+c] ^= Mul(f, other.At(k, c))
+			}
+		}
+	}
+	return out, nil
+}
+
+// DimensionError reports incompatible matrix shapes.
+type DimensionError struct {
+	ARows, ACols, BRows, BCols int
+}
+
+// Error implements error.
+func (e *DimensionError) Error() string {
+	return "gf256: incompatible matrix dimensions"
+}
+
+// SubMatrix extracts rows [r0,r1) and columns [c0,c1).
+func (m *Matrix) SubMatrix(r0, r1, c0, c1 int) *Matrix {
+	out := NewMatrix(r1-r0, c1-c0)
+	for r := r0; r < r1; r++ {
+		for c := c0; c < c1; c++ {
+			out.Set(r-r0, c-c0, m.At(r, c))
+		}
+	}
+	return out
+}
+
+// MulVec computes y = M·x where x is a vector of byte slices (one per
+// column) and y has one slice per row; all slices share the same length.
+// It is the block-coding workhorse: each "element" is a whole shard.
+func (m *Matrix) MulVec(x [][]byte, shardLen int) [][]byte {
+	y := make([][]byte, m.Rows)
+	for r := range y {
+		y[r] = make([]byte, shardLen)
+		for c := 0; c < m.Cols; c++ {
+			MulSlice(m.At(r, c), x[c], y[r])
+		}
+	}
+	return y
+}

@@ -1,0 +1,177 @@
+package gf256
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMulAgainstSlow(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			want := mulSlow(byte(a), byte(b))
+			if got := Mul(byte(a), byte(b)); got != want {
+				t.Fatalf("Mul(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestFieldAxioms(t *testing.T) {
+	f := func(a, b, c byte) bool {
+		// Commutativity and associativity of multiplication.
+		if Mul(a, b) != Mul(b, a) {
+			return false
+		}
+		if Mul(Mul(a, b), c) != Mul(a, Mul(b, c)) {
+			return false
+		}
+		// Distributivity over addition (xor).
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		inv := Inv(byte(a))
+		if Mul(byte(a), inv) != 1 {
+			t.Fatalf("Inv(%d) = %d is not inverse", a, inv)
+		}
+		if Div(1, byte(a)) != inv {
+			t.Fatalf("Div(1,%d) != Inv(%d)", a, a)
+		}
+	}
+}
+
+func TestDivMulRoundtrip(t *testing.T) {
+	f := func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		return Mul(Div(a, b), b) == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroPanics(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("Inv(0)", func() { Inv(0) })
+	assertPanics("Div(1,0)", func() { Div(1, 0) })
+}
+
+func TestExpPeriodicity(t *testing.T) {
+	if Exp(0) != 1 || Exp(255) != 1 {
+		t.Fatal("generator order must be 255")
+	}
+	if Exp(-1) != Exp(254) {
+		t.Fatal("negative exponents must wrap")
+	}
+}
+
+func TestMatrixInvertIdentity(t *testing.T) {
+	m := NewMatrix(3, 3)
+	for i := 0; i < 3; i++ {
+		m.Set(i, i, 1)
+	}
+	inv, ok := m.Invert()
+	if !ok {
+		t.Fatal("identity not invertible")
+	}
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			want := byte(0)
+			if r == c {
+				want = 1
+			}
+			if inv.At(r, c) != want {
+				t.Fatalf("inv(I) != I at (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+func TestMatrixInvertRoundtrip(t *testing.T) {
+	// Vandermonde square blocks are invertible; inv(M)·M must be I.
+	for n := 1; n <= 8; n++ {
+		m := Vandermonde(n, n)
+		inv, ok := m.Invert()
+		if !ok {
+			t.Fatalf("Vandermonde %d×%d not invertible", n, n)
+		}
+		prod, err := inv.Mul(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				want := byte(0)
+				if r == c {
+					want = 1
+				}
+				if prod.At(r, c) != want {
+					t.Fatalf("n=%d: inv·M != I at (%d,%d): %d", n, r, c, prod.At(r, c))
+				}
+			}
+		}
+	}
+}
+
+func TestSingularMatrix(t *testing.T) {
+	m := NewMatrix(2, 2) // zero matrix
+	if _, ok := m.Invert(); ok {
+		t.Fatal("zero matrix inverted")
+	}
+	r := NewMatrix(2, 3)
+	if _, ok := r.Invert(); ok {
+		t.Fatal("non-square matrix inverted")
+	}
+}
+
+func TestMulDimensionMismatch(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	if _, err := a.Mul(b); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestMulSliceMatchesScalar(t *testing.T) {
+	src := []byte{0, 1, 2, 50, 255}
+	dst := make([]byte, len(src))
+	MulSlice(7, src, dst)
+	for i := range src {
+		if dst[i] != Mul(7, src[i]) {
+			t.Fatalf("MulSlice mismatch at %d", i)
+		}
+	}
+	// c=0 leaves dst untouched.
+	dst2 := []byte{9, 9}
+	MulSlice(0, []byte{1, 2}, dst2)
+	if dst2[0] != 9 || dst2[1] != 9 {
+		t.Fatal("MulSlice with zero coefficient wrote")
+	}
+}
+
+func BenchmarkMulSlice(b *testing.B) {
+	src := make([]byte, 1024)
+	dst := make([]byte, 1024)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulSlice(byte(i)|1, src, dst)
+	}
+}

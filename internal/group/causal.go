@@ -1,0 +1,180 @@
+package group
+
+import (
+	"morpheus/internal/appia"
+)
+
+// CausalConfig configures the causal order layer.
+type CausalConfig struct {
+	Self appia.NodeID
+}
+
+// CausalLayer delays upward casts until they are causally ready, using
+// piggybacked vector clocks. It sits above the reliable layer, which
+// already provides per-origin FIFO and loss recovery, so only cross-origin
+// reordering remains to be fixed.
+type CausalLayer struct {
+	appia.BaseLayer
+	cfg CausalConfig
+}
+
+// NewCausalLayer returns a causal order layer.
+func NewCausalLayer(cfg CausalConfig) *CausalLayer {
+	return &CausalLayer{
+		BaseLayer: appia.BaseLayer{
+			LayerName: "group.causal",
+			LayerSpec: appia.LayerSpec{
+				Accepts: []appia.EventType{
+					appia.T[*CastEvent](),
+					appia.T[*ViewInstall](),
+				},
+				Requires: []appia.EventType{appia.T[*ViewInstall]()},
+			},
+		},
+		cfg: cfg,
+	}
+}
+
+// NewSession implements appia.Layer.
+func (l *CausalLayer) NewSession() appia.Session {
+	return &causalSession{
+		cfg:   l.cfg,
+		clock: make(map[appia.NodeID]uint64),
+	}
+}
+
+type causalSession struct {
+	cfg     CausalConfig
+	clock   map[appia.NodeID]uint64 // messages delivered per origin
+	pending []*pendingCast
+}
+
+type pendingCast struct {
+	ev     appia.Event
+	origin appia.NodeID
+	vc     map[appia.NodeID]uint64
+}
+
+var _ appia.Session = (*causalSession)(nil)
+
+// Handle implements appia.Session.
+func (s *causalSession) Handle(ch *appia.Channel, ev appia.Event) {
+	if c, ok := ev.(Caster); ok {
+		s.handleCast(ch, c.CastBase(), ev)
+		return
+	}
+	if vi, ok := ev.(*ViewInstall); ok && vi.Dir() == appia.Up {
+		// New view: the flush protocol has equalised deliveries, so
+		// whatever is still pending is deliverable in any deterministic
+		// order; release it sorted by (origin, seq) and reset the clock.
+		s.releaseAll(ch)
+		s.clock = make(map[appia.NodeID]uint64)
+		ch.Forward(ev)
+		return
+	}
+	ch.Forward(ev)
+}
+
+func (s *causalSession) handleCast(ch *appia.Channel, base *CastEvent, ev appia.Event) {
+	if base.Dir() == appia.Down {
+		if base.Dest != appia.NoNode {
+			ch.Forward(ev) // addressed retransmissions bypass ordering
+			return
+		}
+		// Stamp: the vector clock counts deliveries; our own send will be
+		// delivered back to us by the reliable layer, so the stamp is the
+		// clock as-is (the delivery condition below accounts for it).
+		pushClock(base.EnsureMsg(), s.clock, s.cfg.Self)
+		ch.Forward(ev)
+		return
+	}
+	// Upward: pop the stamp and test deliverability.
+	vc, origin, err := popClock(base.EnsureMsg())
+	if err != nil {
+		return
+	}
+	_ = origin
+	s.pending = append(s.pending, &pendingCast{ev: ev, origin: base.Origin, vc: vc})
+	s.deliverReady(ch)
+}
+
+// ready reports whether a cast is causally deliverable: we must have
+// delivered everything its sender had delivered when it sent.
+func (s *causalSession) ready(p *pendingCast) bool {
+	for origin, need := range p.vc {
+		if origin == p.origin {
+			// Sender's own prior messages: FIFO from the reliable layer
+			// guarantees them, but check anyway for defence in depth.
+			if s.clock[origin] < need {
+				return false
+			}
+			continue
+		}
+		if s.clock[origin] < need {
+			return false
+		}
+	}
+	return true
+}
+
+// deliverReady repeatedly releases deliverable casts.
+func (s *causalSession) deliverReady(ch *appia.Channel) {
+	for {
+		progress := false
+		for i := 0; i < len(s.pending); i++ {
+			p := s.pending[i]
+			if !s.ready(p) {
+				continue
+			}
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			i--
+			s.clock[p.origin]++
+			ch.Forward(p.ev)
+			progress = true
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// releaseAll flushes pending casts at a view change.
+func (s *causalSession) releaseAll(ch *appia.Channel) {
+	// Deliver in causal order where possible, then the rest FIFO.
+	s.deliverReady(ch)
+	for _, p := range s.pending {
+		s.clock[p.origin]++
+		ch.Forward(p.ev)
+	}
+	s.pending = nil
+}
+
+// pushClock encodes the sender's delivery clock.
+func pushClock(m *appia.Message, clock map[appia.NodeID]uint64, self appia.NodeID) {
+	flat := make([]uint64, 0, len(clock)*2)
+	for origin, n := range clock {
+		if n == 0 {
+			continue
+		}
+		flat = append(flat, uint64(uint32(origin)), n)
+	}
+	m.PushUvarintSlice(flat)
+	m.PushUvarint(uint64(uint32(self)))
+}
+
+// popClock decodes a delivery clock stamp.
+func popClock(m *appia.Message) (map[appia.NodeID]uint64, appia.NodeID, error) {
+	selfU, err := m.PopUvarint()
+	if err != nil {
+		return nil, 0, err
+	}
+	flat, err := m.PopUvarintSlice()
+	if err != nil {
+		return nil, 0, err
+	}
+	vc := make(map[appia.NodeID]uint64, len(flat)/2)
+	for i := 0; i+1 < len(flat); i += 2 {
+		vc[appia.NodeID(uint32(flat[i]))] = flat[i+1]
+	}
+	return vc, appia.NodeID(uint32(selfU)), nil
+}

@@ -1,0 +1,649 @@
+package group
+
+import (
+	"time"
+
+	"morpheus/internal/appia"
+)
+
+// GMSConfig configures the group membership / view synchrony layer.
+type GMSConfig struct {
+	// Self is this node's identifier.
+	Self appia.NodeID
+	// InitialMembers is the bootstrap membership (view 1). Every founding
+	// member must be configured with the same list.
+	InitialMembers []appia.NodeID
+	// EnableFD turns on heartbeating and failure detection. Data channels
+	// whose membership is slaved to the control channel run with it off;
+	// the control channel runs with it on.
+	EnableFD bool
+	// HeartbeatInterval is the beacon period (default 50ms).
+	HeartbeatInterval time.Duration
+	// SuspectAfter is the silence threshold after which a member is
+	// suspected (default 4 heartbeat intervals).
+	SuspectAfter time.Duration
+	// FlushRetry is the re-propose period while a flush has not converged
+	// (default 30ms).
+	FlushRetry time.Duration
+	// OnView, when set, is called (on the scheduler goroutine) after each
+	// view installation. Used by Core and by tests.
+	OnView func(v View)
+}
+
+func (c *GMSConfig) hbInterval() time.Duration {
+	if c.HeartbeatInterval <= 0 {
+		return 50 * time.Millisecond
+	}
+	return c.HeartbeatInterval
+}
+
+func (c *GMSConfig) suspectAfter() time.Duration {
+	if c.SuspectAfter <= 0 {
+		return 4 * c.hbInterval()
+	}
+	return c.SuspectAfter
+}
+
+func (c *GMSConfig) flushRetry() time.Duration {
+	if c.FlushRetry <= 0 {
+		return 30 * time.Millisecond
+	}
+	return c.FlushRetry
+}
+
+// GMSLayer provides group membership with view synchrony. The member with
+// the lowest identifier coordinates: it detects failures (when EnableFD),
+// admits joiners, and drives the flush protocol that guarantees all
+// surviving members deliver the same set of messages before a new view is
+// installed. Core reuses the same machinery, via TriggerFlush with Hold, to
+// reach the quiescent state required for reconfiguration (paper §3.3).
+type GMSLayer struct {
+	appia.BaseLayer
+	cfg GMSConfig
+}
+
+// NewGMSLayer returns a membership layer.
+func NewGMSLayer(cfg GMSConfig) *GMSLayer {
+	cfg.InitialMembers = NormalizeMembers(append([]appia.NodeID(nil), cfg.InitialMembers...))
+	return &GMSLayer{
+		BaseLayer: appia.BaseLayer{
+			LayerName: "group.gms",
+			LayerSpec: appia.LayerSpec{
+				Accepts: []appia.EventType{
+					appia.T[*CastEvent](), // all reliable casts pass here
+					appia.T[*Heartbeat](),
+					appia.T[*FlushReport](),
+					appia.T[*JoinReq](),
+					appia.T[*StateTransfer](),
+					appia.T[*TriggerFlush](),
+					appia.T[*VectorQuery](),
+					appia.T[*hbTick](),
+					appia.T[*fdTick](),
+					appia.T[*flushRetryTick](),
+					appia.T[*appia.ChannelInit](),
+				},
+				Provides: []appia.EventType{
+					appia.T[*ViewInstall](),
+					appia.T[*BlockOk](),
+					appia.T[*Quiescent](),
+					appia.T[*Propose](),
+					appia.T[*Install](),
+					appia.T[*Heartbeat](),
+					appia.T[*FlushReport](),
+					appia.T[*VectorQuery](),
+				},
+				Requires: []appia.EventType{appia.T[*CastEvent]()},
+			},
+		},
+		cfg: cfg,
+	}
+}
+
+// NewSession implements appia.Layer.
+func (l *GMSLayer) NewSession() appia.Session {
+	return &gmsSession{
+		cfg:      l.cfg,
+		lastSeen: make(map[appia.NodeID]time.Time),
+	}
+}
+
+// gmsPhase is the session's protocol phase.
+type gmsPhase int
+
+const (
+	phaseNormal gmsPhase = iota + 1
+	phaseFlushing
+)
+
+type gmsSession struct {
+	cfg GMSConfig
+
+	view     View
+	phase    gmsPhase
+	blocked  bool
+	pending  []appia.Event // app casts buffered while blocked
+	lastSeen map[appia.NodeID]time.Time
+
+	// Flush coordination state (coordinator only).
+	proposed    View
+	hold        bool
+	reports     map[appia.NodeID]DeliveredVector
+	retryCancel func()
+
+	// Member-side flush state.
+	memberProposed View
+	memberHold     bool
+
+	joiners []appia.NodeID
+
+	stopHB func()
+	stopFD func()
+}
+
+var _ appia.Session = (*gmsSession)(nil)
+
+// Handle implements appia.Session.
+func (s *gmsSession) Handle(ch *appia.Channel, ev appia.Event) {
+	switch e := ev.(type) {
+	case *appia.ChannelInit:
+		s.onInit(ch)
+		ch.Forward(ev)
+	case *appia.ChannelClose:
+		s.onClose()
+		ch.Forward(ev)
+	case *Propose:
+		s.onPropose(ch, e)
+	case *Install:
+		s.onInstall(ch, e)
+	case *Heartbeat:
+		s.onHeartbeat(ch, e)
+	case *FlushReport:
+		s.onFlushReport(ch, e)
+	case *JoinReq:
+		s.onJoinReq(ch, e)
+	case *StateTransfer:
+		s.onStateTransfer(ch, e)
+	case *TriggerFlush:
+		s.onTriggerFlush(ch, e)
+	case *VectorQuery:
+		// Bounced back from the reliable layer mid-flush.
+		s.onVector(ch, e)
+	case *hbTick:
+		s.beat(ch)
+	case *fdTick:
+		s.checkFailures(ch)
+	case *flushRetryTick:
+		s.onFlushRetry(ch, e)
+	default:
+		s.onOther(ch, ev)
+	}
+}
+
+// onOther handles the catch-all: data casts and unknown events.
+func (s *gmsSession) onOther(ch *appia.Channel, ev appia.Event) {
+	if c, ok := ev.(Caster); ok {
+		cb := c.CastBase()
+		if cb.Dir() == appia.Down {
+			if s.blocked {
+				s.pending = append(s.pending, ev)
+				return
+			}
+		}
+	}
+	ch.Forward(ev)
+}
+
+// onInit installs the bootstrap view and arms timers.
+func (s *gmsSession) onInit(ch *appia.Channel) {
+	s.phase = phaseNormal
+	s.view = View{ID: 1, Members: s.cfg.InitialMembers}
+	now := time.Now()
+	for _, m := range s.view.Members {
+		s.lastSeen[m] = now
+	}
+	s.announceView(ch)
+	if s.cfg.EnableFD {
+		sess := appia.Session(s)
+		s.stopHB = ch.DeliverEvery(s.cfg.hbInterval(), sess, func() appia.Event { return &hbTick{} })
+		s.stopFD = ch.DeliverEvery(s.cfg.hbInterval(), sess, func() appia.Event { return &fdTick{} })
+	}
+}
+
+func (s *gmsSession) onClose() {
+	if s.stopHB != nil {
+		s.stopHB()
+	}
+	if s.stopFD != nil {
+		s.stopFD()
+	}
+	if s.retryCancel != nil {
+		s.retryCancel()
+	}
+}
+
+// announceView emits ViewInstall both up (application, ordering layers) and
+// down (reliable layer, best-effort bottoms) and invokes the callback.
+func (s *gmsSession) announceView(ch *appia.Channel) {
+	sess := appia.Session(s)
+	up := &ViewInstall{View: s.view.Clone()}
+	down := &ViewInstall{View: s.view.Clone()}
+	_ = ch.SendFrom(sess, up, appia.Up)
+	_ = ch.SendFrom(sess, down, appia.Down)
+	if s.cfg.OnView != nil {
+		s.cfg.OnView(s.view.Clone())
+	}
+}
+
+// beat multicasts a heartbeat.
+func (s *gmsSession) beat(ch *appia.Channel) {
+	hb := &Heartbeat{ViewID: s.view.ID}
+	hb.Class = appia.ClassControl
+	hb.EnsureMsg().PushUvarint(hb.ViewID)
+	sess := appia.Session(s)
+	_ = ch.SendFrom(sess, hb, appia.Down)
+}
+
+// onHeartbeat refreshes the failure detector.
+func (s *gmsSession) onHeartbeat(ch *appia.Channel, e *Heartbeat) {
+	if e.Dir() == appia.Down {
+		ch.Forward(e)
+		return
+	}
+	if _, err := e.EnsureMsg().PopUvarint(); err != nil {
+		return
+	}
+	s.lastSeen[e.Source] = time.Now()
+}
+
+// checkFailures runs at the coordinator (or at the member that becomes
+// coordinator when the current one is dead) and starts a flush when the
+// membership must change.
+func (s *gmsSession) checkFailures(ch *appia.Channel) {
+	if s.phase != phaseNormal && s.phase != phaseFlushing {
+		return
+	}
+	now := time.Now()
+	var alive, dead []appia.NodeID
+	for _, m := range s.view.Members {
+		if m == s.cfg.Self {
+			alive = append(alive, m)
+			continue
+		}
+		if now.Sub(s.lastSeen[m]) > s.cfg.suspectAfter() {
+			dead = append(dead, m)
+		} else {
+			alive = append(alive, m)
+		}
+	}
+	// Am I the lowest live member? Only the acting coordinator drives
+	// view changes.
+	if len(alive) == 0 || alive[0] != s.cfg.Self {
+		return
+	}
+	if len(dead) == 0 && len(s.joiners) == 0 {
+		return
+	}
+	if s.phase == phaseFlushing {
+		// A flush is already running; membership changes fold into the
+		// next round via restartFlush.
+		s.restartFlush(ch, alive)
+		return
+	}
+	next := append(append([]appia.NodeID(nil), alive...), s.joiners...)
+	s.startFlush(ch, NormalizeMembers(next), false)
+}
+
+// onTriggerFlush starts a reconfiguration flush if we coordinate. Core
+// triggers on every node; exactly one acts.
+func (s *gmsSession) onTriggerFlush(ch *appia.Channel, e *TriggerFlush) {
+	target := s.view.Clone().Members
+	actor := s.view.Coordinator()
+	if len(e.Members) > 0 {
+		// Scoped flush: propose exactly the supplied (live) membership;
+		// the lowest supplied member that belongs to the current view
+		// coordinates in place of a possibly-dead view coordinator.
+		target = NormalizeMembers(append([]appia.NodeID(nil), e.Members...))
+		actor = appia.NoNode
+		for _, m := range target {
+			if s.view.Contains(m) {
+				actor = m
+				break
+			}
+		}
+	}
+	if actor != s.cfg.Self {
+		return
+	}
+	if s.phase == phaseFlushing {
+		return
+	}
+	s.startFlush(ch, target, e.Hold)
+}
+
+// startFlush begins coordinating a new view.
+func (s *gmsSession) startFlush(ch *appia.Channel, members []appia.NodeID, hold bool) {
+	s.phase = phaseFlushing
+	s.proposed = View{ID: s.view.ID + 1, Members: members}
+	s.hold = hold
+	s.reports = make(map[appia.NodeID]DeliveredVector)
+	s.joiners = nil
+	s.sendPropose(ch)
+	s.armFlushRetry(ch)
+}
+
+// restartFlush narrows an in-progress flush after further failures.
+func (s *gmsSession) restartFlush(ch *appia.Channel, alive []appia.NodeID) {
+	if s.reports == nil {
+		return // we are not the flush coordinator
+	}
+	members := make([]appia.NodeID, 0, len(alive))
+	for _, m := range s.proposed.Members {
+		for _, a := range alive {
+			if m == a {
+				members = append(members, m)
+				break
+			}
+		}
+	}
+	if len(members) == len(s.proposed.Members) {
+		return // nothing changed
+	}
+	s.proposed.Members = members
+	s.reports = make(map[appia.NodeID]DeliveredVector)
+	s.sendPropose(ch)
+}
+
+// sendPropose multicasts the current proposal (reliably).
+func (s *gmsSession) sendPropose(ch *appia.Channel) {
+	p := &Propose{Proposed: s.proposed.Clone(), Hold: s.hold}
+	p.Class = appia.ClassControl
+	m := p.EnsureMsg()
+	m.PushBool(p.Hold)
+	pushView(m, p.Proposed)
+	sess := appia.Session(s)
+	_ = ch.SendFrom(sess, p, appia.Down)
+}
+
+// armFlushRetry schedules convergence retries.
+func (s *gmsSession) armFlushRetry(ch *appia.Channel) {
+	if s.retryCancel != nil {
+		s.retryCancel()
+	}
+	sess := appia.Session(s)
+	s.retryCancel = ch.DeliverAfter(s.cfg.flushRetry(), sess, &flushRetryTick{viewID: s.proposed.ID})
+}
+
+// onFlushRetry re-proposes if the flush still has not converged.
+func (s *gmsSession) onFlushRetry(ch *appia.Channel, e *flushRetryTick) {
+	s.retryCancel = nil
+	if s.phase != phaseFlushing || s.reports == nil || s.proposed.ID != e.viewID {
+		return
+	}
+	s.sendPropose(ch)
+	s.armFlushRetry(ch)
+}
+
+// onPropose is the member side: block, snapshot the delivered vector, and
+// report it to the coordinator.
+func (s *gmsSession) onPropose(ch *appia.Channel, e *Propose) {
+	if e.Dir() == appia.Down {
+		ch.Forward(e)
+		return
+	}
+	m := e.EnsureMsg()
+	v, err := popView(m)
+	if err != nil {
+		return
+	}
+	hold, err := m.PopBool()
+	if err != nil {
+		return
+	}
+	e.Proposed, e.Hold = v, hold
+	if v.ID <= s.view.ID {
+		return // stale proposal from a previous round
+	}
+	s.phase = phaseFlushing
+	s.memberProposed = v
+	s.memberHold = hold
+	if !s.blocked {
+		s.blocked = true
+		sess := appia.Session(s)
+		_ = ch.SendFrom(sess, &BlockOk{ViewID: v.ID}, appia.Up)
+	}
+	// Snapshot the reliable layer's delivered vector; the answer bounces
+	// back as an upward VectorQuery.
+	sess := appia.Session(s)
+	_ = ch.SendFrom(sess, &VectorQuery{}, appia.Down)
+}
+
+// onVector completes the member-side report.
+func (s *gmsSession) onVector(ch *appia.Channel, e *VectorQuery) {
+	if e.Dir() == appia.Down {
+		ch.Forward(e)
+		return
+	}
+	if s.phase != phaseFlushing {
+		return
+	}
+	fr := &FlushReport{ViewID: s.memberProposed.ID, Vector: e.Vector}
+	fr.Dest = s.memberProposed.Coordinator()
+	fr.Class = appia.ClassControl
+	m := fr.EnsureMsg()
+	fr.Vector.push(m)
+	m.PushUvarint(fr.ViewID)
+	sess := appia.Session(s)
+	_ = ch.SendFrom(sess, fr, appia.Down)
+}
+
+// onFlushReport gathers vectors at the coordinator and installs the view
+// once they all agree.
+func (s *gmsSession) onFlushReport(ch *appia.Channel, e *FlushReport) {
+	if e.Dir() == appia.Down {
+		ch.Forward(e)
+		return
+	}
+	if s.phase != phaseFlushing || s.reports == nil {
+		return
+	}
+	m := e.EnsureMsg()
+	id, err := m.PopUvarint()
+	if err != nil {
+		return
+	}
+	vec, err := popVector(m)
+	if err != nil {
+		return
+	}
+	if id != s.proposed.ID {
+		return
+	}
+	s.reports[e.Source] = vec
+
+	// Only members of the *current* view flush: joiners have no state to
+	// reconcile and cannot receive the proposal in the first place.
+	var reporters []appia.NodeID
+	for _, mbr := range s.proposed.Members {
+		if s.view.Contains(mbr) {
+			reporters = append(reporters, mbr)
+		}
+	}
+	if len(s.reports) < len(reporters) {
+		return
+	}
+	var ref DeliveredVector
+	for _, mbr := range reporters {
+		v, ok := s.reports[mbr]
+		if !ok {
+			return
+		}
+		if ref == nil {
+			ref = v
+			continue
+		}
+		if !ref.Equal(v) {
+			// Not converged: clear and wait for the retry tick; the
+			// reliable layer's NACKs are filling the gaps meanwhile.
+			s.reports = make(map[appia.NodeID]DeliveredVector)
+			return
+		}
+	}
+	// Converged: commit.
+	inst := &Install{Installed: s.proposed.Clone(), Hold: s.hold}
+	inst.Class = appia.ClassControl
+	im := inst.EnsureMsg()
+	im.PushBool(inst.Hold)
+	pushView(im, inst.Installed)
+	sess := appia.Session(s)
+	_ = ch.SendFrom(sess, inst, appia.Down)
+
+	// Bootstrap joiners that were not part of the old view: they cannot
+	// receive the reliable Install, so they get a point-to-point state
+	// transfer instead.
+	for _, mbr := range s.proposed.Members {
+		if s.view.Contains(mbr) || mbr == s.cfg.Self {
+			continue
+		}
+		st := &StateTransfer{}
+		st.Dest = mbr
+		st.Class = appia.ClassControl
+		stm := st.EnsureMsg()
+		ref.Clone().push(stm)
+		pushView(stm, s.proposed)
+		_ = ch.SendFrom(sess, st, appia.Down)
+	}
+	if s.retryCancel != nil {
+		s.retryCancel()
+		s.retryCancel = nil
+	}
+	s.reports = nil
+}
+
+// onInstall commits the new view on every member.
+func (s *gmsSession) onInstall(ch *appia.Channel, e *Install) {
+	if e.Dir() == appia.Down {
+		ch.Forward(e)
+		return
+	}
+	m := e.EnsureMsg()
+	v, err := popView(m)
+	if err != nil {
+		return
+	}
+	hold, err := m.PopBool()
+	if err != nil {
+		return
+	}
+	e.Installed, e.Hold = v, hold
+	if v.ID <= s.view.ID {
+		return // duplicate of an already installed view
+	}
+	s.commitView(ch, v, hold)
+}
+
+// onStateTransfer is the joiner's bootstrap path.
+func (s *gmsSession) onStateTransfer(ch *appia.Channel, e *StateTransfer) {
+	if e.Dir() == appia.Down {
+		ch.Forward(e)
+		return
+	}
+	// Headers were already popped by the reliable layer below, which
+	// filled the struct fields.
+	if e.NewView.ID <= s.view.ID {
+		return
+	}
+	s.commitView(ch, e.NewView, false)
+}
+
+// commitView finalises a view change.
+func (s *gmsSession) commitView(ch *appia.Channel, v View, hold bool) {
+	s.view = v
+	s.phase = phaseNormal
+	s.memberProposed = View{}
+	now := time.Now()
+	for _, mbr := range v.Members {
+		s.lastSeen[mbr] = now
+	}
+	for seen := range s.lastSeen {
+		if !v.Contains(seen) {
+			delete(s.lastSeen, seen)
+		}
+	}
+	s.announceView(ch)
+	if hold {
+		// Reconfiguration quiescence: stay blocked; Core tears the
+		// channel down and rebuilds it, so buffered sends are surfaced to
+		// the stack manager via the Quiescent event.
+		sess := appia.Session(s)
+		q := &Quiescent{View: v.Clone()}
+		_ = ch.SendFrom(sess, q, appia.Up)
+		return
+	}
+	s.blocked = false
+	pend := s.pending
+	s.pending = nil
+	for _, ev := range pend {
+		// Re-enter the normal downward path.
+		s.onOther(ch, ev)
+	}
+}
+
+// onJoinReq admits a joiner (coordinator) or forwards the request there.
+func (s *gmsSession) onJoinReq(ch *appia.Channel, e *JoinReq) {
+	if e.Dir() == appia.Down {
+		ch.Forward(e)
+		return
+	}
+	if s.view.Coordinator() != s.cfg.Self {
+		fwd := &JoinReq{}
+		fwd.Dest = s.view.Coordinator()
+		fwd.Class = appia.ClassControl
+		fwd.EnsureMsg().PushUvarint(uint64(uint32(e.Source)))
+		sess := appia.Session(s)
+		_ = ch.SendFrom(sess, fwd, appia.Down)
+		return
+	}
+	joiner := e.Source
+	// A relayed JoinReq carries the true joiner in a header.
+	if jm := e.Msg; jm != nil && jm.Len() > 0 {
+		if u, err := jm.PopUvarint(); err == nil {
+			joiner = appia.NodeID(uint32(u))
+		}
+	}
+	if s.view.Contains(joiner) {
+		return
+	}
+	for _, j := range s.joiners {
+		if j == joiner {
+			return
+		}
+	}
+	s.joiners = append(s.joiners, joiner)
+	if !s.cfg.EnableFD && s.phase == phaseNormal {
+		// Without an FD tick, admit immediately.
+		next := append(s.view.Clone().Members, s.joiners...)
+		s.startFlush(ch, NormalizeMembers(next), false)
+	}
+}
+
+// Pending returns buffered events surrendered at teardown (StackManager
+// re-submits them on the replacement channel). Must be called on the
+// scheduler goroutine.
+func (s *gmsSession) Pending() []appia.Event {
+	p := s.pending
+	s.pending = nil
+	return p
+}
+
+// CurrentView returns the session's view (scheduler goroutine only).
+func (s *gmsSession) CurrentView() View { return s.view.Clone() }
+
+// RequestJoin emits a join request towards a seed member. Called via
+// scheduler.Do by the joining node's stack manager.
+func (s *gmsSession) RequestJoin(ch *appia.Channel, seed appia.NodeID) {
+	jr := &JoinReq{}
+	jr.Dest = seed
+	jr.Class = appia.ClassControl
+	sess := appia.Session(s)
+	_ = ch.SendFrom(sess, jr, appia.Down)
+}

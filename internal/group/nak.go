@@ -1,0 +1,608 @@
+package group
+
+import (
+	"sort"
+	"time"
+
+	"morpheus/internal/appia"
+)
+
+// NakConfig configures the reliable FIFO multicast layer.
+type NakConfig struct {
+	// Self is this node's identifier.
+	Self appia.NodeID
+	// InitialMembers seeds the stability peer set until the first view.
+	InitialMembers []appia.NodeID
+	// NackDelay is how long a gap may stand before a retransmission
+	// request is sent to the origin. Zero means 20ms.
+	NackDelay time.Duration
+	// StableInterval is the period of delivered-vector gossip used to
+	// garbage-collect retransmission buffers. Zero means 250ms; negative
+	// disables stability gossip (buffers then grow without bound — only
+	// for short-lived test channels).
+	StableInterval time.Duration
+}
+
+func (c *NakConfig) nackDelay() time.Duration {
+	if c.NackDelay == 0 {
+		return 20 * time.Millisecond
+	}
+	return c.NackDelay
+}
+
+func (c *NakConfig) stableInterval() time.Duration {
+	if c.StableInterval == 0 {
+		return 250 * time.Millisecond
+	}
+	return c.StableInterval
+}
+
+// NakLayer provides reliable, per-origin FIFO multicast on top of any
+// best-effort multicast bottom. Losses are detected as sequence gaps and
+// repaired with point-to-point NACK retransmissions; delivered-vector
+// gossip ("stability") bounds the retransmission buffers. This is the
+// "detect and recover" error handling style of paper §2, appropriate at
+// small error rates; the fec package provides the masking alternative.
+type NakLayer struct {
+	appia.BaseLayer
+	cfg NakConfig
+}
+
+// NewNakLayer returns a reliable FIFO multicast layer.
+func NewNakLayer(cfg NakConfig) *NakLayer {
+	cfg.InitialMembers = NormalizeMembers(append([]appia.NodeID(nil), cfg.InitialMembers...))
+	return &NakLayer{
+		BaseLayer: appia.BaseLayer{
+			LayerName: "group.nak",
+			LayerSpec: appia.LayerSpec{
+				Accepts: []appia.EventType{
+					appia.T[*CastEvent](),
+					appia.T[*Nack](),
+					appia.T[*Stable](),
+					appia.T[*VectorQuery](),
+					appia.T[*ViewInstall](),
+					appia.T[*StateTransfer](),
+					appia.T[*nackTimeout](),
+					appia.T[*stableTick](),
+					appia.T[*appia.ChannelInit](),
+				},
+				Provides: []appia.EventType{
+					appia.T[*Nack](),
+					appia.T[*Stable](),
+					appia.T[*CastEvent](),
+				},
+			},
+		},
+		cfg: cfg,
+	}
+}
+
+// NewSession implements appia.Layer.
+func (l *NakLayer) NewSession() appia.Session {
+	return &nakSession{
+		cfg:     l.cfg,
+		members: l.cfg.InitialMembers,
+		recv:    make(map[appia.NodeID]*originState),
+		sent:    make(map[uint64]appia.Sendable),
+		peerVec: make(map[appia.NodeID]DeliveredVector),
+		nextSeq: 1,
+	}
+}
+
+// originState tracks reception from one origin.
+type originState struct {
+	next      uint64 // next sequence number to deliver
+	known     uint64 // highest sequence known to exist (buffered or gossiped)
+	buffer    map[uint64]*CastEvent
+	events    map[uint64]appia.Event    // full events for re-forwarding
+	history   map[uint64]appia.Sendable // delivered casts kept for peers
+	nackArmed bool
+	nackTries int
+	cancel    func()
+}
+
+// missing reports whether this origin has sequence numbers we still lack.
+func (st *originState) missing() bool {
+	return len(st.buffer) > 0 || st.known >= st.next
+}
+
+type nakSession struct {
+	cfg     NakConfig
+	members []appia.NodeID
+
+	nextSeq uint64                    // next sequence number for own casts
+	sent    map[uint64]appia.Sendable // retransmission buffer (own casts)
+	recv    map[appia.NodeID]*originState
+	peerVec map[appia.NodeID]DeliveredVector // last stability vector per peer
+
+	stopStable func()
+}
+
+var _ appia.Session = (*nakSession)(nil)
+
+// Handle implements appia.Session.
+func (s *nakSession) Handle(ch *appia.Channel, ev appia.Event) {
+	// Events embedding CastEvent (Propose, Install, OrderEv, application
+	// subtypes...) must take the cast path regardless of concrete type; a
+	// type switch alone cannot express that.
+	if c, ok := ev.(Caster); ok {
+		s.processCast(ch, c.CastBase(), ev)
+		return
+	}
+	switch e := ev.(type) {
+	case *appia.ChannelInit:
+		if s.cfg.StableInterval >= 0 {
+			sess := appia.Session(s)
+			s.stopStable = ch.DeliverEvery(s.cfg.stableInterval(), sess, func() appia.Event {
+				return &stableTick{}
+			})
+		}
+		ch.Forward(ev)
+	case *appia.ChannelClose:
+		if s.stopStable != nil {
+			s.stopStable()
+		}
+		for _, st := range s.recv {
+			if st.cancel != nil {
+				st.cancel()
+			}
+		}
+		ch.Forward(ev)
+	case *Nack:
+		s.handleNack(ch, e)
+	case *Stable:
+		s.handleStable(ch, e)
+	case *VectorQuery:
+		e.Vector = s.deliveredVector()
+		ch.Bounce(ev)
+	case *ViewInstall:
+		s.handleView(ch, e)
+	case *StateTransfer:
+		s.handleStateTransfer(ch, e)
+	case *nackTimeout:
+		s.fireNack(ch, e.origin)
+	case *stableTick:
+		s.gossipStable(ch)
+	default:
+		ch.Forward(ev)
+	}
+}
+
+func (s *nakSession) processCast(ch *appia.Channel, base *CastEvent, ev appia.Event) {
+	if base.Dir() == appia.Down {
+		s.sendCast(ch, base, ev)
+		return
+	}
+	s.receiveCast(ch, base, ev)
+}
+
+// sendCast stamps, stores, self-delivers and spreads an outgoing cast.
+func (s *nakSession) sendCast(ch *appia.Channel, base *CastEvent, ev appia.Event) {
+	if base.Dest != appia.NoNode {
+		// Addressed cast (a retransmission we produced below, or targeted
+		// control): pass through untouched.
+		ch.Forward(ev)
+		return
+	}
+	seq := s.nextSeq
+	s.nextSeq++
+	m := base.EnsureMsg()
+	m.PushUvarint(seq)
+	m.PushUvarint(uint64(uint32(s.cfg.Self)))
+
+	sendable, ok := ev.(appia.Sendable)
+	if !ok {
+		// Unreachable: anything embedding CastEvent is Sendable.
+		return
+	}
+	// Retransmission buffer keeps a full clone, preserving the concrete
+	// type so a retransmitted Propose still decodes as a Propose.
+	s.sent[seq] = appia.CloneSendable(sendable)
+
+	// Self-delivery: our own casts are in-order by construction, so they
+	// skip the gap machinery and go straight up, looking exactly like a
+	// delivered remote cast (headers popped, Origin/Seq set).
+	st := s.origin(s.cfg.Self)
+	if st.next == seq {
+		st.next++
+	}
+	selfCopy := appia.CloneSendable(sendable)
+	scb := selfCopy.SendableBase()
+	scb.Source = s.cfg.Self
+	sm := scb.Msg
+	if _, err := sm.PopUvarint(); err != nil { // origin
+		return
+	}
+	if _, err := sm.PopUvarint(); err != nil { // seq
+		return
+	}
+	if c, ok := selfCopy.(Caster); ok {
+		cb := c.CastBase()
+		cb.Origin = s.cfg.Self
+		cb.Seq = seq
+	}
+	sess := appia.Session(s)
+	_ = ch.SendFrom(sess, selfCopy, appia.Up)
+
+	ch.Forward(ev)
+}
+
+// receiveCast handles an incoming (or self-copied) cast: pop headers,
+// dedupe, deliver in per-origin order.
+func (s *nakSession) receiveCast(ch *appia.Channel, base *CastEvent, ev appia.Event) {
+	m := base.EnsureMsg()
+	o, err := m.PopUvarint()
+	if err != nil {
+		return // corrupt: drop
+	}
+	seq, err := m.PopUvarint()
+	if err != nil {
+		return
+	}
+	origin := appia.NodeID(uint32(o))
+	base.Origin = origin
+	base.Seq = seq
+
+	st := s.origin(origin)
+	if seq > st.known {
+		st.known = seq
+	}
+	switch {
+	case seq < st.next:
+		return // duplicate
+	case seq == st.next:
+		st.next++
+		s.storeHistory(st, origin, seq, ev)
+		ch.Forward(ev)
+		s.drain(ch, origin, st)
+	default:
+		if _, dup := st.buffer[seq]; !dup {
+			// Buffer the event itself; we re-forward it when the gap
+			// closes. Keep only the base pointer: forwarding needs the
+			// original ev, so store via map of event.
+			st.buffer[seq] = base
+			s.bufferEv(st, seq, ev)
+		}
+		s.armNack(ch, origin, st)
+	}
+}
+
+// bufferedEvs maps the buffered base cast to the full event for
+// re-forwarding. To avoid a second map we piggyback on originState.
+func (s *nakSession) bufferEv(st *originState, seq uint64, ev appia.Event) {
+	if st.events == nil {
+		st.events = make(map[uint64]appia.Event)
+	}
+	st.events[seq] = ev
+}
+
+// drain delivers any buffered casts that are now in order.
+func (s *nakSession) drain(ch *appia.Channel, origin appia.NodeID, st *originState) {
+	for {
+		ev, ok := st.events[st.next]
+		if !ok {
+			break
+		}
+		seq := st.next
+		delete(st.events, seq)
+		delete(st.buffer, seq)
+		st.next++
+		s.storeHistory(st, origin, seq, ev)
+		ch.Forward(ev)
+	}
+	if !st.missing() {
+		if st.cancel != nil {
+			st.cancel()
+			st.cancel = nil
+		}
+		st.nackArmed = false
+		st.nackTries = 0
+	}
+}
+
+// storeHistory keeps a wire-shaped clone of a delivered cast so this node
+// can retransmit on behalf of a crashed or partitioned origin. The clone
+// re-acquires the origin/seq headers popped during reception. History is
+// pruned by the same stability watermarks as the send buffer.
+func (s *nakSession) storeHistory(st *originState, origin appia.NodeID, seq uint64, ev appia.Event) {
+	sendable, ok := ev.(appia.Sendable)
+	if !ok {
+		return
+	}
+	cp := appia.CloneSendable(sendable)
+	m := cp.SendableBase().EnsureMsg()
+	m.PushUvarint(seq)
+	m.PushUvarint(uint64(uint32(origin)))
+	if st.history == nil {
+		st.history = make(map[uint64]appia.Sendable)
+	}
+	st.history[seq] = cp
+}
+
+// armNack schedules a retransmission request for the lowest gap.
+func (s *nakSession) armNack(ch *appia.Channel, origin appia.NodeID, st *originState) {
+	if st.nackArmed {
+		return
+	}
+	st.nackArmed = true
+	sess := appia.Session(s)
+	st.cancel = ch.DeliverAfter(s.cfg.nackDelay(), sess, &nackTimeout{origin: origin})
+}
+
+// fireNack sends the NACK for the current gap, if any, and rearms. The
+// first requests go to the origin; if it stays silent (crashed,
+// partitioned), subsequent requests rotate through the other members,
+// which keep a retransmission history for exactly this purpose.
+func (s *nakSession) fireNack(ch *appia.Channel, origin appia.NodeID) {
+	st := s.origin(origin)
+	st.nackArmed = false
+	st.cancel = nil
+	if !st.missing() {
+		return // gap closed meanwhile
+	}
+	// Request up to the first buffered message, or — when nothing is
+	// buffered and the gap is known only from stability gossip — up to the
+	// gossiped high-water mark.
+	to := st.known
+	for seq := range st.buffer {
+		if seq-1 < to {
+			to = seq - 1
+		}
+	}
+	if to < st.next {
+		// Everything below the buffer is here; the buffer itself cannot
+		// drain yet only if a middle gap exists, which the loop above
+		// would have found. Nothing to request.
+		s.armNack(ch, origin, st)
+		return
+	}
+	target := s.nackTarget(origin, st.nackTries)
+	st.nackTries++
+	n := &Nack{Origin: origin, From: st.next, To: to}
+	n.Dest = target
+	n.Class = appia.ClassControl
+	m := n.EnsureMsg()
+	m.PushUvarint(n.To)
+	m.PushUvarint(n.From)
+	m.PushUvarint(uint64(uint32(origin)))
+	sess := appia.Session(s)
+	_ = ch.SendFrom(sess, n, appia.Down)
+	// Rearm in case the retransmission is itself lost.
+	s.armNack(ch, origin, st)
+}
+
+// nackTarget picks whom to ask on the given retry round: the origin first
+// (twice, since it is the most likely holder), then a rotation over every
+// member including the origin, so requests keep reaching it even when
+// intermediate peers cannot help.
+func (s *nakSession) nackTarget(origin appia.NodeID, tries int) appia.NodeID {
+	if tries < 2 {
+		return origin
+	}
+	candidates := []appia.NodeID{origin}
+	for _, m := range s.members {
+		if m != s.cfg.Self && m != origin {
+			candidates = append(candidates, m)
+		}
+	}
+	return candidates[(tries-2)%len(candidates)]
+}
+
+// handleNack answers a retransmission request from our buffer.
+func (s *nakSession) handleNack(ch *appia.Channel, e *Nack) {
+	if e.Dir() == appia.Down {
+		ch.Forward(e)
+		return
+	}
+	m := e.EnsureMsg()
+	o, err1 := m.PopUvarint()
+	from, err2 := m.PopUvarint()
+	to, err3 := m.PopUvarint()
+	if err1 != nil || err2 != nil || err3 != nil {
+		return
+	}
+	origin := appia.NodeID(uint32(o))
+	requester := e.SendableBase().Source
+	sess := appia.Session(s)
+	lookup := func(seq uint64) (appia.Sendable, bool) {
+		if origin == s.cfg.Self {
+			st, ok := s.sent[seq]
+			return st, ok
+		}
+		ost, ok := s.recv[origin]
+		if !ok || ost.history == nil {
+			return nil, false
+		}
+		st, ok := ost.history[seq]
+		return st, ok
+	}
+	for seq := from; seq <= to; seq++ {
+		stored, ok := lookup(seq)
+		if !ok {
+			continue // already garbage collected: peer must rejoin via flush
+		}
+		cp := appia.CloneSendable(stored)
+		cb := cp.SendableBase()
+		cb.Dest = requester
+		cb.Class = appia.ClassControl
+		_ = ch.SendFrom(sess, cp, appia.Down)
+	}
+}
+
+// gossipStable multicasts our delivered vector.
+func (s *nakSession) gossipStable(ch *appia.Channel) {
+	st := &Stable{Vector: s.deliveredVector()}
+	st.Class = appia.ClassControl
+	st.Vector.push(st.EnsureMsg())
+	sess := appia.Session(s)
+	_ = ch.SendFrom(sess, st, appia.Down)
+}
+
+// handleStable records a peer vector and prunes the send buffer.
+func (s *nakSession) handleStable(ch *appia.Channel, e *Stable) {
+	if e.Dir() == appia.Down {
+		ch.Forward(e)
+		return
+	}
+	vec, err := popVector(e.EnsureMsg())
+	if err != nil {
+		return
+	}
+	s.peerVec[e.SendableBase().Source] = vec
+	// Stability gossip doubles as loss advertisement: a peer that has
+	// delivered seq k from some origin proves k exists, so if we are
+	// behind we can request a repair — this is the only way to recover a
+	// lost *final* message, which no subsequent gap would ever reveal.
+	for origin, high := range vec {
+		if origin == s.cfg.Self {
+			continue
+		}
+		st := s.origin(origin)
+		if high > st.known {
+			st.known = high
+		}
+		if st.missing() {
+			s.armNack(ch, origin, st)
+		}
+	}
+	s.prune()
+}
+
+// prune drops send-buffer and history entries that every member has
+// delivered.
+func (s *nakSession) prune() {
+	mine := s.deliveredVector()
+	stableFor := func(origin appia.NodeID) (uint64, bool) {
+		min := mine[origin]
+		for _, m := range s.members {
+			if m == s.cfg.Self {
+				continue
+			}
+			vec, ok := s.peerVec[m]
+			if !ok {
+				return 0, false // unknown peer state: keep everything
+			}
+			if vec[origin] < min {
+				min = vec[origin]
+			}
+		}
+		return min, true
+	}
+	if len(s.sent) > 0 {
+		if min, ok := stableFor(s.cfg.Self); ok {
+			for seq := range s.sent {
+				if seq <= min {
+					delete(s.sent, seq)
+				}
+			}
+		}
+	}
+	for origin, st := range s.recv {
+		if len(st.history) == 0 {
+			continue
+		}
+		min, ok := stableFor(origin)
+		if !ok {
+			continue
+		}
+		for seq := range st.history {
+			if seq <= min {
+				delete(st.history, seq)
+			}
+		}
+	}
+}
+
+// handleView adopts a new membership: forget excluded origins and their
+// pending gaps (the flush protocol has already equalised deliveries among
+// survivors).
+func (s *nakSession) handleView(ch *appia.Channel, e *ViewInstall) {
+	if e.Dir() != appia.Down {
+		ch.Forward(e)
+		return
+	}
+	s.members = e.View.Members
+	for origin, st := range s.recv {
+		if !e.View.Contains(origin) {
+			if st.cancel != nil {
+				st.cancel()
+			}
+			delete(s.recv, origin)
+		}
+	}
+	for peer := range s.peerVec {
+		if !e.View.Contains(peer) {
+			delete(s.peerVec, peer)
+		}
+	}
+	ch.Forward(e) // the best-effort bottom needs it too
+}
+
+// handleStateTransfer bootstraps reception state on a joiner.
+func (s *nakSession) handleStateTransfer(ch *appia.Channel, e *StateTransfer) {
+	if e.Dir() == appia.Down {
+		ch.Forward(e)
+		return
+	}
+	// Headers: view, vector (pushed by GMS on the coordinator).
+	m := e.EnsureMsg()
+	v, err := popView(m)
+	if err != nil {
+		return
+	}
+	vec, err := popVector(m)
+	if err != nil {
+		return
+	}
+	e.NewView = v
+	e.Vector = vec
+	for origin, next := range vec {
+		st := s.origin(origin)
+		if st.next < next+1 {
+			st.next = next + 1
+		}
+	}
+	ch.Forward(e) // GMS above also consumes it
+}
+
+// origin returns (allocating) the reception state for an origin.
+func (s *nakSession) origin(id appia.NodeID) *originState {
+	st, ok := s.recv[id]
+	if !ok {
+		st = &originState{next: 1, buffer: make(map[uint64]*CastEvent)}
+		s.recv[id] = st
+	}
+	return st
+}
+
+// deliveredVector snapshots the per-origin contiguous delivery watermark.
+func (s *nakSession) deliveredVector() DeliveredVector {
+	dv := make(DeliveredVector, len(s.recv)+1)
+	for origin, st := range s.recv {
+		if st.next > 1 {
+			dv[origin] = st.next - 1
+		}
+	}
+	// Our own casts count as delivered up to nextSeq-1 (self-delivery is
+	// immediate).
+	if s.nextSeq > 1 {
+		if cur, ok := dv[s.cfg.Self]; !ok || cur < s.nextSeq-1 {
+			dv[s.cfg.Self] = s.nextSeq - 1
+		}
+	}
+	return dv
+}
+
+// sortedGaps returns buffered-but-undeliverable seqs per origin (tests).
+func (s *nakSession) sortedGaps(origin appia.NodeID) []uint64 {
+	st, ok := s.recv[origin]
+	if !ok {
+		return nil
+	}
+	out := make([]uint64, 0, len(st.buffer))
+	for seq := range st.buffer {
+		out = append(out, seq)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

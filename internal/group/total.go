@@ -1,0 +1,205 @@
+package group
+
+import (
+	"sort"
+
+	"morpheus/internal/appia"
+)
+
+// TotalConfig configures the sequencer-based total order layer.
+type TotalConfig struct {
+	Self appia.NodeID
+}
+
+// TotalLayer delivers casts in the same total order at every member, using
+// the view coordinator as a fixed sequencer. Each cast delivered by the
+// reliable layer is held until the sequencer's ordering decision (an
+// OrderEv, itself a reliable cast) assigns it a global sequence number.
+// When a view change replaces the sequencer, the flush protocol has already
+// equalised every member's held set, so the new sequencer deterministically
+// orders the leftovers.
+type TotalLayer struct {
+	appia.BaseLayer
+	cfg TotalConfig
+}
+
+// NewTotalLayer returns a total order layer.
+func NewTotalLayer(cfg TotalConfig) *TotalLayer {
+	return &TotalLayer{
+		BaseLayer: appia.BaseLayer{
+			LayerName: "group.total",
+			LayerSpec: appia.LayerSpec{
+				Accepts: []appia.EventType{
+					appia.T[*CastEvent](),
+					appia.T[*OrderEv](),
+					appia.T[*ViewInstall](),
+				},
+				Provides: []appia.EventType{appia.T[*OrderEv]()},
+				Requires: []appia.EventType{appia.T[*ViewInstall]()},
+			},
+		},
+		cfg: cfg,
+	}
+}
+
+// NewSession implements appia.Layer.
+func (l *TotalLayer) NewSession() appia.Session {
+	return &totalSession{
+		cfg:    l.cfg,
+		held:   make(map[castKey]appia.Event),
+		orders: make(map[uint64]castKey),
+		keyed:  make(map[castKey]uint64),
+		gseq:   1,
+		next:   1,
+	}
+}
+
+type castKey struct {
+	origin appia.NodeID
+	seq    uint64
+}
+
+type totalSession struct {
+	cfg       TotalConfig
+	view      View
+	sequencer appia.NodeID
+
+	held   map[castKey]appia.Event
+	orders map[uint64]castKey // gseq -> cast
+	keyed  map[castKey]uint64 // cast -> gseq (dedup of ordering decisions)
+	gseq   uint64             // next gseq to assign (sequencer)
+	next   uint64             // next gseq to deliver
+}
+
+var _ appia.Session = (*totalSession)(nil)
+
+// Handle implements appia.Session.
+func (s *totalSession) Handle(ch *appia.Channel, ev appia.Event) {
+	switch e := ev.(type) {
+	case *OrderEv:
+		s.onOrder(ch, e)
+		return
+	case *ViewInstall:
+		if e.Dir() == appia.Up {
+			s.onView(ch, e)
+			ch.Forward(ev)
+			return
+		}
+		ch.Forward(ev)
+		return
+	}
+	if c, ok := ev.(Caster); ok {
+		s.onCast(ch, c.CastBase(), ev)
+		return
+	}
+	ch.Forward(ev)
+}
+
+// onCast holds upward casts until ordered; downward casts pass through.
+func (s *totalSession) onCast(ch *appia.Channel, base *CastEvent, ev appia.Event) {
+	if base.Dir() == appia.Down {
+		ch.Forward(ev)
+		return
+	}
+	key := castKey{origin: base.Origin, seq: base.Seq}
+	s.held[key] = ev
+	if s.cfg.Self == s.sequencer {
+		s.assign(ch, []castKey{key})
+	}
+	s.deliverInOrder(ch)
+}
+
+// assign allocates global sequence numbers and multicasts the decision.
+func (s *totalSession) assign(ch *appia.Channel, keys []castKey) {
+	entries := make([]OrderEntry, 0, len(keys))
+	for _, k := range keys {
+		if _, done := s.keyed[k]; done {
+			continue
+		}
+		g := s.gseq
+		s.gseq++
+		s.keyed[k] = g
+		s.orders[g] = k
+		entries = append(entries, OrderEntry{Origin: k.origin, Seq: k.seq, Gseq: g})
+	}
+	if len(entries) == 0 {
+		return
+	}
+	oe := &OrderEv{Orders: entries}
+	oe.Class = appia.ClassControl
+	m := oe.EnsureMsg()
+	flat := make([]uint64, 0, len(entries)*3)
+	for _, en := range entries {
+		flat = append(flat, uint64(uint32(en.Origin)), en.Seq, en.Gseq)
+	}
+	m.PushUvarintSlice(flat)
+	sess := appia.Session(s)
+	_ = ch.SendFrom(sess, oe, appia.Down)
+}
+
+// onOrder records ordering decisions (including our own, self-delivered).
+func (s *totalSession) onOrder(ch *appia.Channel, e *OrderEv) {
+	if e.Dir() == appia.Down {
+		ch.Forward(e)
+		return
+	}
+	flat, err := e.EnsureMsg().PopUvarintSlice()
+	if err != nil || len(flat)%3 != 0 {
+		return
+	}
+	for i := 0; i+2 < len(flat); i += 3 {
+		k := castKey{origin: appia.NodeID(uint32(flat[i])), seq: flat[i+1]}
+		g := flat[i+2]
+		if _, dup := s.orders[g]; dup {
+			continue
+		}
+		s.orders[g] = k
+		s.keyed[k] = g
+		if g >= s.gseq {
+			s.gseq = g + 1
+		}
+	}
+	s.deliverInOrder(ch)
+}
+
+// deliverInOrder releases held casts in global sequence order.
+func (s *totalSession) deliverInOrder(ch *appia.Channel) {
+	for {
+		key, ok := s.orders[s.next]
+		if !ok {
+			return
+		}
+		ev, have := s.held[key]
+		if !have {
+			return // decision arrived before the cast: wait for it
+		}
+		delete(s.held, key)
+		delete(s.orders, s.next)
+		s.next++
+		ch.Forward(ev)
+	}
+}
+
+// onView adopts the new sequencer; if that is us, deterministically order
+// any held casts the old sequencer never got to.
+func (s *totalSession) onView(ch *appia.Channel, e *ViewInstall) {
+	s.view = e.View
+	s.sequencer = e.View.Coordinator()
+	if s.cfg.Self != s.sequencer {
+		return
+	}
+	var leftovers []castKey
+	for k := range s.held {
+		if _, done := s.keyed[k]; !done {
+			leftovers = append(leftovers, k)
+		}
+	}
+	sort.Slice(leftovers, func(i, j int) bool {
+		if leftovers[i].origin != leftovers[j].origin {
+			return leftovers[i].origin < leftovers[j].origin
+		}
+		return leftovers[i].seq < leftovers[j].seq
+	})
+	s.assign(ch, leftovers)
+	s.deliverInOrder(ch)
+}

@@ -1,0 +1,344 @@
+package stack
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"morpheus/internal/appia"
+	"morpheus/internal/appia/appiaxml"
+	"morpheus/internal/group"
+	"morpheus/internal/vnet"
+)
+
+// Manager errors.
+var (
+	ErrNotDeployed = errors.New("stack: no configuration deployed")
+	ErrStaleEpoch  = errors.New("stack: stale configuration epoch")
+)
+
+// ManagerConfig configures a StackManager.
+type ManagerConfig struct {
+	// Node is the local network attachment.
+	Node *vnet.Node
+	// Self is this node's identifier.
+	Self appia.NodeID
+	// Scheduler runs all of the node's channels.
+	Scheduler *appia.Scheduler
+	// Registry resolves layer names; nil means NewStandardRegistry().
+	Registry *appiaxml.LayerRegistry
+	// Events resolves wire event kinds; nil means the process default.
+	Events *appia.EventKindRegistry
+	// ChannelName is the data channel name in documents (default "data").
+	ChannelName string
+	// BasePort prefixes the per-epoch vnet port (default "data").
+	BasePort string
+	// QuiesceTimeout bounds the wait for view-synchronous quiescence
+	// before a reconfiguration force-closes the old channel.
+	QuiesceTimeout time.Duration
+	// OnDeliver receives application casts from whatever channel is
+	// currently deployed. Called on the scheduler goroutine.
+	OnDeliver func(ev *group.CastEvent)
+	// OnViewChange, when set, observes data-channel views.
+	OnViewChange func(v group.View)
+	// Logf receives diagnostics; nil means the standard logger.
+	Logf func(format string, args ...any)
+}
+
+func (c *ManagerConfig) channelName() string {
+	if c.ChannelName == "" {
+		return "data"
+	}
+	return c.ChannelName
+}
+
+func (c *ManagerConfig) basePort() string {
+	if c.BasePort == "" {
+		return "data"
+	}
+	return c.BasePort
+}
+
+func (c *ManagerConfig) quiesceTimeout() time.Duration {
+	if c.QuiesceTimeout <= 0 {
+		return defaultQuiesceTimeout
+	}
+	return c.QuiesceTimeout
+}
+
+func (c *ManagerConfig) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// Manager is the Core sub-system's local module: it owns the node's data
+// channel, deploys XML-described configurations, and performs the §3.3
+// reconfiguration procedure — quiesce via view synchrony, tear down,
+// rebuild from XML, resume buffered traffic on the new stack.
+type Manager struct {
+	cfg   ManagerConfig
+	reg   *appiaxml.LayerRegistry
+	state struct {
+		sync.Mutex
+		ch         *appia.Channel
+		epoch      uint64
+		configName string
+		members    []appia.NodeID
+		buffered   [][]byte // payloads held during reconfiguration
+		quiesced   chan struct{}
+		// quiescentSeen remembers that the current channel already
+		// reported quiescence; the flush can complete before this node's
+		// Core even learns a reconfiguration is underway (control and
+		// data channels are not mutually ordered), so the signal must be
+		// level- rather than edge-triggered.
+		quiescentSeen bool
+		reconfig      bool
+	}
+}
+
+// NewManager returns a manager with nothing deployed yet. The standard
+// wire event kinds are registered in cfg.Events (or the process default)
+// so a freshly constructed manager can always decode its own traffic.
+func NewManager(cfg ManagerConfig) *Manager {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = NewStandardRegistry()
+	}
+	RegisterAllWireEvents(cfg.Events)
+	return &Manager{cfg: cfg, reg: reg}
+}
+
+// Epoch returns the current configuration epoch.
+func (m *Manager) Epoch() uint64 {
+	m.state.Lock()
+	defer m.state.Unlock()
+	return m.state.epoch
+}
+
+// ConfigName returns the name of the deployed configuration.
+func (m *Manager) ConfigName() string {
+	m.state.Lock()
+	defer m.state.Unlock()
+	return m.state.configName
+}
+
+// Channel returns the live data channel (nil before the first Deploy).
+func (m *Manager) Channel() *appia.Channel {
+	m.state.Lock()
+	defer m.state.Unlock()
+	return m.state.ch
+}
+
+// Deploy builds and starts the data channel from the document, replacing
+// nothing — it is the initial deployment. Epoch starts at 1 unless the
+// caller passes a later one.
+func (m *Manager) Deploy(doc *appiaxml.Document, configName string, epoch uint64, members []appia.NodeID) error {
+	ch, err := m.build(doc, epoch, members)
+	if err != nil {
+		return err
+	}
+	if err := ch.Start(); err != nil {
+		return err
+	}
+	if !ch.WaitReady(m.cfg.quiesceTimeout()) {
+		return fmt.Errorf("stack: channel for epoch %d never became ready", epoch)
+	}
+	m.state.Lock()
+	m.state.ch = ch
+	m.state.epoch = epoch
+	m.state.configName = configName
+	m.state.members = append([]appia.NodeID(nil), members...)
+	m.state.Unlock()
+	return nil
+}
+
+// build instantiates the channel for an epoch.
+func (m *Manager) build(doc *appiaxml.Document, epoch uint64, members []appia.NodeID) (*appia.Channel, error) {
+	spec, err := doc.Channel(m.cfg.channelName())
+	if err != nil {
+		return nil, err
+	}
+	env := &appiaxml.Env{
+		Node:      m.cfg.Node,
+		Self:      m.cfg.Self,
+		Members:   group.NormalizeMembers(append([]appia.NodeID(nil), members...)),
+		Port:      fmt.Sprintf("%s@%d", m.cfg.basePort(), epoch),
+		Registry:  m.cfg.Events,
+		Scheduler: m.cfg.Scheduler,
+		Deliver:   m.deliver,
+		Logf:      m.cfg.logf,
+	}
+	return appiaxml.BuildChannel(spec, m.reg, env)
+}
+
+// deliver fans channel upcalls out to the application and the manager's
+// own lifecycle tracking.
+func (m *Manager) deliver(ev appia.Event) {
+	switch e := ev.(type) {
+	case *group.Quiescent:
+		m.state.Lock()
+		m.state.quiescentSeen = true
+		q := m.state.quiesced
+		m.state.Unlock()
+		if q != nil {
+			select {
+			case <-q:
+			default:
+				close(q)
+			}
+		}
+	case *group.ViewInstall:
+		if m.cfg.OnViewChange != nil {
+			m.cfg.OnViewChange(e.View)
+		}
+	case *group.BlockOk:
+		// informational only
+	case group.Caster:
+		cb := e.CastBase()
+		if m.cfg.OnDeliver != nil {
+			m.cfg.OnDeliver(cb)
+		}
+	}
+}
+
+// Send multicasts an application payload on the data channel. During a
+// reconfiguration the payload is buffered and re-submitted on the new
+// stack, so the application keeps its fire-and-forget interface (the
+// paper's goal of adaptation "transparent to the application").
+func (m *Manager) Send(payload []byte) error {
+	m.state.Lock()
+	if m.state.ch == nil {
+		m.state.Unlock()
+		return ErrNotDeployed
+	}
+	if m.state.reconfig {
+		cp := make([]byte, len(payload))
+		copy(cp, payload)
+		m.state.buffered = append(m.state.buffered, cp)
+		m.state.Unlock()
+		return nil
+	}
+	ch := m.state.ch
+	m.state.Unlock()
+
+	ev := &group.CastEvent{}
+	ev.Msg = appia.NewMessage(payload)
+	err := ch.Insert(ev, appia.Down)
+	if errors.Is(err, appia.ErrChannelClosed) {
+		// Raced with a reconfiguration: buffer instead.
+		m.state.Lock()
+		cp := make([]byte, len(payload))
+		copy(cp, payload)
+		m.state.buffered = append(m.state.buffered, cp)
+		m.state.Unlock()
+		return nil
+	}
+	return err
+}
+
+// Reconfigure performs the full §3.3 procedure synchronously:
+//
+//  1. stop accepting new sends (buffer them),
+//  2. trigger a holding view change on the data channel — the
+//     view-synchronous flush leaves every member with the same delivered
+//     set and the channel quiescent,
+//  3. tear the old channel down,
+//  4. build and start the new configuration (fresh epoch port),
+//  5. release buffered sends on the new stack.
+//
+// It must be called from a non-scheduler goroutine (Core spawns one per
+// reconfiguration).
+func (m *Manager) Reconfigure(doc *appiaxml.Document, configName string, epoch uint64, members []appia.NodeID) error {
+	m.state.Lock()
+	if epoch <= m.state.epoch {
+		m.state.Unlock()
+		return fmt.Errorf("%w: %d <= %d", ErrStaleEpoch, epoch, m.state.epoch)
+	}
+	if m.state.ch == nil {
+		m.state.Unlock()
+		return ErrNotDeployed
+	}
+	old := m.state.ch
+	m.state.reconfig = true
+	q := make(chan struct{})
+	m.state.quiesced = q
+	already := m.state.quiescentSeen
+	m.state.Unlock()
+
+	// Quiesce: every node injects the trigger, scoped to the membership
+	// Core knows to be alive, so the flush makes progress even if the
+	// data channel's own coordinator died. The channel may already be
+	// quiescent if another node's flush outran this node's Prepare.
+	if !already {
+		trigger := &group.TriggerFlush{Hold: true, Members: append([]appia.NodeID(nil), members...)}
+		if err := old.Insert(trigger, appia.Down); err != nil && !errors.Is(err, appia.ErrChannelClosed) {
+			m.cfg.logf("stack[%d]: trigger flush: %v", m.cfg.Self, err)
+		}
+		select {
+		case <-q:
+		case <-time.After(m.cfg.quiesceTimeout()):
+			m.cfg.logf("stack[%d]: quiescence timeout at epoch %d; force-closing", m.cfg.Self, epoch)
+		}
+	}
+	if err := old.Close(); err != nil {
+		m.cfg.logf("stack[%d]: close old channel: %v", m.cfg.Self, err)
+	}
+
+	ch, err := m.build(doc, epoch, members)
+	if err != nil {
+		m.finishReconfig(nil, "", 0, nil)
+		return err
+	}
+	if err := ch.Start(); err != nil {
+		m.finishReconfig(nil, "", 0, nil)
+		return err
+	}
+	ch.WaitReady(m.cfg.quiesceTimeout())
+	m.finishReconfig(ch, configName, epoch, members)
+	return nil
+}
+
+// finishReconfig installs the new channel and flushes buffered sends.
+func (m *Manager) finishReconfig(ch *appia.Channel, configName string, epoch uint64, members []appia.NodeID) {
+	m.state.Lock()
+	if ch != nil {
+		m.state.ch = ch
+		m.state.configName = configName
+		m.state.epoch = epoch
+		m.state.members = append([]appia.NodeID(nil), members...)
+	}
+	m.state.reconfig = false
+	m.state.quiesced = nil
+	m.state.quiescentSeen = false // fresh channel, fresh lifecycle
+	buffered := m.state.buffered
+	m.state.buffered = nil
+	m.state.Unlock()
+
+	if ch == nil {
+		return
+	}
+	for _, p := range buffered {
+		ev := &group.CastEvent{}
+		ev.Msg = appia.NewMessage(p)
+		if err := ch.Insert(ev, appia.Down); err != nil {
+			m.cfg.logf("stack[%d]: resubmit buffered send: %v", m.cfg.Self, err)
+		}
+	}
+}
+
+// Close tears down the current channel.
+func (m *Manager) Close() error {
+	m.state.Lock()
+	ch := m.state.ch
+	m.state.ch = nil
+	m.state.Unlock()
+	if ch == nil {
+		return nil
+	}
+	return ch.Close()
+}

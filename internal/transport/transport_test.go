@@ -1,0 +1,165 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"morpheus/internal/appia"
+	"morpheus/internal/vnet"
+)
+
+// pingEv is a registered wire event for tests.
+type pingEv struct{ appia.SendableEvent }
+
+func reg(t *testing.T) *appia.EventKindRegistry {
+	t.Helper()
+	r := appia.NewEventKindRegistry()
+	r.Register("test.ping", func() appia.Sendable { return &pingEv{} })
+	return r
+}
+
+func TestMarshalUnmarshalRoundtrip(t *testing.T) {
+	r := reg(t)
+	ev := &pingEv{}
+	ev.Msg = appia.NewMessage([]byte("payload"))
+	ev.Msg.PushUvarint(77)
+
+	wire, err := Marshal(r, "chan-x", ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The original message must be restored after marshalling.
+	if v, err := ev.Msg.PopUvarint(); err != nil || v != 77 {
+		t.Fatalf("original message corrupted: %d, %v", v, err)
+	}
+
+	chName, out, err := Unmarshal(r, wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chName != "chan-x" {
+		t.Fatalf("channel = %q", chName)
+	}
+	p, ok := out.(*pingEv)
+	if !ok {
+		t.Fatalf("decoded %T", out)
+	}
+	if v, err := p.Msg.PopUvarint(); err != nil || v != 77 {
+		t.Fatalf("header = %d, %v", v, err)
+	}
+	if string(p.Msg.Bytes()) != "payload" {
+		t.Fatalf("payload = %q", p.Msg.Bytes())
+	}
+}
+
+func TestMarshalUnregistered(t *testing.T) {
+	r := appia.NewEventKindRegistry()
+	ev := &pingEv{}
+	if _, err := Marshal(r, "c", ev); err == nil {
+		t.Fatal("marshal of unregistered type succeeded")
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	r := reg(t)
+	if _, _, err := Unmarshal(r, []byte{0xff, 0xff, 0xff}); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}
+
+// buildPair wires two single-layer (ptp only) channels over a vnet LAN.
+func buildPair(t *testing.T) (a, b *appia.Channel, deliveredB *[]appia.Event, mu *sync.Mutex) {
+	t.Helper()
+	r := reg(t)
+	w := vnet.NewWorld(2)
+	t.Cleanup(w.Close)
+	w.AddSegment(vnet.SegmentConfig{Name: "lan"})
+	na, err := w.AddNode(1, vnet.Fixed, "lan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := w.AddNode(2, vnet.Fixed, "lan")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mu = &sync.Mutex{}
+	deliveredB = &[]appia.Event{}
+
+	mkChan := func(n *vnet.Node, sink bool) *appia.Channel {
+		q, err := appia.NewQoS("q", NewPTPLayer(Config{Node: n, Port: "t", Registry: r, Logf: t.Logf}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := appia.NewScheduler()
+		t.Cleanup(sched.Close)
+		var opts []appia.ChannelOption
+		if sink {
+			opts = append(opts, appia.WithDeliver(func(ev appia.Event) {
+				mu.Lock()
+				defer mu.Unlock()
+				*deliveredB = append(*deliveredB, ev)
+			}))
+		}
+		ch := q.CreateChannel("data", sched, opts...)
+		if err := ch.Start(); err != nil {
+			t.Fatal(err)
+		}
+		if !ch.WaitReady(2 * time.Second) {
+			t.Fatal("channel never became ready")
+		}
+		return ch
+	}
+	a = mkChan(na, false)
+	b = mkChan(nb, true)
+	return a, b, deliveredB, mu
+}
+
+func TestPTPSendsAndDelivers(t *testing.T) {
+	a, _, deliveredB, mu := buildPair(t)
+	ev := &pingEv{}
+	ev.Dest = 2
+	ev.Msg = appia.NewMessage([]byte("hi"))
+	if err := a.Insert(ev, appia.Down); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := len(*deliveredB)
+		mu.Unlock()
+		if n == 1 {
+			mu.Lock()
+			defer mu.Unlock()
+			got, ok := (*deliveredB)[0].(*pingEv)
+			if !ok {
+				t.Fatalf("delivered %T", (*deliveredB)[0])
+			}
+			if got.SendableBase().Source != 1 {
+				t.Fatalf("source = %d", got.SendableBase().Source)
+			}
+			if string(got.Msg.Bytes()) != "hi" {
+				t.Fatalf("payload = %q", got.Msg.Bytes())
+			}
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("never delivered")
+}
+
+func TestPTPDropsUnaddressed(t *testing.T) {
+	a, _, deliveredB, mu := buildPair(t)
+	ev := &pingEv{}
+	ev.Msg = appia.NewMessage([]byte("nowhere"))
+	if err := a.Insert(ev, appia.Down); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(*deliveredB) != 0 {
+		t.Fatal("unaddressed event was transmitted")
+	}
+}

@@ -1,0 +1,298 @@
+package vnet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Node is one simulated device.
+type Node struct {
+	id    NodeID
+	kind  Kind
+	world *World
+
+	mu       sync.Mutex
+	segments []*Segment // first is the primary segment
+	handlers map[string]Handler
+	tx       map[string]ClassCount
+	rx       map[string]ClassCount
+	down     bool
+	energy   *EnergyConfig // nil: unmetered
+	chargeJ  float64       // remaining battery
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() NodeID { return n.id }
+
+// World returns the world this node belongs to.
+func (n *Node) World() *World { return n.world }
+
+// Kind returns the device kind.
+func (n *Node) Kind() Kind { return n.kind }
+
+// SetEnergy installs a battery model (typically only for mobile nodes).
+func (n *Node) SetEnergy(cfg EnergyConfig) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c := cfg
+	n.energy = &c
+	n.chargeJ = cfg.CapacityJ
+}
+
+// BatteryJ returns the remaining charge in joules; +Inf semantics are
+// represented by (level, false) when no battery model is installed.
+func (n *Node) BatteryJ() (joules float64, metered bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.energy == nil {
+		return 0, false
+	}
+	return n.chargeJ, true
+}
+
+// BatteryFraction returns remaining charge as a fraction of capacity, or 1
+// if unmetered.
+func (n *Node) BatteryFraction() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.energy == nil || n.energy.CapacityJ <= 0 {
+		return 1
+	}
+	f := n.chargeJ / n.energy.CapacityJ
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// Alive reports whether the node is up and, if metered, has charge left.
+func (n *Node) Alive() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.aliveLocked()
+}
+
+func (n *Node) aliveLocked() bool {
+	if n.down {
+		return false
+	}
+	if n.energy != nil && n.chargeJ <= 0 {
+		return false
+	}
+	return true
+}
+
+// SetDown crashes (true) or revives (false) the node. A crashed node
+// neither sends nor receives; the failure detectors above will evict it.
+func (n *Node) SetDown(down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down = down
+}
+
+// Handle registers (or, with a nil handler, removes) the receiver for a
+// port. Ports isolate channels and configuration epochs: traffic addressed
+// to an unregistered port is silently dropped, which is exactly what
+// happens to stale pre-reconfiguration packets.
+func (n *Node) Handle(port string, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if h == nil {
+		delete(n.handlers, port)
+		return
+	}
+	n.handlers[port] = h
+}
+
+// Counters returns a snapshot of the node's traffic counters.
+func (n *Node) Counters() Counters {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c := Counters{Tx: make(map[string]ClassCount, len(n.tx)), Rx: make(map[string]ClassCount, len(n.rx))}
+	for k, v := range n.tx {
+		c.Tx[k] = v
+	}
+	for k, v := range n.rx {
+		c.Rx[k] = v
+	}
+	return c
+}
+
+// ResetCounters zeroes the traffic counters (between experiment phases).
+func (n *Node) ResetCounters() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.tx = make(map[string]ClassCount)
+	n.rx = make(map[string]ClassCount)
+}
+
+// primary returns the node's primary segment, or nil if detached.
+func (n *Node) primary() *Segment {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.segments) == 0 {
+		return nil
+	}
+	return n.segments[0]
+}
+
+// accountTx counts one transmission and drains the battery; it reports
+// whether the node was able to transmit.
+func (n *Node) accountTx(class string, size int, wireless bool) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.aliveLocked() {
+		return false
+	}
+	cc := n.tx[class]
+	cc.Msgs++
+	cc.Bytes += uint64(size)
+	n.tx[class] = cc
+	if wireless && n.energy != nil {
+		n.chargeJ -= n.energy.TxPerMsgJ + n.energy.TxPerByteJ*float64(size)
+	}
+	return true
+}
+
+// accountRx counts one reception and drains the battery; it reports whether
+// the node accepted the frame and returns the handler for the port.
+func (n *Node) accountRx(class string, size int, port string) (Handler, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.aliveLocked() {
+		return nil, false
+	}
+	cc := n.rx[class]
+	cc.Msgs++
+	cc.Bytes += uint64(size)
+	n.rx[class] = cc
+	wireless := len(n.segments) > 0 && n.segments[0].cfg.Wireless
+	if wireless && n.energy != nil {
+		n.chargeJ -= n.energy.RxPerMsgJ + n.energy.RxPerByteJ*float64(size)
+	}
+	h, ok := n.handlers[port]
+	return h, ok
+}
+
+// Send transmits payload point-to-point to dst's port. The transmission is
+// counted (and battery drained) even if the frame is subsequently lost,
+// which matches how a radio behaves. Loss and latency combine the sender's
+// and receiver's primary segments.
+func (n *Node) Send(dst NodeID, port, class string, payload []byte) error {
+	w := n.world
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return ErrWorldClosed
+	}
+	dn, ok := w.nodes[dst]
+	w.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, dst)
+	}
+
+	if dst == n.id {
+		// Loopback: stays in the host, never touches the NIC, so it is
+		// neither counted nor energy-metered.
+		if !n.Alive() {
+			return fmt.Errorf("node %d: %w", n.id, ErrNodeDown)
+		}
+		n.deliverLoopback(dn, port, payload)
+		return nil
+	}
+	sseg := n.primary()
+	if sseg == nil {
+		return fmt.Errorf("%w: node %d", ErrNotAttached, n.id)
+	}
+	if !n.accountTx(class, len(payload), sseg.cfg.Wireless) {
+		return fmt.Errorf("node %d: %w", n.id, ErrNodeDown)
+	}
+
+	dseg := dn.primary()
+	loss := sseg.cfg.Loss
+	lat := sseg.cfg.Latency + w.drawJitter(sseg.cfg.Jitter)
+	if dseg != nil && dseg != sseg {
+		loss = 1 - (1-loss)*(1-dseg.cfg.Loss)
+		lat += dseg.cfg.Latency + w.drawJitter(dseg.cfg.Jitter)
+	}
+	if loss > 0 && w.draw() < loss {
+		return nil // lost in transit; sender cannot tell
+	}
+	n.deliverCopy(n.id, dn, port, class, payload, lat)
+	return nil
+}
+
+// Multicast performs a native multicast on the named segment: one counted
+// transmission, delivered to every other attached node (subject to
+// per-receiver loss). Returns ErrNoMulticast if the segment does not
+// support it.
+func (n *Node) Multicast(segment, port, class string, payload []byte) error {
+	w := n.world
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return ErrWorldClosed
+	}
+	seg, ok := w.segments[segment]
+	if !ok {
+		w.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownSegGap, segment)
+	}
+	if _, attached := seg.nodes[n.id]; !attached {
+		w.mu.Unlock()
+		return fmt.Errorf("%w: node %d not on %q", ErrNotAttached, n.id, segment)
+	}
+	if !seg.cfg.NativeMulticast {
+		w.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNoMulticast, segment)
+	}
+	receivers := make([]*Node, 0, len(seg.nodes))
+	for id, rn := range seg.nodes {
+		if id != n.id {
+			receivers = append(receivers, rn)
+		}
+	}
+	cfg := seg.cfg
+	w.mu.Unlock()
+
+	if !n.accountTx(class, len(payload), cfg.Wireless) {
+		return fmt.Errorf("node %d: %w", n.id, ErrNodeDown)
+	}
+	for _, rn := range receivers {
+		if cfg.Loss > 0 && w.draw() < cfg.Loss {
+			continue
+		}
+		lat := cfg.Latency + w.drawJitter(cfg.Jitter)
+		n.deliverCopy(n.id, rn, port, class, payload, lat)
+	}
+	return nil
+}
+
+// deliverLoopback hands a copy straight to the local handler, bypassing
+// accounting.
+func (n *Node) deliverLoopback(dst *Node, port string, payload []byte) {
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	dst.mu.Lock()
+	h, ok := dst.handlers[port]
+	dst.mu.Unlock()
+	if !ok || h == nil {
+		return
+	}
+	h(n.id, port, cp)
+}
+
+// deliverCopy schedules delivery of an owned copy of payload after the
+// given latency (zero means synchronous delivery on this goroutine).
+func (n *Node) deliverCopy(src NodeID, dst *Node, port, class string, payload []byte, after time.Duration) {
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	n.world.schedule(after, func() {
+		h, ok := dst.accountRx(class, len(cp), port)
+		if !ok || h == nil {
+			return // dead node or unregistered port: frame dropped
+		}
+		h(src, port, cp)
+	})
+}

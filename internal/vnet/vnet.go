@@ -1,0 +1,317 @@
+// Package vnet is an in-memory virtual network used as the testbed
+// substrate for the Morpheus reproduction. It models the paper's two device
+// populations — fixed PCs on a wired LAN and PDAs on an 802.11b cell — as
+// segments with configurable latency, jitter, loss, native-multicast
+// capability and (for wireless segments) a per-node energy budget.
+//
+// The quantity the paper measures (messages transmitted per node, split
+// into data and control classes) is counted here, at the lowest level, so
+// no protocol layer can forget to account for its traffic.
+package vnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"morpheus/internal/appia"
+)
+
+// NodeID aliases the kernel's node identifier.
+type NodeID = appia.NodeID
+
+// Kind classifies a device, mirroring the paper's fixed/mobile split.
+type Kind int
+
+// Device kinds.
+const (
+	Fixed Kind = iota + 1
+	Mobile
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Fixed:
+		return "fixed"
+	case Mobile:
+		return "mobile"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Errors returned by network operations.
+var (
+	ErrUnknownNode   = errors.New("vnet: unknown node")
+	ErrNodeDown      = errors.New("vnet: node is down")
+	ErrNoMulticast   = errors.New("vnet: segment does not support native multicast")
+	ErrNotAttached   = errors.New("vnet: node not attached to segment")
+	ErrWorldClosed   = errors.New("vnet: world closed")
+	ErrBatteryDead   = errors.New("vnet: battery exhausted")
+	ErrUnknownSegGap = errors.New("vnet: unknown segment")
+)
+
+// Handler receives a payload delivered to a node port. It is invoked on a
+// delivery goroutine; implementations must be quick and thread-safe
+// (typically they just post into an appia scheduler mailbox).
+type Handler func(src NodeID, port string, payload []byte)
+
+// SegmentConfig describes one network segment.
+type SegmentConfig struct {
+	// Name identifies the segment ("lan", "wlan", ...).
+	Name string
+	// Latency is the one-way propagation delay contributed by this
+	// segment; zero means synchronous in-process delivery.
+	Latency time.Duration
+	// Jitter adds a uniform random [0, Jitter) component to Latency.
+	Jitter time.Duration
+	// Loss is the independent per-transmission drop probability
+	// contributed by this segment, in [0,1].
+	Loss float64
+	// NativeMulticast enables one-transmission delivery to every node
+	// attached to the segment (IP multicast on a LAN).
+	NativeMulticast bool
+	// Wireless marks the segment as energy-metered: transmissions and
+	// receptions by nodes whose primary segment is this one drain their
+	// battery.
+	Wireless bool
+}
+
+// EnergyConfig is the battery model of a mobile node, loosely following the
+// session-based broadcast energy models the paper cites ([20]): a fixed
+// per-message cost plus a per-byte cost, with reception cheaper than
+// transmission.
+type EnergyConfig struct {
+	CapacityJ  float64
+	TxPerMsgJ  float64
+	TxPerByteJ float64
+	RxPerMsgJ  float64
+	RxPerByteJ float64
+}
+
+// DefaultMobileEnergy returns a plausible PDA radio budget. Absolute values
+// are arbitrary; experiments compare relative lifetimes.
+func DefaultMobileEnergy() EnergyConfig {
+	return EnergyConfig{
+		CapacityJ:  50,
+		TxPerMsgJ:  0.002,
+		TxPerByteJ: 0.0000020,
+		RxPerMsgJ:  0.001,
+		RxPerByteJ: 0.0000010,
+	}
+}
+
+// ClassCount accumulates message and byte counts for one traffic class.
+type ClassCount struct {
+	Msgs  uint64
+	Bytes uint64
+}
+
+// Counters is a snapshot of a node's traffic, keyed by class ("data",
+// "control", ...).
+type Counters struct {
+	Tx map[string]ClassCount
+	Rx map[string]ClassCount
+}
+
+// TotalTx sums transmitted messages across classes.
+func (c Counters) TotalTx() uint64 {
+	var n uint64
+	for _, cc := range c.Tx {
+		n += cc.Msgs
+	}
+	return n
+}
+
+// TotalRx sums received messages across classes.
+func (c Counters) TotalRx() uint64 {
+	var n uint64
+	for _, cc := range c.Rx {
+		n += cc.Msgs
+	}
+	return n
+}
+
+// Segment is a broadcast domain.
+type Segment struct {
+	cfg   SegmentConfig
+	nodes map[NodeID]*Node
+}
+
+// World is the simulated network: nodes, segments and the delivery engine.
+type World struct {
+	mu       sync.Mutex
+	nodes    map[NodeID]*Node
+	segments map[string]*Segment
+	rng      *rand.Rand
+	closed   bool
+	timers   map[*time.Timer]struct{}
+	inflight sync.WaitGroup
+}
+
+// NewWorld creates an empty world with a deterministic RNG.
+func NewWorld(seed int64) *World {
+	return &World{
+		nodes:    make(map[NodeID]*Node),
+		segments: make(map[string]*Segment),
+		rng:      rand.New(rand.NewSource(seed)),
+		timers:   make(map[*time.Timer]struct{}),
+	}
+}
+
+// AddSegment registers a segment. Re-adding a name replaces its config but
+// keeps attachments.
+func (w *World) AddSegment(cfg SegmentConfig) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if s, ok := w.segments[cfg.Name]; ok {
+		s.cfg = cfg
+		return
+	}
+	w.segments[cfg.Name] = &Segment{cfg: cfg, nodes: make(map[NodeID]*Node)}
+}
+
+// SetSegmentLoss changes the loss rate of a segment at run time; this is
+// how experiments inject the §2 "network error rate" context change.
+func (w *World) SetSegmentLoss(name string, loss float64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s, ok := w.segments[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownSegGap, name)
+	}
+	s.cfg.Loss = loss
+	return nil
+}
+
+// SegmentLoss reports a segment's current loss rate. Context retrievers use
+// it as a stand-in for the error counters a real NIC driver exposes.
+func (w *World) SegmentLoss(name string) (float64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s, ok := w.segments[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownSegGap, name)
+	}
+	return s.cfg.Loss, nil
+}
+
+// AddNode creates a node attached to the listed segments (first one is its
+// primary segment, whose characteristics govern its transmissions).
+func (w *World) AddNode(id NodeID, kind Kind, segments ...string) (*Node, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, dup := w.nodes[id]; dup {
+		return nil, fmt.Errorf("vnet: node %d already exists", id)
+	}
+	n := &Node{
+		id:       id,
+		kind:     kind,
+		world:    w,
+		handlers: make(map[string]Handler),
+		tx:       make(map[string]ClassCount),
+		rx:       make(map[string]ClassCount),
+	}
+	for _, segName := range segments {
+		s, ok := w.segments[segName]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownSegGap, segName)
+		}
+		s.nodes[id] = n
+		n.segments = append(n.segments, s)
+	}
+	w.nodes[id] = n
+	return n, nil
+}
+
+// Node returns a node by ID.
+func (w *World) Node(id NodeID) (*Node, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n, ok := w.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	return n, nil
+}
+
+// NodeIDs returns all node IDs in ascending order.
+func (w *World) NodeIDs() []NodeID {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ids := make([]NodeID, 0, len(w.nodes))
+	for id := range w.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Close stops all pending deliveries and waits for in-flight handlers.
+func (w *World) Close() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		w.inflight.Wait()
+		return
+	}
+	w.closed = true
+	for t := range w.timers {
+		if t.Stop() {
+			// The callback will never run; release its in-flight slot.
+			w.inflight.Done()
+		}
+	}
+	w.timers = make(map[*time.Timer]struct{})
+	w.mu.Unlock()
+	w.inflight.Wait()
+}
+
+// draw returns a deterministic uniform sample in [0,1).
+func (w *World) draw() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.rng.Float64()
+}
+
+// drawJitter returns a uniform duration in [0,j).
+func (w *World) drawJitter(j time.Duration) time.Duration {
+	if j <= 0 {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return time.Duration(w.rng.Int63n(int64(j)))
+}
+
+// schedule runs fn after d, tracking the timer for Close. Zero delay runs
+// fn synchronously on the caller's goroutine.
+func (w *World) schedule(d time.Duration, fn func()) {
+	if d <= 0 {
+		fn()
+		return
+	}
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.inflight.Add(1)
+	var t *time.Timer
+	t = time.AfterFunc(d, func() {
+		defer w.inflight.Done()
+		w.mu.Lock()
+		delete(w.timers, t)
+		closed := w.closed
+		w.mu.Unlock()
+		if !closed {
+			fn()
+		}
+	})
+	w.timers[t] = struct{}{}
+	w.mu.Unlock()
+}

@@ -1,0 +1,318 @@
+// Package morpheus is a Go reproduction of the Morpheus middleware
+// framework from "Context Adaptation of the Communication Stack" (Mocito,
+// Rosa, Almeida, Miranda, Rodrigues, Lopes — DI/FCUL TR-05-5, 2005).
+//
+// Morpheus supports communication protocols that adapt at run time to the
+// *distributed* execution context. It combines:
+//
+//   - a protocol composition and execution kernel in the style of Appia
+//     (internal/appia) with XML-described, runtime-instantiable channels
+//     (internal/appia/appiaxml);
+//   - Cocaditem, a context capture and dissemination sub-system
+//     (internal/cocaditem);
+//   - Core, a control and reconfiguration sub-system whose coordinator
+//     applies global adaptation policies and redeploys protocol stacks
+//     through view-synchronous quiescence (internal/core, internal/stack);
+//   - adaptive protocols, notably the Mecho best-effort multicast
+//     (internal/mecho) that relays mobile traffic through fixed nodes.
+//
+// This package is the façade: Start assembles a full Morpheus node — data
+// channel, control channel, context retrievers, policies — on the virtual
+// network testbed (internal/vnet).
+package morpheus
+
+import (
+	"errors"
+	"fmt"
+
+	"time"
+
+	"morpheus/internal/appia"
+	"morpheus/internal/appia/appiaxml"
+	"morpheus/internal/cocaditem"
+	"morpheus/internal/core"
+	"morpheus/internal/group"
+	"morpheus/internal/stack"
+	"morpheus/internal/transport"
+	"morpheus/internal/vnet"
+)
+
+// Re-exported fundamental types, so applications rarely need the internal
+// import paths.
+type (
+	// NodeID identifies a participant.
+	NodeID = appia.NodeID
+	// View is an agreed group membership epoch.
+	View = group.View
+	// Sample is one context observation.
+	Sample = cocaditem.Sample
+	// Policy decides when and how to adapt.
+	Policy = core.Policy
+	// Decision is a policy verdict.
+	Decision = core.Decision
+	// PolicyInput is what policies evaluate.
+	PolicyInput = core.PolicyInput
+	// Document is an XML channel description.
+	Document = appiaxml.Document
+	// World is the simulated network.
+	World = vnet.World
+	// Kind classifies devices as fixed or mobile.
+	Kind = vnet.Kind
+)
+
+// Device kinds.
+const (
+	Fixed  = vnet.Fixed
+	Mobile = vnet.Mobile
+)
+
+// Message delivery classes (transmission accounting).
+const (
+	ClassData    = appia.ClassData
+	ClassControl = appia.ClassControl
+)
+
+// NewWorld creates a simulated network with a deterministic seed.
+func NewWorld(seed int64) *World { return vnet.NewWorld(seed) }
+
+// Config assembles one Morpheus node.
+type Config struct {
+	// World is the virtual network the node lives in.
+	World *vnet.World
+	// ID is the node's identifier; the lowest ID in the control group is
+	// the adaptation coordinator.
+	ID NodeID
+	// Kind is the device class (Fixed or Mobile).
+	Kind Kind
+	// Segments attaches the node to network segments; the first is
+	// primary. Defaults to ["lan"] for fixed and ["wlan"] for mobile.
+	Segments []string
+	// Energy, when non-nil, meters the node's battery.
+	Energy *vnet.EnergyConfig
+	// Members is the bootstrap membership of both the control group and
+	// the initial data channel.
+	Members []NodeID
+	// InitialConfig is the first data stack (default core.PlainConfig).
+	InitialConfig *Document
+	// InitialConfigName names it (default "plain").
+	InitialConfigName string
+	// Policies drive adaptation; leave empty for a non-adaptive node.
+	Policies []Policy
+	// Retrievers adds context sources beyond the built-in battery and
+	// device-class retrievers.
+	Retrievers []cocaditem.Retriever
+	// ContextInterval is the Cocaditem sampling period (default 100ms).
+	ContextInterval time.Duration
+	// PublishOnChange reduces context traffic to changes plus keepalives.
+	PublishOnChange bool
+	// EvalInterval is the Core policy evaluation period (default 200ms).
+	EvalInterval time.Duration
+	// OnMessage receives application payloads delivered by the data
+	// channel (on the node's scheduler goroutine: return quickly).
+	OnMessage func(from NodeID, payload []byte)
+	// OnViewChange observes data channel views.
+	OnViewChange func(v View)
+	// OnReconfigured observes completed reconfigurations (coordinator
+	// only).
+	OnReconfigured func(epoch uint64, configName string, took time.Duration)
+	// QuiesceTimeout bounds reconfiguration flushes (default 5s).
+	QuiesceTimeout time.Duration
+	// Heartbeat configures the control group failure detector period.
+	Heartbeat time.Duration
+	// SuspectAfter is the control group failure detection threshold.
+	SuspectAfter time.Duration
+	// NackDelay tunes the reliable layer's retransmission timer.
+	NackDelay time.Duration
+	// StableInterval tunes the stability gossip period.
+	StableInterval time.Duration
+	// Logf receives diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Node is a running Morpheus participant.
+type Node struct {
+	cfg     Config
+	vnode   *vnet.Node
+	sched   *appia.Scheduler
+	manager *stack.Manager
+	ctl     *appia.Channel
+	ctx     *cocaditem.Session
+	coreSes *core.Session
+}
+
+// ErrNoMembers reports a Start without bootstrap membership.
+var ErrNoMembers = errors.New("morpheus: Config.Members must not be empty")
+
+// ControlPort is the vnet port of the (never reconfigured) control channel.
+const ControlPort = "ctl"
+
+// Start builds, deploys and starts a node.
+func Start(cfg Config) (*Node, error) {
+	if len(cfg.Members) == 0 {
+		return nil, ErrNoMembers
+	}
+	if cfg.World == nil {
+		return nil, errors.New("morpheus: Config.World is required")
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	segments := cfg.Segments
+	if len(segments) == 0 {
+		if cfg.Kind == Mobile {
+			segments = []string{"wlan"}
+		} else {
+			segments = []string{"lan"}
+		}
+	}
+	vnode, err := cfg.World.AddNode(cfg.ID, cfg.Kind, segments...)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Energy != nil {
+		vnode.SetEnergy(*cfg.Energy)
+	}
+
+	stack.RegisterAllWireEvents(nil)
+	cocaditem.RegisterWireEvents(nil)
+	core.RegisterWireEvents(nil)
+
+	sched := appia.NewScheduler()
+	n := &Node{cfg: cfg, vnode: vnode, sched: sched}
+
+	n.manager = stack.NewManager(stack.ManagerConfig{
+		Node:           vnode,
+		Self:           cfg.ID,
+		Scheduler:      sched,
+		QuiesceTimeout: cfg.QuiesceTimeout,
+		OnDeliver: func(ev *group.CastEvent) {
+			if cfg.OnMessage != nil {
+				cfg.OnMessage(ev.Origin, ev.Msg.Bytes())
+			}
+		},
+		OnViewChange: cfg.OnViewChange,
+		Logf:         logf,
+	})
+
+	initialDoc := cfg.InitialConfig
+	initialName := cfg.InitialConfigName
+	if initialDoc == nil {
+		initialDoc = core.PlainConfig()
+		initialName = core.PlainConfigName
+	}
+	if initialName == "" {
+		initialName = "custom"
+	}
+	if err := n.manager.Deploy(initialDoc, initialName, 1, cfg.Members); err != nil {
+		n.teardownEarly()
+		return nil, fmt.Errorf("morpheus: deploy initial config: %w", err)
+	}
+
+	// Control channel: static composition, never reconfigured (§3.2);
+	// Cocaditem and Core share it.
+	retrievers := []cocaditem.Retriever{
+		cocaditem.BatteryRetriever(vnode),
+		cocaditem.DeviceClassRetriever(vnode),
+	}
+	retrievers = append(retrievers, cfg.Retrievers...)
+
+	ctlLayers := []appia.Layer{
+		transport.NewPTPLayer(transport.Config{Node: vnode, Port: ControlPort, Logf: logf}),
+		group.NewFanoutLayer(group.FanoutConfig{Self: cfg.ID, InitialMembers: cfg.Members}),
+		group.NewNakLayer(group.NakConfig{
+			Self:           cfg.ID,
+			InitialMembers: cfg.Members,
+			NackDelay:      cfg.NackDelay,
+			StableInterval: cfg.StableInterval,
+		}),
+		group.NewGMSLayer(group.GMSConfig{
+			Self:              cfg.ID,
+			InitialMembers:    cfg.Members,
+			EnableFD:          true,
+			HeartbeatInterval: cfg.Heartbeat,
+			SuspectAfter:      cfg.SuspectAfter,
+		}),
+		cocaditem.NewLayer(cocaditem.Config{
+			Self:            cfg.ID,
+			Interval:        cfg.ContextInterval,
+			Retrievers:      retrievers,
+			PublishOnChange: cfg.PublishOnChange,
+		}),
+		core.NewLayer(core.Config{
+			Self:           cfg.ID,
+			Manager:        n.manager,
+			Policies:       cfg.Policies,
+			EvalInterval:   cfg.EvalInterval,
+			OnReconfigured: cfg.OnReconfigured,
+			Logf:           logf,
+		}),
+	}
+	qos, err := appia.NewQoS("control", ctlLayers...)
+	if err != nil {
+		n.teardownEarly()
+		return nil, err
+	}
+	n.ctl = qos.CreateChannel("ctl", sched)
+	if err := n.ctl.Start(); err != nil {
+		n.teardownEarly()
+		return nil, err
+	}
+	if !n.ctl.WaitReady(5 * time.Second) {
+		n.teardownEarly()
+		return nil, errors.New("morpheus: control channel never became ready")
+	}
+	if s, ok := n.ctl.SessionFor("cocaditem").(*cocaditem.Session); ok {
+		n.ctx = s
+	}
+	if s, ok := n.ctl.SessionFor("core").(*core.Session); ok {
+		n.coreSes = s
+	}
+	return n, nil
+}
+
+// teardownEarly releases partially-started resources.
+func (n *Node) teardownEarly() {
+	if n.manager != nil {
+		_ = n.manager.Close()
+	}
+	n.sched.Close()
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() NodeID { return n.cfg.ID }
+
+// VNode exposes the virtual network attachment (counters, battery, crash
+// injection).
+func (n *Node) VNode() *vnet.Node { return n.vnode }
+
+// Send multicasts an application payload to the group; during
+// reconfigurations it is buffered transparently.
+func (n *Node) Send(payload []byte) error { return n.manager.Send(payload) }
+
+// Context exposes the node's Cocaditem store (Latest, Snapshot, Subscribe).
+func (n *Node) Context() *cocaditem.Session { return n.ctx }
+
+// Manager exposes the stack manager (current epoch, configuration name).
+func (n *Node) Manager() *stack.Manager { return n.manager }
+
+// ConfigName returns the currently deployed data configuration.
+func (n *Node) ConfigName() string { return n.manager.ConfigName() }
+
+// Epoch returns the current configuration epoch.
+func (n *Node) Epoch() uint64 { return n.manager.Epoch() }
+
+// Close stops the node: control channel, data channel, scheduler.
+func (n *Node) Close() error {
+	var firstErr error
+	if n.ctl != nil {
+		if err := n.ctl.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := n.manager.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	n.sched.Close()
+	return firstErr
+}
