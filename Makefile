@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: check build vet test bench bench-json
+
+# check is the CI entry point: vet, build, full test suite, bench smoke run.
+check: vet build test bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# bench runs every benchmark once as a smoke test (catches bit-rot without
+# paying for stable numbers).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# bench-json runs the benchmarks for real and records them as JSON.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1s ./... | tee /tmp/bench_out.txt
+	$(GO) run ./tools/benchjson -after /tmp/bench_out.txt > BENCH_local.json
+	@echo wrote BENCH_local.json

@@ -9,6 +9,7 @@ package morpheus_test
 //	go test -bench=. -benchmem                          (reduced scale)
 
 import (
+	"strconv"
 	"testing"
 	"time"
 
@@ -185,7 +186,7 @@ func BenchmarkFlushAblation(b *testing.B) {
 }
 
 func sizeName(n int) string {
-	return "n=" + itoa(n)
+	return "n=" + strconv.Itoa(n)
 }
 
 func lossName(p float64) string {
@@ -193,18 +194,4 @@ func lossName(p float64) string {
 		return "loss=1pct"
 	}
 	return "loss=10pct"
-}
-
-func itoa(n int) string {
-	if n == 0 {
-		return "0"
-	}
-	var buf [8]byte
-	i := len(buf)
-	for n > 0 {
-		i--
-		buf[i] = byte('0' + n%10)
-		n /= 10
-	}
-	return string(buf[i:])
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -44,11 +45,15 @@ type Channel struct {
 	deliver  DeliverFunc
 
 	// routes caches, per concrete event type, the ascending list of session
-	// indices that accept it. Only touched on the scheduler goroutine.
-	routes map[reflect.Type][]int
+	// indices that accept it. lastType/lastRoute short-circuit the map for
+	// runs of same-typed events, the common case on the data path. Only
+	// touched on the scheduler goroutine.
+	routes    map[reflect.Type][]int
+	lastType  reflect.Type
+	lastRoute []int
 
-	mu     sync.Mutex
-	state  ChannelState
+	mu     sync.Mutex    // guards state transitions and ready/closed closing
+	state  atomic.Int32  // ChannelState; read lock-free on the Insert hot path
 	ready  chan struct{}
 	closed chan struct{}
 }
@@ -90,10 +95,10 @@ func (q *QoS) CreateChannel(name string, sched *Scheduler, opts ...ChannelOption
 		byName:  make(map[string]int, len(q.layers)),
 		deliver: cfg.deliver,
 		routes:  make(map[reflect.Type][]int),
-		state:   ChannelNew,
 		ready:   make(chan struct{}),
 		closed:  make(chan struct{}),
 	}
+	ch.state.Store(int32(ChannelNew))
 	ch.sessions = make([]Session, len(q.layers))
 	for i, l := range q.layers {
 		if _, dup := ch.byName[l.Name()]; !dup {
@@ -119,9 +124,7 @@ func (ch *Channel) Scheduler() *Scheduler { return ch.sched }
 
 // State returns the current lifecycle state.
 func (ch *Channel) State() ChannelState {
-	ch.mu.Lock()
-	defer ch.mu.Unlock()
-	return ch.state
+	return ChannelState(ch.state.Load())
 }
 
 // SessionFor returns the session instantiated for the (first) layer with
@@ -140,11 +143,11 @@ func (ch *Channel) SessionFor(layerName string) Session {
 // idempotent.
 func (ch *Channel) Start() error {
 	ch.mu.Lock()
-	if ch.state != ChannelNew {
+	if ChannelState(ch.state.Load()) != ChannelNew {
 		ch.mu.Unlock()
 		return nil
 	}
-	ch.state = ChannelStarted
+	ch.state.Store(int32(ChannelStarted))
 	ch.mu.Unlock()
 	ch.sched.Start()
 	init := &ChannelInit{}
@@ -166,12 +169,12 @@ func (ch *Channel) Close() error {
 // CloseAsync starts channel teardown without waiting for it to finish.
 func (ch *Channel) CloseAsync() error {
 	ch.mu.Lock()
-	if ch.state == ChannelClosed {
+	if ChannelState(ch.state.Load()) == ChannelClosed {
 		ch.mu.Unlock()
 		return nil
 	}
-	st := ch.state
-	ch.state = ChannelClosed
+	st := ChannelState(ch.state.Load())
+	ch.state.Store(int32(ChannelClosed))
 	ch.mu.Unlock()
 	if st == ChannelNew { // never started: nothing to deliver
 		close(ch.closed)
@@ -348,7 +351,11 @@ func (ch *Channel) fullRoute() []int {
 // Lifecycle events visit everyone.
 func (ch *Channel) routeFor(ev Event) []int {
 	t := reflect.TypeOf(ev)
+	if t == ch.lastType {
+		return ch.lastRoute
+	}
 	if r, ok := ch.routes[t]; ok {
+		ch.lastType, ch.lastRoute = t, r
 		return r
 	}
 	var r []int
@@ -367,6 +374,7 @@ func (ch *Channel) routeFor(ev Event) []int {
 		}
 	}
 	ch.routes[t] = r
+	ch.lastType, ch.lastRoute = t, r
 	return r
 }
 

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
 // Message is a byte buffer with a header stack, in the style of the Appia
@@ -11,10 +13,17 @@ import (
 // and pop them, in reverse order, on the way up. Pushes prepend, so the
 // wire layout is exactly headers-outermost-first followed by the payload.
 //
+// Storage is a reference-counted buffer shared copy-on-write between a
+// message and its clones: Clone is O(1), pops only advance the clone's own
+// read offset, and the first push on a shared buffer copies it out. Retired
+// messages may call Release to recycle both the struct and the buffer
+// through internal sync.Pools; Release is optional (the GC reclaims
+// unreleased messages) but keeps the fan-out hot path allocation-free.
+//
 // The zero value is an empty message ready for use.
 type Message struct {
-	buf []byte // storage; valid region is buf[off:]
-	off int    // start of valid region; pushes decrease off
+	sb  *msgBuf // backing store; nil means the message is empty
+	off int     // start of the valid region in sb.data; pushes decrease off
 }
 
 // Message errors.
@@ -26,13 +35,63 @@ var (
 // headroom is the initial front slack reserved for header pushes.
 const headroom = 64
 
+// Pooled-buffer size classes: fresh buffers start at minBufCap and buffers
+// larger than maxPooledCap are left to the GC rather than pinned in the pool.
+const (
+	minBufCap    = 2048
+	maxPooledCap = 64 << 10
+)
+
+// msgBuf is a reference-counted backing store. refs counts the messages
+// sharing data; the valid region of the last owner ends at len(data).
+type msgBuf struct {
+	data []byte
+	refs atomic.Int32
+}
+
+var (
+	msgPool = sync.Pool{New: func() any { return new(Message) }}
+	bufPool = sync.Pool{New: func() any {
+		return &msgBuf{data: make([]byte, 0, minBufCap)}
+	}}
+)
+
+// getBuf returns an exclusively-owned buffer with len(data) == n.
+func getBuf(n int) *msgBuf {
+	sb := bufPool.Get().(*msgBuf)
+	sb.refs.Store(1)
+	if cap(sb.data) >= n {
+		sb.data = sb.data[:n]
+		return sb
+	}
+	c := minBufCap
+	for c < n {
+		c <<= 1
+	}
+	sb.data = make([]byte, n, c)
+	return sb
+}
+
+// unref drops one reference and recycles the buffer when the last goes.
+func unref(sb *msgBuf) {
+	if sb.refs.Add(-1) != 0 {
+		return
+	}
+	if cap(sb.data) > maxPooledCap {
+		return
+	}
+	sb.data = sb.data[:0]
+	bufPool.Put(sb)
+}
+
 // NewMessage returns a message whose payload is a copy of p.
 func NewMessage(p []byte) *Message {
-	m := &Message{}
+	m := msgPool.Get().(*Message)
+	m.sb, m.off = nil, 0
 	if len(p) > 0 {
-		m.buf = make([]byte, headroom+len(p))
+		m.sb = getBuf(headroom + len(p))
 		m.off = headroom
-		copy(m.buf[m.off:], p)
+		copy(m.sb.data[m.off:], p)
 	}
 	return m
 }
@@ -44,45 +103,84 @@ func FromWire(p []byte) *Message {
 }
 
 // Len returns the current total length (headers plus payload).
-func (m *Message) Len() int { return len(m.buf) - m.off }
+func (m *Message) Len() int {
+	if m.sb == nil {
+		return 0
+	}
+	return len(m.sb.data) - m.off
+}
 
 // Bytes returns the wire representation of the message. The returned slice
 // aliases the internal buffer; callers that retain it across further pushes
+// (on this message or, after Clone, on the last sibling sharing the buffer)
 // must copy it.
-func (m *Message) Bytes() []byte { return m.buf[m.off:] }
-
-// Clone returns a deep copy of the message. Layers that fan one event out
-// into several (for example, a point-to-point fan-out of a multicast) must
-// clone the message for each copy so that later pops do not interfere.
-func (m *Message) Clone() *Message {
-	c := &Message{
-		buf: make([]byte, len(m.buf)-m.off+headroom),
-		off: headroom,
+func (m *Message) Bytes() []byte {
+	if m.sb == nil {
+		return nil
 	}
-	copy(c.buf[c.off:], m.buf[m.off:])
+	return m.sb.data[m.off:]
+}
+
+// Clone returns a logically independent copy of the message in O(1): the
+// backing buffer is shared and its reference count bumped. Later pops on
+// either message are private, and the first push on either side copies the
+// buffer out first, so clones never observe each other's mutations. Layers
+// that fan one event out into several (for example, a point-to-point
+// fan-out of a multicast) clone the message for each copy.
+func (m *Message) Clone() *Message {
+	c := msgPool.Get().(*Message)
+	c.sb, c.off = m.sb, m.off
+	if m.sb != nil {
+		m.sb.refs.Add(1)
+	}
 	return c
 }
 
-// grow ensures at least n bytes of front slack.
-func (m *Message) grow(n int) {
-	if m.off >= n {
+// Release retires the message, recycling its struct — and, once the last
+// clone sharing it is released, its buffer — through internal pools. It is
+// optional, but hot paths that call it run allocation-free. The message
+// must not be used after Release, and — unlike letting the GC reclaim it —
+// any slice previously returned by Bytes, PopBytes or pop aliases a buffer
+// that may now be handed to an unrelated message: callers must not Release
+// while such aliases are still live.
+func (m *Message) Release() {
+	if m == nil {
 		return
 	}
-	extra := n
-	if extra < headroom {
-		extra = headroom
+	if sb := m.sb; sb != nil {
+		m.sb = nil
+		unref(sb)
 	}
-	nb := make([]byte, extra+len(m.buf))
-	copy(nb[extra:], m.buf)
-	m.buf = nb
-	m.off += extra
+	m.off = 0
+	msgPool.Put(m)
+}
+
+// reserve guarantees the message exclusively owns its buffer with at least
+// n bytes of front slack, copying out of a shared buffer if needed.
+func (m *Message) reserve(n int) {
+	if sb := m.sb; sb != nil && m.off >= n && sb.refs.Load() == 1 {
+		return
+	}
+	front := n
+	if front < headroom {
+		front = headroom
+	}
+	old := m.sb
+	ln := m.Len()
+	nsb := getBuf(front + ln)
+	if old != nil {
+		copy(nsb.data[front:], old.data[m.off:])
+		unref(old)
+	}
+	m.sb = nsb
+	m.off = front
 }
 
 // push prepends raw bytes.
 func (m *Message) push(p []byte) {
-	m.grow(len(p))
+	m.reserve(len(p))
 	m.off -= len(p)
-	copy(m.buf[m.off:], p)
+	copy(m.sb.data[m.off:], p)
 }
 
 // pop removes and returns the first n raw bytes.
@@ -90,7 +188,10 @@ func (m *Message) pop(n int) ([]byte, error) {
 	if m.Len() < n {
 		return nil, ErrMsgUnderflow
 	}
-	p := m.buf[m.off : m.off+n]
+	if n == 0 {
+		return nil, nil
+	}
+	p := m.sb.data[m.off : m.off+n]
 	m.off += n
 	return p, nil
 }
@@ -137,7 +238,7 @@ func (m *Message) PushUvarint(v uint64) {
 
 // PopUvarint removes and returns the topmost unsigned varint header.
 func (m *Message) PopUvarint() (uint64, error) {
-	v, n := binary.Uvarint(m.buf[m.off:])
+	v, n := binary.Uvarint(m.Bytes())
 	if n <= 0 {
 		return 0, fmt.Errorf("%w: bad uvarint", ErrMsgCorrupt)
 	}
@@ -154,7 +255,7 @@ func (m *Message) PushVarint(v int64) {
 
 // PopVarint removes and returns the topmost signed varint header.
 func (m *Message) PopVarint() (int64, error) {
-	v, n := binary.Varint(m.buf[m.off:])
+	v, n := binary.Varint(m.Bytes())
 	if n <= 0 {
 		return 0, fmt.Errorf("%w: bad varint", ErrMsgCorrupt)
 	}

@@ -198,5 +198,6 @@ func BenchmarkMessagePushPop(b *testing.B) {
 		if _, err := m.PopUint32(); err != nil {
 			b.Fatal(err)
 		}
+		m.Release() // recycle so the pooled steady state is measured
 	}
 }

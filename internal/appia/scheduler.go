@@ -27,11 +27,11 @@ type task struct {
 // because the scheduler goroutine itself re-queues events while forwarding
 // them.
 type Scheduler struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []task
-	head   int // index of the next task; amortised-O(1) deque
-	closed bool
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []task // producer-side buffer; run() swaps it out wholesale
+	waiting bool   // the scheduler goroutine is parked in cond.Wait
+	closed  bool
 
 	wg      sync.WaitGroup
 	started bool
@@ -87,12 +87,22 @@ func (s *Scheduler) Close() {
 // post enqueues a task. Returns ErrSchedulerClosed after Close.
 func (s *Scheduler) post(t task) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return ErrSchedulerClosed
 	}
 	s.queue = append(s.queue, t)
-	s.cond.Signal()
+	// Signal only when the scheduler goroutine is actually parked: while it
+	// is draining a batch, posts just append. The waiting flag is only ever
+	// set under mu immediately before cond.Wait, so a true value here means
+	// the goroutine is (or is about to be, atomically with unlocking mu)
+	// asleep and the signal cannot be lost.
+	wake := s.waiting
+	s.waiting = false
+	s.mu.Unlock()
+	if wake {
+		s.cond.Signal()
+	}
 	return nil
 }
 
@@ -165,34 +175,31 @@ func (s *Scheduler) Flush() {
 	<-done
 }
 
-// run is the scheduler loop.
+// run is the scheduler loop: a double-buffered batch dequeue. Instead of a
+// lock round trip per task, the whole pending queue is swapped out under one
+// acquisition and the batch is dispatched lock-free; the drained batch slice
+// becomes the producers' next queue buffer, so steady state recycles two
+// slices with no allocation.
 func (s *Scheduler) run() {
 	defer s.wg.Done()
+	var batch []task
 	for {
 		s.mu.Lock()
-		for s.head >= len(s.queue) && !s.closed {
+		for len(s.queue) == 0 && !s.closed {
+			s.waiting = true
 			s.cond.Wait()
 		}
-		if s.head >= len(s.queue) && s.closed {
+		if len(s.queue) == 0 { // closed and fully drained
 			s.mu.Unlock()
 			return
 		}
-		t := s.queue[s.head]
-		s.queue[s.head] = task{} // release for the GC
-		s.head++
-		// Compact once the consumed prefix dominates, keeping pops and
-		// appends amortised O(1) even under deep backlogs.
-		if s.head > 64 && s.head*2 >= len(s.queue) {
-			n := copy(s.queue, s.queue[s.head:])
-			for i := n; i < len(s.queue); i++ {
-				s.queue[i] = task{}
-			}
-			s.queue = s.queue[:n]
-			s.head = 0
-		}
+		batch, s.queue = s.queue, batch[:0]
 		s.mu.Unlock()
 
-		s.dispatch(t)
+		for i := range batch {
+			s.dispatch(batch[i])
+		}
+		clear(batch) // release the events for the GC in one bulk write
 	}
 }
 

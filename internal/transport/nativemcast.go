@@ -43,6 +43,9 @@ func (l *NativeMulticastLayer) NewSession() appia.Session {
 
 type nmcastSession struct {
 	cfg NativeMulticastConfig
+
+	// scratch is the reusable wire buffer; see ptpSession.scratch.
+	scratch []byte
 }
 
 var _ appia.Session = (*nmcastSession)(nil)
@@ -59,11 +62,12 @@ func (s *nmcastSession) Handle(ch *appia.Channel, ev appia.Event) {
 		ch.Forward(ev)
 		return
 	}
-	wire, err := Marshal(s.cfg.registry(), ch.Name(), e)
+	wire, err := MarshalAppend(s.scratch[:0], s.cfg.registry(), ch.Name(), e)
 	if err != nil {
 		s.cfg.logf("transport.nativemcast[%d]: marshal %T: %v", s.cfg.Node.ID(), e, err)
 		return
 	}
+	s.scratch = wire[:0]
 	class := sb.Class
 	if class == "" {
 		class = appia.ClassData

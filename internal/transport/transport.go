@@ -80,6 +80,11 @@ func (l *PTPLayer) NewSession() appia.Session {
 type ptpSession struct {
 	cfg Config
 
+	// scratch is the reusable wire buffer for outgoing frames. transmit
+	// only runs on the channel's scheduler goroutine and the vnet copies
+	// the payload before Send returns, so one buffer per session suffices.
+	scratch []byte
+
 	mu       sync.Mutex
 	channels map[string]*appia.Channel // channel name -> channel
 	bound    bool
@@ -140,11 +145,12 @@ func (s *ptpSession) transmit(ch *appia.Channel, e appia.Sendable) {
 		s.cfg.logf("transport.ptp[%d]: dropping %T with no destination", s.cfg.Node.ID(), e)
 		return
 	}
-	wire, err := Marshal(s.cfg.registry(), ch.Name(), e)
+	wire, err := MarshalAppend(s.scratch[:0], s.cfg.registry(), ch.Name(), e)
 	if err != nil {
 		s.cfg.logf("transport.ptp[%d]: marshal %T: %v", s.cfg.Node.ID(), e, err)
 		return
 	}
+	s.scratch = wire[:0]
 	class := sb.Class
 	if class == "" {
 		class = appia.ClassData
@@ -179,6 +185,14 @@ func (s *ptpSession) receive(src vnet.NodeID, port string, payload []byte) {
 // Marshal encodes an event for the wire: channel name, kind name, then the
 // message bytes.
 func Marshal(reg *appia.EventKindRegistry, channelName string, e appia.Sendable) ([]byte, error) {
+	return MarshalAppend(nil, reg, channelName, e)
+}
+
+// MarshalAppend encodes like Marshal but appends to dst, so per-frame
+// senders can reuse one scratch buffer instead of allocating. The vnet
+// copies payloads before Send/Multicast return, which is what makes the
+// reuse safe.
+func MarshalAppend(dst []byte, reg *appia.EventKindRegistry, channelName string, e appia.Sendable) ([]byte, error) {
 	kind, err := reg.KindOf(e)
 	if err != nil {
 		return nil, fmt.Errorf("transport: %w", err)
@@ -187,7 +201,7 @@ func Marshal(reg *appia.EventKindRegistry, channelName string, e appia.Sendable)
 	m := sb.EnsureMsg()
 	m.PushString(kind)
 	m.PushString(channelName)
-	wire := append([]byte(nil), m.Bytes()...)
+	wire := append(dst, m.Bytes()...)
 	// Restore the message so the event could be retransmitted.
 	if _, err := m.PopString(); err != nil {
 		return nil, err

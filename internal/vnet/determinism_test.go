@@ -1,0 +1,115 @@
+package vnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// runDeterministicScenario drives a fixed op sequence — unicast and native
+// multicast over lossy, jittery segments — and returns the per-node counter
+// snapshots once all deliveries have settled.
+func runDeterministicScenario(t *testing.T, seed int64) map[NodeID]Counters {
+	t.Helper()
+	w := NewWorld(seed)
+	defer w.Close()
+	w.AddSegment(SegmentConfig{
+		Name:            "lan",
+		Latency:         100 * time.Microsecond,
+		Jitter:          50 * time.Microsecond,
+		Loss:            0.2,
+		NativeMulticast: true,
+	})
+
+	const nNodes = 5
+	nodes := make([]*Node, 0, nNodes)
+	var mu sync.Mutex
+	rxSeen := 0
+	for i := 1; i <= nNodes; i++ {
+		n, err := w.AddNode(NodeID(i), Fixed, "lan")
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Handle("p", func(src NodeID, port string, payload []byte) {
+			mu.Lock()
+			rxSeen++
+			mu.Unlock()
+		})
+		nodes = append(nodes, n)
+	}
+
+	payload := []byte("deterministic-frame")
+	for round := 0; round < 40; round++ {
+		src := nodes[round%nNodes]
+		dst := NodeID(1 + (round+1)%nNodes)
+		if err := src.Send(dst, "p", "data", payload); err != nil {
+			t.Fatal(err)
+		}
+		if round%3 == 0 {
+			if err := src.Multicast("lan", "p", "control", payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Wait for the latency scheduler to drain (loss means we cannot know
+	// the exact rx count, so settle on quiescence).
+	deadline := time.Now().Add(5 * time.Second)
+	last, stable := -1, 0
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		cur := rxSeen
+		mu.Unlock()
+		if cur == last {
+			stable++
+			if stable > 20 {
+				break
+			}
+		} else {
+			last, stable = cur, 0
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	out := make(map[NodeID]Counters, nNodes)
+	for _, n := range nodes {
+		out[n.ID()] = n.Counters()
+	}
+	return out
+}
+
+// TestWorldDeterministicReplay locks in the sharding work's replay
+// guarantee: identical seeds must produce identical loss/jitter draws and
+// therefore identical traffic counters, even though the RNG now sits behind
+// its own lock and multicast fan-out iterates a map.
+func TestWorldDeterministicReplay(t *testing.T) {
+	a := runDeterministicScenario(t, 7)
+	b := runDeterministicScenario(t, 7)
+	for id, ca := range a {
+		cb := b[id]
+		for class, cc := range ca.Tx {
+			if cb.Tx[class] != cc {
+				t.Fatalf("node %d tx[%s] = %+v vs %+v across identical seeds", id, class, cc, cb.Tx[class])
+			}
+		}
+		for class, cc := range ca.Rx {
+			if cb.Rx[class] != cc {
+				t.Fatalf("node %d rx[%s] = %+v vs %+v across identical seeds", id, class, cc, cb.Rx[class])
+			}
+		}
+	}
+
+	// A different seed must (for this scenario) draw differently somewhere;
+	// this guards against the RNG silently not being consulted at all.
+	c := runDeterministicScenario(t, 8)
+	same := true
+	for id, ca := range a {
+		if c[id].TotalRx() != ca.TotalRx() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Log("warning: seeds 7 and 8 produced identical rx totals; loss draws may not be exercised")
+	}
+}

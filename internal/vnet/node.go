@@ -3,23 +3,45 @@ package vnet
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
+// classCounter is one lock-free traffic counter.
+type classCounter struct {
+	msgs  atomic.Uint64
+	bytes atomic.Uint64
+}
+
 // Node is one simulated device.
+//
+// The accounting hot path is lock-free: liveness flags are atomics and the
+// per-class counters are atomic arrays indexed by the Class enum. The
+// energy model (only consulted when a battery is installed) and the port
+// handler table have their own narrow locks.
 type Node struct {
 	id    NodeID
 	kind  Kind
 	world *World
 
-	mu       sync.Mutex
+	// segments is set once by AddNode, before the node is visible to any
+	// other goroutine, and never mutated afterwards.
 	segments []*Segment // first is the primary segment
+
+	down    atomic.Bool
+	metered atomic.Bool // true once SetEnergy installs a battery model
+
+	tx, rx [numClasses]classCounter
+
+	hmu      sync.Mutex // serialises Handle writers
 	handlers map[string]Handler
-	tx       map[string]ClassCount
-	rx       map[string]ClassCount
-	down     bool
-	energy   *EnergyConfig // nil: unmetered
-	chargeJ  float64       // remaining battery
+	// handlersView is a read-only snapshot of handlers, republished on
+	// every Handle, so the per-frame port lookup is lock-free.
+	handlersView atomic.Pointer[map[string]Handler]
+
+	mu      sync.Mutex    // battery state
+	energy  *EnergyConfig // nil: unmetered
+	chargeJ float64       // remaining battery
 }
 
 // ID returns the node identifier.
@@ -38,6 +60,7 @@ func (n *Node) SetEnergy(cfg EnergyConfig) {
 	c := cfg
 	n.energy = &c
 	n.chargeJ = cfg.CapacityJ
+	n.metered.Store(true)
 }
 
 // BatteryJ returns the remaining charge in joules; +Inf semantics are
@@ -68,17 +91,15 @@ func (n *Node) BatteryFraction() float64 {
 
 // Alive reports whether the node is up and, if metered, has charge left.
 func (n *Node) Alive() bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.aliveLocked()
-}
-
-func (n *Node) aliveLocked() bool {
-	if n.down {
+	if n.down.Load() {
 		return false
 	}
-	if n.energy != nil && n.chargeJ <= 0 {
-		return false
+	if n.metered.Load() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if n.energy != nil && n.chargeJ <= 0 {
+			return false
+		}
 	}
 	return true
 }
@@ -86,9 +107,7 @@ func (n *Node) aliveLocked() bool {
 // SetDown crashes (true) or revives (false) the node. A crashed node
 // neither sends nor receives; the failure detectors above will evict it.
 func (n *Node) SetDown(down bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.down = down
+	n.down.Store(down)
 }
 
 // Handle registers (or, with a nil handler, removes) the receiver for a
@@ -96,83 +115,121 @@ func (n *Node) SetDown(down bool) {
 // to an unregistered port is silently dropped, which is exactly what
 // happens to stale pre-reconfiguration packets.
 func (n *Node) Handle(port string, h Handler) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.hmu.Lock()
+	defer n.hmu.Unlock()
 	if h == nil {
 		delete(n.handlers, port)
-		return
+	} else {
+		n.handlers[port] = h
 	}
-	n.handlers[port] = h
+	view := make(map[string]Handler, len(n.handlers))
+	for k, v := range n.handlers {
+		view[k] = v
+	}
+	n.handlersView.Store(&view)
 }
 
-// Counters returns a snapshot of the node's traffic counters.
-func (n *Node) Counters() Counters {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	c := Counters{Tx: make(map[string]ClassCount, len(n.tx)), Rx: make(map[string]ClassCount, len(n.rx))}
-	for k, v := range n.tx {
-		c.Tx[k] = v
+// handler looks up the receiver for a port without locking.
+func (n *Node) handler(port string) (Handler, bool) {
+	view := n.handlersView.Load()
+	if view == nil {
+		return nil, false
 	}
-	for k, v := range n.rx {
-		c.Rx[k] = v
+	h, ok := (*view)[port]
+	return h, ok
+}
+
+// Counters returns a snapshot of the node's traffic counters. Classes other
+// than "data" and "control" are aggregated under "other". The counters are
+// independent atomics, so a snapshot (or reset) taken while traffic is in
+// flight can be off by the frame being accounted; take them at phase
+// boundaries, as the experiments do, for exact values.
+func (n *Node) Counters() Counters {
+	c := Counters{Tx: make(map[string]ClassCount, int(numClasses)), Rx: make(map[string]ClassCount, int(numClasses))}
+	for cl := Class(0); cl < numClasses; cl++ {
+		if m := n.tx[cl].msgs.Load(); m != 0 {
+			c.Tx[cl.String()] = ClassCount{Msgs: m, Bytes: n.tx[cl].bytes.Load()}
+		}
+		if m := n.rx[cl].msgs.Load(); m != 0 {
+			c.Rx[cl.String()] = ClassCount{Msgs: m, Bytes: n.rx[cl].bytes.Load()}
+		}
 	}
 	return c
 }
 
 // ResetCounters zeroes the traffic counters (between experiment phases).
 func (n *Node) ResetCounters() {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.tx = make(map[string]ClassCount)
-	n.rx = make(map[string]ClassCount)
+	for cl := Class(0); cl < numClasses; cl++ {
+		n.tx[cl].msgs.Store(0)
+		n.tx[cl].bytes.Store(0)
+		n.rx[cl].msgs.Store(0)
+		n.rx[cl].bytes.Store(0)
+	}
 }
 
-// primary returns the node's primary segment, or nil if detached.
+// primary returns the node's primary segment, or nil if detached. segments
+// is immutable after construction, so no lock is needed.
 func (n *Node) primary() *Segment {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	if len(n.segments) == 0 {
 		return nil
 	}
 	return n.segments[0]
 }
 
+// drainBattery charges the battery for one frame if the node is metered;
+// it reports false when the battery was already exhausted. With no battery
+// installed it is a single atomic load.
+func (n *Node) drainBattery(tx bool, size int, wireless bool) bool {
+	if !n.metered.Load() {
+		return true
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.energy == nil {
+		return true
+	}
+	if n.chargeJ <= 0 {
+		return false
+	}
+	if wireless {
+		if tx {
+			n.chargeJ -= n.energy.TxPerMsgJ + n.energy.TxPerByteJ*float64(size)
+		} else {
+			n.chargeJ -= n.energy.RxPerMsgJ + n.energy.RxPerByteJ*float64(size)
+		}
+	}
+	return true
+}
+
 // accountTx counts one transmission and drains the battery; it reports
 // whether the node was able to transmit.
 func (n *Node) accountTx(class string, size int, wireless bool) bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if !n.aliveLocked() {
+	if n.down.Load() {
 		return false
 	}
-	cc := n.tx[class]
-	cc.Msgs++
-	cc.Bytes += uint64(size)
-	n.tx[class] = cc
-	if wireless && n.energy != nil {
-		n.chargeJ -= n.energy.TxPerMsgJ + n.energy.TxPerByteJ*float64(size)
+	if !n.drainBattery(true, size, wireless) {
+		return false
 	}
+	c := &n.tx[classOf(class)]
+	c.msgs.Add(1)
+	c.bytes.Add(uint64(size))
 	return true
 }
 
 // accountRx counts one reception and drains the battery; it reports whether
 // the node accepted the frame and returns the handler for the port.
 func (n *Node) accountRx(class string, size int, port string) (Handler, bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if !n.aliveLocked() {
+	if n.down.Load() {
 		return nil, false
 	}
-	cc := n.rx[class]
-	cc.Msgs++
-	cc.Bytes += uint64(size)
-	n.rx[class] = cc
 	wireless := len(n.segments) > 0 && n.segments[0].cfg.Wireless
-	if wireless && n.energy != nil {
-		n.chargeJ -= n.energy.RxPerMsgJ + n.energy.RxPerByteJ*float64(size)
+	if !n.drainBattery(false, size, wireless) {
+		return nil, false
 	}
-	h, ok := n.handlers[port]
-	return h, ok
+	c := &n.rx[classOf(class)]
+	c.msgs.Add(1)
+	c.bytes.Add(uint64(size))
+	return n.handler(port)
 }
 
 // Send transmits payload point-to-point to dst's port. The transmission is
@@ -181,13 +238,10 @@ func (n *Node) accountRx(class string, size int, port string) (Handler, bool) {
 // and receiver's primary segments.
 func (n *Node) Send(dst NodeID, port, class string, payload []byte) error {
 	w := n.world
-	w.mu.Lock()
-	if w.closed {
-		w.mu.Unlock()
+	if w.closed.Load() {
 		return ErrWorldClosed
 	}
-	dn, ok := w.nodes[dst]
-	w.mu.Unlock()
+	dn, ok := w.lookupNode(dst)
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownNode, dst)
 	}
@@ -229,37 +283,34 @@ func (n *Node) Send(dst NodeID, port, class string, payload []byte) error {
 // support it.
 func (n *Node) Multicast(segment, port, class string, payload []byte) error {
 	w := n.world
-	w.mu.Lock()
-	if w.closed {
-		w.mu.Unlock()
+	if w.closed.Load() {
 		return ErrWorldClosed
 	}
+	w.mu.RLock()
 	seg, ok := w.segments[segment]
 	if !ok {
-		w.mu.Unlock()
-		return fmt.Errorf("%w: %q", ErrUnknownSegGap, segment)
+		w.mu.RUnlock()
+		return fmt.Errorf("%w: %q", ErrUnknownSegment, segment)
 	}
 	if _, attached := seg.nodes[n.id]; !attached {
-		w.mu.Unlock()
+		w.mu.RUnlock()
 		return fmt.Errorf("%w: node %d not on %q", ErrNotAttached, n.id, segment)
 	}
 	if !seg.cfg.NativeMulticast {
-		w.mu.Unlock()
+		w.mu.RUnlock()
 		return fmt.Errorf("%w: %q", ErrNoMulticast, segment)
 	}
-	receivers := make([]*Node, 0, len(seg.nodes))
-	for id, rn := range seg.nodes {
-		if id != n.id {
-			receivers = append(receivers, rn)
-		}
-	}
+	receivers := seg.sorted // immutable snapshot: AddNode replaces, never mutates
 	cfg := seg.cfg
-	w.mu.Unlock()
+	w.mu.RUnlock()
 
 	if !n.accountTx(class, len(payload), cfg.Wireless) {
 		return fmt.Errorf("node %d: %w", n.id, ErrNodeDown)
 	}
 	for _, rn := range receivers {
+		if rn.id == n.id {
+			continue // one's own multicast is not received
+		}
 		if cfg.Loss > 0 && w.draw() < cfg.Loss {
 			continue
 		}
@@ -269,30 +320,24 @@ func (n *Node) Multicast(segment, port, class string, payload []byte) error {
 	return nil
 }
 
-// deliverLoopback hands a copy straight to the local handler, bypassing
-// accounting.
+// deliverLoopback lends the payload straight to the local handler,
+// bypassing accounting (the Handler contract forbids retention).
 func (n *Node) deliverLoopback(dst *Node, port string, payload []byte) {
-	cp := make([]byte, len(payload))
-	copy(cp, payload)
-	dst.mu.Lock()
-	h, ok := dst.handlers[port]
-	dst.mu.Unlock()
+	h, ok := dst.handler(port)
 	if !ok || h == nil {
 		return
 	}
-	h(n.id, port, cp)
+	h(n.id, port, payload)
 }
 
-// deliverCopy schedules delivery of an owned copy of payload after the
-// given latency (zero means synchronous delivery on this goroutine).
+// deliverCopy schedules delivery of payload after the given latency. Zero
+// latency lends the payload synchronously on this goroutine; otherwise the
+// world copies it into a pooled buffer for the timer heap.
 func (n *Node) deliverCopy(src NodeID, dst *Node, port, class string, payload []byte, after time.Duration) {
-	cp := make([]byte, len(payload))
-	copy(cp, payload)
-	n.world.schedule(after, func() {
-		h, ok := dst.accountRx(class, len(cp), port)
-		if !ok || h == nil {
-			return // dead node or unregistered port: frame dropped
-		}
-		h(src, port, cp)
+	n.world.schedule(after, payload, delivery{
+		src:   src,
+		dst:   dst,
+		port:  port,
+		class: class,
 	})
 }

@@ -7,6 +7,12 @@
 // The quantity the paper measures (messages transmitted per node, split
 // into data and control classes) is counted here, at the lowest level, so
 // no protocol layer can forget to account for its traffic.
+//
+// The delivery engine is built for throughput: topology is behind a
+// read-write lock, per-node traffic counters are lock-free atomics indexed
+// by a small traffic-class enum, the deterministic RNG sits behind its own
+// narrow lock, and latency-delayed frames go through a single timer-heap
+// goroutine instead of one runtime timer per packet.
 package vnet
 
 import (
@@ -15,6 +21,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"morpheus/internal/appia"
@@ -46,18 +53,26 @@ func (k Kind) String() string {
 
 // Errors returned by network operations.
 var (
-	ErrUnknownNode   = errors.New("vnet: unknown node")
-	ErrNodeDown      = errors.New("vnet: node is down")
-	ErrNoMulticast   = errors.New("vnet: segment does not support native multicast")
-	ErrNotAttached   = errors.New("vnet: node not attached to segment")
-	ErrWorldClosed   = errors.New("vnet: world closed")
-	ErrBatteryDead   = errors.New("vnet: battery exhausted")
-	ErrUnknownSegGap = errors.New("vnet: unknown segment")
+	ErrUnknownNode    = errors.New("vnet: unknown node")
+	ErrNodeDown       = errors.New("vnet: node is down")
+	ErrNoMulticast    = errors.New("vnet: segment does not support native multicast")
+	ErrNotAttached    = errors.New("vnet: node not attached to segment")
+	ErrWorldClosed    = errors.New("vnet: world closed")
+	ErrBatteryDead    = errors.New("vnet: battery exhausted")
+	ErrUnknownSegment = errors.New("vnet: unknown segment")
 )
+
+// ErrUnknownSegGap is the old name of ErrUnknownSegment.
+//
+// Deprecated: use ErrUnknownSegment.
+var ErrUnknownSegGap = ErrUnknownSegment
 
 // Handler receives a payload delivered to a node port. It is invoked on a
 // delivery goroutine; implementations must be quick and thread-safe
-// (typically they just post into an appia scheduler mailbox).
+// (typically they just post into an appia scheduler mailbox). The payload
+// slice is borrowed — the sender's scratch buffer or the delivery engine's
+// buffer pool — and is only valid for the duration of the call: handlers
+// must not modify it, and handlers that retain it must copy.
 type Handler func(src NodeID, port string, payload []byte)
 
 // SegmentConfig describes one network segment.
@@ -105,6 +120,43 @@ func DefaultMobileEnergy() EnergyConfig {
 	}
 }
 
+// Class is the small traffic-class enum the per-node atomic counters are
+// indexed by. Accounting strings map onto it via classOf; anything that is
+// not "data" or "control" lands in ClassOther.
+type Class uint8
+
+// Traffic classes.
+const (
+	ClassData Class = iota
+	ClassControl
+	ClassOther
+	numClasses
+)
+
+// classOf maps an accounting string to its counter index.
+func classOf(class string) Class {
+	switch class {
+	case "data":
+		return ClassData
+	case "control":
+		return ClassControl
+	default:
+		return ClassOther
+	}
+}
+
+// String implements fmt.Stringer; it is also the snapshot map key.
+func (c Class) String() string {
+	switch c {
+	case ClassData:
+		return "data"
+	case ClassControl:
+		return "control"
+	default:
+		return "other"
+	}
+}
+
 // ClassCount accumulates message and byte counts for one traffic class.
 type ClassCount struct {
 	Msgs  uint64
@@ -112,7 +164,7 @@ type ClassCount struct {
 }
 
 // Counters is a snapshot of a node's traffic, keyed by class ("data",
-// "control", ...).
+// "control", or "other" for anything else).
 type Counters struct {
 	Tx map[string]ClassCount
 	Rx map[string]ClassCount
@@ -140,16 +192,77 @@ func (c Counters) TotalRx() uint64 {
 type Segment struct {
 	cfg   SegmentConfig
 	nodes map[NodeID]*Node
+	// sorted caches the attached nodes in ascending ID order, maintained
+	// by AddNode, so the multicast fan-out neither allocates nor sorts
+	// per frame — and consumes the deterministic RNG in a reproducible
+	// receiver order.
+	sorted []*Node
+}
+
+// delivery is one latency-delayed frame waiting in the timer heap. seq
+// breaks deadline ties in submission order, keeping delivery deterministic.
+type delivery struct {
+	when  time.Time
+	seq   uint64
+	src   NodeID
+	dst   *Node
+	port  string
+	class string
+	pb    *payloadBuf
+	size  int
+}
+
+// payloadBuf is a pooled frame buffer. Frames are copied into one at the
+// sender, lent to the receiving handler, and recycled when it returns.
+type payloadBuf struct {
+	b []byte
+}
+
+// maxPooledPayload keeps jumbo frames out of the pool.
+const maxPooledPayload = 64 << 10
+
+var payloadPool = sync.Pool{New: func() any { return new(payloadBuf) }}
+
+// copyPayload fills a pooled buffer with an owned copy of p.
+func copyPayload(p []byte) *payloadBuf {
+	pb := payloadPool.Get().(*payloadBuf)
+	if cap(pb.b) < len(p) {
+		pb.b = make([]byte, len(p))
+	}
+	copy(pb.b[:len(p)], p)
+	return pb
+}
+
+// recyclePayload returns a buffer to the pool.
+func recyclePayload(pb *payloadBuf) {
+	if cap(pb.b) <= maxPooledPayload {
+		payloadPool.Put(pb)
+	}
 }
 
 // World is the simulated network: nodes, segments and the delivery engine.
+//
+// Locking is sharded so the data plane never funnels through one mutex:
+// topology (nodes, segments) is behind an RWMutex that the hot path only
+// read-locks; the RNG has its own lock; the timer heap has its own lock.
 type World struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex // topology: nodes and segments
 	nodes    map[NodeID]*Node
 	segments map[string]*Segment
-	rng      *rand.Rand
-	closed   bool
-	timers   map[*time.Timer]struct{}
+	// nodesView is a read-only snapshot of nodes, republished on every
+	// AddNode, so the per-frame destination lookup is lock-free.
+	nodesView atomic.Pointer[map[NodeID]*Node]
+
+	closed atomic.Bool
+
+	rngMu sync.Mutex // deterministic RNG; narrow, never held with others
+	rng   *rand.Rand
+
+	dmu      sync.Mutex // timer heap state
+	heap     []delivery
+	seq      uint64
+	engineOn bool
+	wake     chan struct{}
 	inflight sync.WaitGroup
 }
 
@@ -159,7 +272,7 @@ func NewWorld(seed int64) *World {
 		nodes:    make(map[NodeID]*Node),
 		segments: make(map[string]*Segment),
 		rng:      rand.New(rand.NewSource(seed)),
-		timers:   make(map[*time.Timer]struct{}),
+		wake:     make(chan struct{}, 1),
 	}
 }
 
@@ -182,7 +295,7 @@ func (w *World) SetSegmentLoss(name string, loss float64) error {
 	defer w.mu.Unlock()
 	s, ok := w.segments[name]
 	if !ok {
-		return fmt.Errorf("%w: %q", ErrUnknownSegGap, name)
+		return fmt.Errorf("%w: %q", ErrUnknownSegment, name)
 	}
 	s.cfg.Loss = loss
 	return nil
@@ -191,11 +304,11 @@ func (w *World) SetSegmentLoss(name string, loss float64) error {
 // SegmentLoss reports a segment's current loss rate. Context retrievers use
 // it as a stand-in for the error counters a real NIC driver exposes.
 func (w *World) SegmentLoss(name string) (float64, error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.mu.RLock()
+	defer w.mu.RUnlock()
 	s, ok := w.segments[name]
 	if !ok {
-		return 0, fmt.Errorf("%w: %q", ErrUnknownSegGap, name)
+		return 0, fmt.Errorf("%w: %q", ErrUnknownSegment, name)
 	}
 	return s.cfg.Loss, nil
 }
@@ -213,25 +326,43 @@ func (w *World) AddNode(id NodeID, kind Kind, segments ...string) (*Node, error)
 		kind:     kind,
 		world:    w,
 		handlers: make(map[string]Handler),
-		tx:       make(map[string]ClassCount),
-		rx:       make(map[string]ClassCount),
 	}
 	for _, segName := range segments {
 		s, ok := w.segments[segName]
 		if !ok {
-			return nil, fmt.Errorf("%w: %q", ErrUnknownSegGap, segName)
+			return nil, fmt.Errorf("%w: %q", ErrUnknownSegment, segName)
 		}
 		s.nodes[id] = n
+		// Build a fresh slice: Multicast iterates the old one lock-free.
+		sorted := make([]*Node, 0, len(s.sorted)+1)
+		sorted = append(append(sorted, s.sorted...), n)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].id < sorted[j].id })
+		s.sorted = sorted
 		n.segments = append(n.segments, s)
 	}
 	w.nodes[id] = n
+	view := make(map[NodeID]*Node, len(w.nodes))
+	for k, v := range w.nodes {
+		view[k] = v
+	}
+	w.nodesView.Store(&view)
 	return n, nil
+}
+
+// lookupNode resolves a destination without taking the topology lock.
+func (w *World) lookupNode(id NodeID) (*Node, bool) {
+	view := w.nodesView.Load()
+	if view == nil {
+		return nil, false
+	}
+	n, ok := (*view)[id]
+	return n, ok
 }
 
 // Node returns a node by ID.
 func (w *World) Node(id NodeID) (*Node, error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.mu.RLock()
+	defer w.mu.RUnlock()
 	n, ok := w.nodes[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, id)
@@ -241,8 +372,8 @@ func (w *World) Node(id NodeID) (*Node, error) {
 
 // NodeIDs returns all node IDs in ascending order.
 func (w *World) NodeIDs() []NodeID {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.mu.RLock()
+	defer w.mu.RUnlock()
 	ids := make([]NodeID, 0, len(w.nodes))
 	for id := range w.nodes {
 		ids = append(ids, id)
@@ -253,28 +384,28 @@ func (w *World) NodeIDs() []NodeID {
 
 // Close stops all pending deliveries and waits for in-flight handlers.
 func (w *World) Close() {
-	w.mu.Lock()
-	if w.closed {
-		w.mu.Unlock()
-		w.inflight.Wait()
-		return
-	}
-	w.closed = true
-	for t := range w.timers {
-		if t.Stop() {
-			// The callback will never run; release its in-flight slot.
+	w.dmu.Lock()
+	already := w.closed.Swap(true)
+	if !already {
+		// Drop every queued delivery; each still holds an inflight slot.
+		for i := range w.heap {
+			recyclePayload(w.heap[i].pb)
 			w.inflight.Done()
 		}
+		w.heap = nil
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
 	}
-	w.timers = make(map[*time.Timer]struct{})
-	w.mu.Unlock()
+	w.dmu.Unlock()
 	w.inflight.Wait()
 }
 
 // draw returns a deterministic uniform sample in [0,1).
 func (w *World) draw() float64 {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.rngMu.Lock()
+	defer w.rngMu.Unlock()
 	return w.rng.Float64()
 }
 
@@ -283,35 +414,156 @@ func (w *World) drawJitter(j time.Duration) time.Duration {
 	if j <= 0 {
 		return 0
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.rngMu.Lock()
+	defer w.rngMu.Unlock()
 	return time.Duration(w.rng.Int63n(int64(j)))
 }
 
-// schedule runs fn after d, tracking the timer for Close. Zero delay runs
-// fn synchronously on the caller's goroutine.
-func (w *World) schedule(d time.Duration, fn func()) {
+// schedule queues a frame for delivery after d; the frame's payload copy
+// is made here when one is needed. Zero delay delivers synchronously on
+// the caller's goroutine, lending the caller's payload straight to the
+// handler; anything else copies into a pooled buffer and goes through the
+// timer heap and its single delivery goroutine.
+func (w *World) schedule(d time.Duration, payload []byte, dl delivery) {
 	if d <= 0 {
-		fn()
+		h, ok := dl.dst.accountRx(dl.class, len(payload), dl.port)
+		if ok && h != nil {
+			h(dl.src, dl.port, payload)
+		}
 		return
 	}
-	w.mu.Lock()
-	if w.closed {
-		w.mu.Unlock()
+	dl.pb, dl.size = copyPayload(payload), len(payload)
+	dl.when = time.Now().Add(d)
+	w.dmu.Lock()
+	if w.closed.Load() {
+		w.dmu.Unlock()
+		recyclePayload(dl.pb)
 		return
 	}
 	w.inflight.Add(1)
-	var t *time.Timer
-	t = time.AfterFunc(d, func() {
-		defer w.inflight.Done()
-		w.mu.Lock()
-		delete(w.timers, t)
-		closed := w.closed
-		w.mu.Unlock()
-		if !closed {
-			fn()
+	w.seq++
+	dl.seq = w.seq
+	w.heapPush(dl)
+	// Only wake the engine when this frame became the new minimum (which
+	// includes the empty-heap case): later deadlines are already covered by
+	// the timer the engine armed, so the common in-order stream of frames
+	// costs no goroutine wakeups at all.
+	newMin := w.heap[0].seq == dl.seq
+	if !w.engineOn {
+		w.engineOn = true
+		go w.runDeliveries()
+	}
+	w.dmu.Unlock()
+	if newMin {
+		select {
+		case w.wake <- struct{}{}:
+		default:
 		}
-	})
-	w.timers[t] = struct{}{}
-	w.mu.Unlock()
+	}
+}
+
+// deliver hands one frame to its destination's handler and recycles the
+// frame buffer.
+func (w *World) deliver(dl delivery) {
+	h, ok := dl.dst.accountRx(dl.class, dl.size, dl.port)
+	if ok && h != nil {
+		h(dl.src, dl.port, dl.pb.b[:dl.size])
+	}
+	recyclePayload(dl.pb)
+}
+
+// runDeliveries is the delivery engine: a single goroutine draining the
+// timer heap in deadline order (submission order on ties). It replaces a
+// time.AfterFunc — and therefore a runtime timer and a wakeup goroutine —
+// per in-flight packet.
+func (w *World) runDeliveries() {
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		w.dmu.Lock()
+		if len(w.heap) == 0 {
+			closed := w.closed.Load()
+			w.dmu.Unlock()
+			if closed {
+				return
+			}
+			<-w.wake
+			continue
+		}
+		next := w.heap[0].when
+		if d := time.Until(next); d > 0 {
+			w.dmu.Unlock()
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(d)
+			select {
+			case <-timer.C:
+			case <-w.wake:
+			}
+			continue
+		}
+		dl := w.heapPop()
+		w.dmu.Unlock()
+		if !w.closed.Load() {
+			w.deliver(dl)
+		} else {
+			recyclePayload(dl.pb)
+		}
+		w.inflight.Done()
+	}
+}
+
+// heapPush inserts into the min-heap ordered by (when, seq). Hand-rolled
+// instead of container/heap so entries are not boxed through an interface.
+func (w *World) heapPush(dl delivery) {
+	h := append(w.heap, dl)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].less(h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	w.heap = h
+}
+
+// heapPop removes and returns the minimum entry.
+func (w *World) heapPop() delivery {
+	h := w.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = delivery{} // release payload for the GC
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && h[l].less(h[small]) {
+			small = l
+		}
+		if r < len(h) && h[r].less(h[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	w.heap = h
+	return top
+}
+
+func (d delivery) less(o delivery) bool {
+	if d.when.Equal(o.when) {
+		return d.seq < o.seq
+	}
+	return d.when.Before(o.when)
 }

@@ -131,13 +131,14 @@ type Config struct {
 
 // Node is a running Morpheus participant.
 type Node struct {
-	cfg     Config
-	vnode   *vnet.Node
-	sched   *appia.Scheduler
-	manager *stack.Manager
-	ctl     *appia.Channel
-	ctx     *cocaditem.Session
-	coreSes *core.Session
+	cfg      Config
+	vnode    *vnet.Node
+	sched    *appia.Scheduler // data-plane scheduler (reconfigurable stacks)
+	ctlSched *appia.Scheduler // control-plane scheduler (heartbeats, adaptation)
+	manager  *stack.Manager
+	ctl      *appia.Channel
+	ctx      *cocaditem.Session
+	coreSes  *core.Session
 }
 
 // ErrNoMembers reports a Start without bootstrap membership.
@@ -178,8 +179,15 @@ func Start(cfg Config) (*Node, error) {
 	cocaditem.RegisterWireEvents(nil)
 	core.RegisterWireEvents(nil)
 
+	// The data and control planes get separate schedulers: a data-channel
+	// mailbox backlog (a bulk transfer, a benchmark flood) must not delay
+	// heartbeats or failure-detector timers, or the group would evict
+	// perfectly healthy-but-busy members. The two stacks share no sessions,
+	// so the Appia rule that session-sharing channels share a scheduler is
+	// respected.
 	sched := appia.NewScheduler()
-	n := &Node{cfg: cfg, vnode: vnode, sched: sched}
+	ctlSched := appia.NewScheduler()
+	n := &Node{cfg: cfg, vnode: vnode, sched: sched, ctlSched: ctlSched}
 
 	n.manager = stack.NewManager(stack.ManagerConfig{
 		Node:           vnode,
@@ -253,7 +261,7 @@ func Start(cfg Config) (*Node, error) {
 		n.teardownEarly()
 		return nil, err
 	}
-	n.ctl = qos.CreateChannel("ctl", sched)
+	n.ctl = qos.CreateChannel("ctl", ctlSched)
 	if err := n.ctl.Start(); err != nil {
 		n.teardownEarly()
 		return nil, err
@@ -276,6 +284,7 @@ func (n *Node) teardownEarly() {
 	if n.manager != nil {
 		_ = n.manager.Close()
 	}
+	n.ctlSched.Close()
 	n.sched.Close()
 }
 
@@ -313,6 +322,7 @@ func (n *Node) Close() error {
 	if err := n.manager.Close(); err != nil && firstErr == nil {
 		firstErr = err
 	}
+	n.ctlSched.Close()
 	n.sched.Close()
 	return firstErr
 }

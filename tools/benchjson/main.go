@@ -1,0 +1,177 @@
+// Command benchjson converts `go test -bench` output into the repo's
+// BENCH_<n>.json format, optionally pairing a before and an after run and
+// computing speedups.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... > after.txt
+//	go run ./tools/benchjson -after after.txt > BENCH_1.json
+//	go run ./tools/benchjson -before before.txt -after after.txt > BENCH_1.json
+//
+// Lines that are not benchmark results are ignored, so raw `go test`
+// output can be piped in unfiltered. Repeated runs of one benchmark (from
+// -count) are averaged.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's aggregated numbers.
+type Result struct {
+	Name        string  `json:"name"`
+	Runs        int     `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Comparison pairs a benchmark's before and after numbers.
+type Comparison struct {
+	Name    string  `json:"name"`
+	Before  float64 `json:"before_ns_per_op"`
+	After   float64 `json:"after_ns_per_op"`
+	Speedup float64 `json:"speedup"`
+}
+
+// Report is the BENCH_<n>.json document.
+type Report struct {
+	Note        string       `json:"note,omitempty"`
+	Before      []Result     `json:"before,omitempty"`
+	After       []Result     `json:"after"`
+	Comparisons []Comparison `json:"comparisons,omitempty"`
+}
+
+func main() {
+	beforePath := flag.String("before", "", "bench output of the pre-optimization build (optional)")
+	afterPath := flag.String("after", "", "bench output of the current build (required)")
+	note := flag.String("note", "", "free-form provenance note")
+	flag.Parse()
+	if *afterPath == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -after is required")
+		os.Exit(2)
+	}
+
+	after, err := parseFile(*afterPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	rep := Report{Note: *note, After: after}
+
+	if *beforePath != "" {
+		before, err := parseFile(*beforePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Before = before
+		byName := make(map[string]Result, len(before))
+		for _, r := range before {
+			byName[r.Name] = r
+		}
+		for _, a := range after {
+			b, ok := byName[a.Name]
+			if !ok || a.NsPerOp == 0 {
+				continue
+			}
+			rep.Comparisons = append(rep.Comparisons, Comparison{
+				Name:    a.Name,
+				Before:  b.NsPerOp,
+				After:   a.NsPerOp,
+				Speedup: round2(b.NsPerOp / a.NsPerOp),
+			})
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func round2(v float64) float64 {
+	return float64(int64(v*100+0.5)) / 100
+}
+
+// parseFile reads bench output, averaging repeated runs per benchmark.
+func parseFile(path string) ([]Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	type acc struct {
+		runs   int
+		ns     float64
+		bytes  float64
+		allocs float64
+	}
+	accs := make(map[string]*acc)
+	var order []string
+
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// Benchmark results carry the GOMAXPROCS suffix: Name-8.
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		a := accs[name]
+		if a == nil {
+			a = &acc{}
+			accs[name] = a
+			order = append(order, name)
+		}
+		// fields: name, iterations, value unit, value unit, ...
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				a.ns += v
+			case "B/op":
+				a.bytes += v
+			case "allocs/op":
+				a.allocs += v
+			}
+		}
+		a.runs++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	sort.Strings(order)
+	out := make([]Result, 0, len(order))
+	for _, name := range order {
+		a := accs[name]
+		n := float64(a.runs)
+		out = append(out, Result{
+			Name:        name,
+			Runs:        a.runs,
+			NsPerOp:     round2(a.ns / n),
+			BytesPerOp:  round2(a.bytes / n),
+			AllocsPerOp: round2(a.allocs / n),
+		})
+	}
+	return out, nil
+}
