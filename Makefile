@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test bench bench-json
+.PHONY: check build vet test race bench bench-json
 
 # check is the CI entry point: vet, build, full test suite, bench smoke run.
 check: vet build test bench
@@ -13,6 +13,11 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# race runs the suite under the race detector in short mode (socket-bound
+# udpnet tests skip themselves under -short, keeping the job reliable).
+race:
+	$(GO) test -race -short ./...
 
 # bench runs every benchmark once as a smoke test (catches bit-rot without
 # paying for stable numbers).

@@ -1,0 +1,104 @@
+// Command morpheus-node runs one live Morpheus participant over real UDP
+// sockets — the paper's middleware serving actual network traffic instead
+// of the simulated testbed. Start one process per group member with the
+// same peer directory:
+//
+//	morpheus-node -id 1 -peers '1=127.0.0.1:9001,2=127.0.0.1:9002,100=127.0.0.1:9100' -send 10 -expect 20 &
+//	morpheus-node -id 2 -peers '1=127.0.0.1:9001,2=127.0.0.1:9002,100=127.0.0.1:9100' -send 10 -expect 20 &
+//	morpheus-node -id 100 -kind mobile -adapt -peers '...' -send 10 -expect 20
+//
+// With -adapt and a mobile member, the group starts on the plain stack
+// and live-reconfigures to Mecho once context dissemination reveals the
+// hybrid membership — watch for the "config"/"reconfigured" lines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"morpheus/internal/liverun"
+	"morpheus/internal/netio"
+)
+
+func main() {
+	var (
+		id       = flag.Int("id", 0, "this node's identifier (required, must appear in -peers)")
+		kind     = flag.String("kind", "fixed", "device class: fixed | mobile")
+		peers    = flag.String("peers", "", "peer directory: '1=127.0.0.1:9001,2=127.0.0.1:9002' (required)")
+		groups   = flag.String("mcast", "", "optional multicast groups: 'lan=239.77.7.1:9700'")
+		segments = flag.String("segments", "lan", "segment attachments (first is primary)")
+		members  = flag.String("members", "", "bootstrap membership (default: all peer ids)")
+		adapt    = flag.Bool("adapt", false, "enable the hybrid-Mecho adaptation policy")
+		send     = flag.Int("send", 0, "messages to multicast to the group")
+		interval = flag.Duration("interval", 20*time.Millisecond, "pause between sends")
+		expect   = flag.Int("expect", 0, "messages to receive from other members before exiting")
+		wantCfg  = flag.String("expect-config", "", "configuration name to wait for (e.g. 'mecho:relay=1')")
+		timeout  = flag.Duration("timeout", 60*time.Second, "overall run deadline")
+		verbose  = flag.Bool("v", false, "log middleware diagnostics")
+	)
+	flag.Parse()
+
+	opts, err := buildOptions(*id, *kind, *peers, *groups, *segments, *members)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "morpheus-node:", err)
+		os.Exit(2)
+	}
+	opts.Adapt = *adapt
+	opts.SendCount = *send
+	opts.SendInterval = *interval
+	opts.ExpectRecv = *expect
+	opts.ExpectConfig = *wantCfg
+	opts.Timeout = *timeout
+	opts.Verbose = *verbose
+
+	if err := liverun.Run(opts, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "morpheus-node:", err)
+		os.Exit(1)
+	}
+}
+
+// buildOptions parses the stringly flags into liverun options.
+func buildOptions(id int, kind, peers, groups, segments, members string) (liverun.Options, error) {
+	var opts liverun.Options
+	if id == 0 {
+		return opts, fmt.Errorf("-id is required")
+	}
+	if peers == "" {
+		return opts, fmt.Errorf("-peers is required")
+	}
+	opts.ID = netio.NodeID(id)
+	switch kind {
+	case "fixed":
+		opts.Kind = netio.Fixed
+	case "mobile":
+		opts.Kind = netio.Mobile
+	default:
+		return opts, fmt.Errorf("-kind %q: want fixed or mobile", kind)
+	}
+	var err error
+	if opts.Peers, err = liverun.ParsePeers(peers); err != nil {
+		return opts, err
+	}
+	if opts.Groups, err = liverun.ParseGroups(groups); err != nil {
+		return opts, err
+	}
+	opts.Segments = splitList(segments)
+	if opts.Members, err = liverun.ParseMembers(members); err != nil {
+		return opts, err
+	}
+	return opts, nil
+}
+
+// splitList splits a comma-separated list, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+// Example live is the real-network version of the paper's testbed: three
+// OS processes — two "fixed PCs" and one "PDA" — form a Morpheus group
+// over UDP sockets on localhost, exchange reliable multicasts, and survive
+// a live reconfiguration: the hybrid-Mecho policy notices the mobile
+// member through disseminated context and redeploys everyone from the
+// plain fan-out stack to Mecho (relay = node 1) while traffic flows.
+//
+// Run it with no arguments; it re-executes itself once per participant
+// (the -child flag) and scans their output:
+//
+//	go run ./examples/live
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"time"
+
+	"morpheus/internal/core"
+	"morpheus/internal/liverun"
+	"morpheus/internal/netio"
+)
+
+// Participants: two fixed, one mobile (the paper gives the PDA the highest
+// identifier so a fixed node coordinates).
+var memberIDs = []netio.NodeID{1, 2, 100}
+
+const (
+	sendPerNode = 15
+	relay       = netio.NodeID(1)
+)
+
+func main() {
+	child := flag.Int("child", 0, "internal: run as participant with this id")
+	peers := flag.String("peers", "", "internal: peer directory for child mode")
+	flag.Parse()
+	if *child != 0 {
+		runChild(netio.NodeID(*child), *peers)
+		return
+	}
+	if err := runParent(); err != nil {
+		fmt.Fprintln(os.Stderr, "live:", err)
+		os.Exit(1)
+	}
+}
+
+// runChild is one participant process.
+func runChild(id netio.NodeID, peerStr string) {
+	peerMap, err := liverun.ParsePeers(peerStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	kind := netio.Fixed
+	if id == 100 {
+		kind = netio.Mobile
+	}
+	err = liverun.Run(liverun.Options{
+		ID:           id,
+		Kind:         kind,
+		Peers:        peerMap,
+		Members:      memberIDs,
+		Adapt:        true,
+		SendCount:    sendPerNode,
+		SendInterval: 25 * time.Millisecond,
+		// Each node hears everyone else's casts.
+		ExpectRecv:   sendPerNode * (len(memberIDs) - 1),
+		ExpectConfig: core.MechoConfigName(relay),
+		Timeout:      90 * time.Second,
+	}, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "child", id, "failed:", err)
+		os.Exit(1)
+	}
+}
+
+// runParent spawns the three participants and summarises their runs.
+func runParent() error {
+	self, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	peers, err := allocatePeers()
+	if err != nil {
+		return err
+	}
+	fmt.Println("live: three Morpheus processes over UDP on localhost")
+	for id, addr := range peers {
+		fmt.Printf("live:   node %d -> %s\n", id, addr)
+	}
+	peerStr := formatPeers(peers)
+
+	type result struct {
+		id  netio.NodeID
+		err error
+	}
+	var (
+		mu           sync.Mutex
+		reconfigured = map[netio.NodeID]bool{}
+		delivered    = map[netio.NodeID]int{}
+	)
+	results := make(chan result, len(memberIDs))
+	for _, id := range memberIDs {
+		id := id
+		cmd := exec.Command(self, "-child", fmt.Sprint(id), "-peers", peerStr)
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return err
+		}
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("spawn node %d: %w", id, err)
+		}
+		go func() {
+			sc := bufio.NewScanner(stdout)
+			for sc.Scan() {
+				line := sc.Text()
+				fmt.Printf("  [node %3d] %s\n", id, line)
+				mu.Lock()
+				if strings.HasPrefix(line, "recv ") && !strings.Contains(line, fmt.Sprintf("from=%d ", id)) {
+					delivered[id]++
+				}
+				if strings.HasPrefix(line, "config ") && strings.Contains(line, "name=mecho") {
+					reconfigured[id] = true
+				}
+				mu.Unlock()
+			}
+			results <- result{id, cmd.Wait()}
+		}()
+	}
+
+	failed := false
+	for range memberIDs {
+		r := <-results
+		if r.err != nil {
+			fmt.Printf("live: node %d FAILED: %v\n", r.id, r.err)
+			failed = true
+		}
+	}
+	if failed {
+		return fmt.Errorf("a participant failed")
+	}
+	want := sendPerNode * (len(memberIDs) - 1)
+	fmt.Println("live: summary")
+	for _, id := range memberIDs {
+		fmt.Printf("live:   node %3d delivered %d/%d, reconfigured to mecho: %v\n",
+			id, delivered[id], want, reconfigured[id])
+	}
+	fmt.Println("live: ok — reliable multicast and a live plain->mecho reconfiguration across 3 processes")
+	return nil
+}
+
+// allocatePeers reserves one localhost UDP port per member. The ports are
+// released before the children bind them; a steal in that window would
+// fail the run loudly, which for a demo is acceptable.
+func allocatePeers() (map[netio.NodeID]string, error) {
+	peers := make(map[netio.NodeID]string, len(memberIDs))
+	for _, id := range memberIDs {
+		c, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			return nil, err
+		}
+		peers[id] = c.LocalAddr().String()
+		c.Close()
+	}
+	return peers, nil
+}
+
+// formatPeers renders the directory in -peers syntax.
+func formatPeers(peers map[netio.NodeID]string) string {
+	parts := make([]string, 0, len(peers))
+	for _, id := range memberIDs {
+		parts = append(parts, fmt.Sprintf("%d=%s", id, peers[id]))
+	}
+	return strings.Join(parts, ",")
+}

@@ -17,7 +17,7 @@ import (
 	"time"
 
 	"morpheus/internal/appia"
-	"morpheus/internal/vnet"
+	"morpheus/internal/netio"
 )
 
 // Errors returned by the builder.
@@ -203,9 +203,10 @@ func FormatNodeIDs(ids []appia.NodeID) string {
 }
 
 // Env is the local context a layer factory may draw on: the node's network
-// attachment, identity, current group membership and channel port.
+// attachment (any netio substrate), identity, current group membership and
+// channel port.
 type Env struct {
-	Node      *vnet.Node
+	Node      netio.Endpoint
 	Self      appia.NodeID
 	Members   []appia.NodeID
 	Port      string

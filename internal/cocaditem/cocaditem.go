@@ -13,7 +13,7 @@ import (
 
 	"morpheus/internal/appia"
 	"morpheus/internal/group"
-	"morpheus/internal/vnet"
+	"morpheus/internal/netio"
 )
 
 // Well-known topics published by the built-in retrievers.
@@ -55,18 +55,19 @@ func (f FuncRetriever) Topic() string { return f.TopicName }
 // Retrieve implements Retriever.
 func (f FuncRetriever) Retrieve() (float64, string) { return f.Fn() }
 
-// BatteryRetriever publishes the node's remaining battery fraction.
-func BatteryRetriever(n *vnet.Node) Retriever {
+// BatteryRetriever publishes the endpoint's remaining battery fraction
+// (1 on substrates without an energy model — a mains-powered device).
+func BatteryRetriever(ep netio.Endpoint) Retriever {
 	return FuncRetriever{TopicName: TopicBattery, Fn: func() (float64, string) {
-		return n.BatteryFraction(), ""
+		return netio.BatteryFraction(ep), ""
 	}}
 }
 
 // DeviceClassRetriever publishes whether the device is fixed or mobile —
 // the context bit Figure 2's hybrid configuration hinges on.
-func DeviceClassRetriever(n *vnet.Node) Retriever {
+func DeviceClassRetriever(ep netio.Endpoint) Retriever {
 	return FuncRetriever{TopicName: TopicDeviceClass, Fn: func() (float64, string) {
-		if n.Kind() == vnet.Mobile {
+		if ep.Kind() == netio.Mobile {
 			return 1, "mobile"
 		}
 		return 0, "fixed"
@@ -74,10 +75,11 @@ func DeviceClassRetriever(n *vnet.Node) Retriever {
 }
 
 // LinkLossRetriever publishes the loss rate of the node's segment, reading
-// the simulated NIC's error counters (vnet.World.SegmentLoss).
-func LinkLossRetriever(w *vnet.World, segment string) Retriever {
+// whatever error source the substrate exposes (the simulated NIC's
+// counters on vnet; a driver-statistics reader on a real substrate).
+func LinkLossRetriever(src netio.LossSource, segment string) Retriever {
 	return FuncRetriever{TopicName: TopicLinkLoss, Fn: func() (float64, string) {
-		loss, err := w.SegmentLoss(segment)
+		loss, err := src.SegmentLoss(segment)
 		if err != nil {
 			return 0, ""
 		}

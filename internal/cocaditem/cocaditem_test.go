@@ -24,7 +24,7 @@ type ctxNode struct {
 func buildCtxCluster(t *testing.T, n int, mkRetrievers func(id appia.NodeID, vn *vnet.Node) []Retriever, interval time.Duration, onChange bool) []*ctxNode {
 	t.Helper()
 	w := vnet.NewWorld(4)
-	t.Cleanup(w.Close)
+	t.Cleanup(func() { _ = w.Close() })
 	w.AddSegment(vnet.SegmentConfig{Name: "lan"})
 	w.AddSegment(vnet.SegmentConfig{Name: "wlan", Wireless: true})
 	group.RegisterWireEvents(nil)
@@ -201,7 +201,7 @@ func TestPublishOnChangeSuppressesSteadyState(t *testing.T) {
 
 func TestBuiltinRetrievers(t *testing.T) {
 	w := vnet.NewWorld(9)
-	t.Cleanup(w.Close)
+	t.Cleanup(func() { _ = w.Close() })
 	w.AddSegment(vnet.SegmentConfig{Name: "wlan", Wireless: true})
 	vn, err := w.AddNode(1, vnet.Mobile, "wlan")
 	if err != nil {

@@ -42,7 +42,7 @@ func TestConfigDocumentsParse(t *testing.T) {
 
 func TestConfigDocumentsBuildable(t *testing.T) {
 	w := vnet.NewWorld(1)
-	t.Cleanup(w.Close)
+	t.Cleanup(func() { _ = w.Close() })
 	w.AddSegment(vnet.SegmentConfig{Name: "lan", NativeMulticast: true})
 	vn, err := w.AddNode(1, vnet.Fixed, "lan")
 	if err != nil {
@@ -268,7 +268,7 @@ func TestStaticPolicy(t *testing.T) {
 // and verifies the prepare/deploy/ack cycle completes.
 func TestCoreControlLoop(t *testing.T) {
 	w := vnet.NewWorld(3)
-	t.Cleanup(w.Close)
+	t.Cleanup(func() { _ = w.Close() })
 	w.AddSegment(vnet.SegmentConfig{Name: "lan", NativeMulticast: true})
 	stack.RegisterAllWireEvents(nil)
 	cocaditem.RegisterWireEvents(nil)

@@ -32,7 +32,7 @@ func (g *gossipNode) count() int {
 func buildGossipCluster(t *testing.T, n, fanout, rounds int) []*gossipNode {
 	t.Helper()
 	w := vnet.NewWorld(6)
-	t.Cleanup(w.Close)
+	t.Cleanup(func() { _ = w.Close() })
 	w.AddSegment(vnet.SegmentConfig{Name: "lan"})
 	group.RegisterWireEvents(nil)
 

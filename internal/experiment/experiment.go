@@ -243,8 +243,8 @@ func runFigure3Optimized(n int, cfg Figure3Config) (Figure3Row, error) {
 			relay = nd
 		}
 	}
-	mobile.VNode().ResetCounters()
-	relay.VNode().ResetCounters()
+	mobile.Endpoint().ResetCounters()
+	relay.Endpoint().ResetCounters()
 
 	for i := 0; i < cfg.Messages; i++ {
 		if err := mobile.Send(mkPayload(i)); err != nil {
@@ -262,8 +262,8 @@ func runFigure3Optimized(n int, cfg Figure3Config) (Figure3Row, error) {
 	}) {
 		return Figure3Row{}, fmt.Errorf("optimized n=%d: deliveries incomplete", n)
 	}
-	mc := mobile.VNode().Counters()
-	rc := relay.VNode().Counters()
+	mc := mobile.Endpoint().Counters()
+	rc := relay.Endpoint().Counters()
 	return Figure3Row{
 		Nodes:            n,
 		Optimized:        mc.TotalTx(),

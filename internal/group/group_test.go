@@ -60,7 +60,7 @@ func buildCluster(t *testing.T, n int, opts stackOpts) []*testNode {
 		seed = 1
 	}
 	w := vnet.NewWorld(seed)
-	t.Cleanup(w.Close)
+	t.Cleanup(func() { _ = w.Close() })
 	w.AddSegment(vnet.SegmentConfig{Name: "lan", Loss: opts.loss})
 	RegisterWireEvents(nil)
 

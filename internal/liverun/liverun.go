@@ -1,0 +1,303 @@
+// Package liverun drives one live Morpheus participant over real UDP
+// sockets: it builds a udpnet substrate from a static peer directory,
+// attaches the endpoint, starts the full middleware (control channel,
+// context dissemination, adaptation policies) and runs a simple
+// send/receive workload, reporting progress as parseable lines on an
+// io.Writer. It is the engine behind cmd/morpheus-node and the
+// examples/live multi-process demo.
+//
+// Output lines (one event per line, stable prefixes for scripting):
+//
+//	ready id=<id> addr=<udp addr> config=<name>
+//	recv id=<id> from=<src> payload=<text>
+//	view id=<id> members=<comma list>
+//	config id=<id> epoch=<n> name=<config>
+//	reconfigured id=<id> epoch=<n> config=<name> took=<duration>
+//	done id=<id> sent=<n> received=<n> config=<name> tx=<msgs>
+package liverun
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"morpheus"
+	"morpheus/internal/appia/appiaxml"
+	"morpheus/internal/core"
+	"morpheus/internal/netio"
+	"morpheus/internal/netio/udpnet"
+)
+
+// Options configures one live participant.
+type Options struct {
+	// ID is this process's node identifier (must appear in Peers).
+	ID netio.NodeID
+	// Kind is the device class; a Mobile member makes the group hybrid,
+	// which is what triggers the Mecho adaptation under Adapt.
+	Kind netio.Kind
+	// Peers maps every participant to its UDP address.
+	Peers map[netio.NodeID]string
+	// Groups maps segment names to IP multicast group addresses
+	// (optional; the plain stack needs none).
+	Groups map[string]string
+	// Segments lists segment attachments (default ["lan"]).
+	Segments []string
+	// Members is the bootstrap membership (default: all peer IDs).
+	Members []netio.NodeID
+	// Adapt enables the paper's hybrid-Mecho adaptation policy.
+	Adapt bool
+	// SendCount messages are multicast to the group ("<id> says hello <i>").
+	SendCount int
+	// SendInterval paces the sends (default 20ms).
+	SendInterval time.Duration
+	// ExpectRecv is how many messages from other members to wait for
+	// before declaring success.
+	ExpectRecv int
+	// ExpectConfig, when non-empty, additionally requires the deployed
+	// configuration to reach this name (e.g. "mecho:relay=1") — the
+	// observable proof a live reconfiguration completed.
+	ExpectConfig string
+	// Timeout bounds the whole run (default 60s).
+	Timeout time.Duration
+	// Verbose also logs middleware diagnostics to the writer.
+	Verbose bool
+}
+
+func (o *Options) defaults() error {
+	if _, ok := o.Peers[o.ID]; !ok {
+		return fmt.Errorf("liverun: own id %d not in peer directory", o.ID)
+	}
+	if o.Kind == 0 {
+		o.Kind = netio.Fixed
+	}
+	if len(o.Segments) == 0 {
+		o.Segments = []string{"lan"}
+	}
+	if len(o.Members) == 0 {
+		for id := range o.Peers {
+			o.Members = append(o.Members, id)
+		}
+		sort.Slice(o.Members, func(i, j int) bool { return o.Members[i] < o.Members[j] })
+	}
+	if o.SendInterval <= 0 {
+		o.SendInterval = 20 * time.Millisecond
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 60 * time.Second
+	}
+	return nil
+}
+
+// FormatMembers renders a member list for the view output line.
+func FormatMembers(ms []netio.NodeID) string {
+	return appiaxml.FormatNodeIDs(ms)
+}
+
+// Run executes the workload and blocks until success or timeout. The
+// returned error is nil exactly when every expectation was met.
+func Run(opts Options, out io.Writer) error {
+	if err := opts.defaults(); err != nil {
+		return err
+	}
+	var outMu sync.Mutex
+	emit := func(format string, args ...any) {
+		outMu.Lock()
+		fmt.Fprintf(out, format+"\n", args...)
+		outMu.Unlock()
+	}
+
+	nw, err := udpnet.New(udpnet.Config{Peers: opts.Peers, Groups: opts.Groups})
+	if err != nil {
+		return err
+	}
+	defer nw.Close()
+	ep, err := nw.Attach(netio.EndpointConfig{ID: opts.ID, Kind: opts.Kind, Segments: opts.Segments})
+	if err != nil {
+		return err
+	}
+
+	var recvMu sync.Mutex
+	received := 0
+	recvCond := sync.NewCond(&recvMu)
+
+	var policies []morpheus.Policy
+	if opts.Adapt {
+		policies = []morpheus.Policy{core.HybridMechoPolicy{}}
+	}
+	var logf func(string, ...any)
+	if opts.Verbose {
+		logf = func(format string, args ...any) { emit("log id=%d "+format, append([]any{opts.ID}, args...)...) }
+	}
+	node, err := morpheus.Start(morpheus.Config{
+		Endpoint:        ep,
+		Members:         opts.Members,
+		Policies:        policies,
+		ContextInterval: 100 * time.Millisecond,
+		EvalInterval:    150 * time.Millisecond,
+		PublishOnChange: true,
+		// Live processes start with real skew: a generous failure
+		// detector keeps the group from evicting a peer that is still
+		// binding its sockets.
+		Heartbeat:    200 * time.Millisecond,
+		SuspectAfter: 5 * time.Second,
+		OnMessage: func(from morpheus.NodeID, payload []byte) {
+			emit("recv id=%d from=%d payload=%s", opts.ID, from, payload)
+			if from == opts.ID {
+				return // local echo of one's own cast: not network delivery
+			}
+			recvMu.Lock()
+			received++
+			recvMu.Unlock()
+			recvCond.Broadcast()
+		},
+		OnViewChange: func(v morpheus.View) {
+			emit("view id=%d members=%s", opts.ID, FormatMembers(v.Members))
+		},
+		OnReconfigured: func(epoch uint64, name string, took time.Duration) {
+			emit("reconfigured id=%d epoch=%d config=%s took=%s", opts.ID, epoch, name, took.Round(time.Millisecond))
+		},
+		Logf: logf,
+	})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	emit("ready id=%d addr=%s config=%s", opts.ID, opts.Peers[opts.ID], node.ConfigName())
+
+	deadline := time.Now().Add(opts.Timeout)
+
+	// Report configuration changes (every member deploys, not just the
+	// coordinator that emits "reconfigured").
+	cfgDone := make(chan struct{})
+	defer close(cfgDone)
+	go func() {
+		last := node.ConfigName()
+		tick := time.NewTicker(50 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-cfgDone:
+				return
+			case <-tick.C:
+				if name := node.ConfigName(); name != last {
+					last = name
+					emit("config id=%d epoch=%d name=%s", opts.ID, node.Epoch(), name)
+				}
+			}
+		}
+	}()
+
+	// Give every process a beat to come up before the first send; the NAK
+	// layer repairs anything a slow starter misses anyway.
+	time.Sleep(300 * time.Millisecond)
+
+	sent := 0
+	for i := 0; i < opts.SendCount; i++ {
+		if err := node.Send(fmt.Appendf(nil, "%d says hello %d", opts.ID, i)); err != nil {
+			return fmt.Errorf("liverun: send %d: %w", i, err)
+		}
+		sent++
+		time.Sleep(opts.SendInterval)
+	}
+
+	// Wait for the receive quota.
+	recvMu.Lock()
+	for received < opts.ExpectRecv {
+		if time.Now().After(deadline) {
+			got := received
+			recvMu.Unlock()
+			return fmt.Errorf("liverun: timeout with %d/%d messages received", got, opts.ExpectRecv)
+		}
+		waitCondTimeout(recvCond, 100*time.Millisecond)
+	}
+	got := received
+	recvMu.Unlock()
+
+	// Wait for the expected configuration (proof the group survived a
+	// live reconfiguration).
+	for opts.ExpectConfig != "" && node.ConfigName() != opts.ExpectConfig {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("liverun: timeout with config %q, want %q", node.ConfigName(), opts.ExpectConfig)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	emit("done id=%d sent=%d received=%d config=%s tx=%d",
+		opts.ID, sent, got, node.ConfigName(), ep.Counters().TotalTx())
+	return nil
+}
+
+// waitCondTimeout waits on c for at most d; c's lock must be held.
+func waitCondTimeout(c *sync.Cond, d time.Duration) {
+	t := time.AfterFunc(d, c.Broadcast)
+	c.Wait()
+	t.Stop()
+}
+
+// ParsePeers parses a "1=127.0.0.1:9001,2=127.0.0.1:9002" directory.
+func ParsePeers(s string) (map[netio.NodeID]string, error) {
+	peers := make(map[netio.NodeID]string)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("liverun: peer %q: want id=host:port", part)
+		}
+		n, err := strconv.ParseInt(strings.TrimSpace(id), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("liverun: peer id %q: %w", id, err)
+		}
+		peers[netio.NodeID(n)] = strings.TrimSpace(addr)
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("liverun: empty peer directory %q", s)
+	}
+	return peers, nil
+}
+
+// ParseGroups parses a "lan=239.77.7.1:9700" segment-to-group map.
+func ParseGroups(s string) (map[string]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	groups := make(map[string]string)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		seg, addr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("liverun: group %q: want segment=group:port", part)
+		}
+		groups[strings.TrimSpace(seg)] = strings.TrimSpace(addr)
+	}
+	return groups, nil
+}
+
+// ParseMembers parses a "1,2,100" member list.
+func ParseMembers(s string) ([]netio.NodeID, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var ms []netio.NodeID
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.ParseInt(part, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("liverun: member %q: %w", part, err)
+		}
+		ms = append(ms, netio.NodeID(n))
+	}
+	return ms, nil
+}

@@ -35,7 +35,7 @@ func (h *hybridNode) deliveredList() []string {
 func buildHybrid(t *testing.T, nFixed int) (mobile *hybridNode, fixed []*hybridNode) {
 	t.Helper()
 	w := vnet.NewWorld(1)
-	t.Cleanup(w.Close)
+	t.Cleanup(func() { _ = w.Close() })
 	w.AddSegment(vnet.SegmentConfig{Name: "lan", NativeMulticast: true})
 	w.AddSegment(vnet.SegmentConfig{Name: "wlan", Wireless: true})
 	group.RegisterWireEvents(nil)
@@ -170,7 +170,7 @@ func TestWiredNodeFansOut(t *testing.T) {
 
 func TestMechoReliabilityUnderWlanLoss(t *testing.T) {
 	w := vnet.NewWorld(5)
-	t.Cleanup(w.Close)
+	t.Cleanup(func() { _ = w.Close() })
 	// Build manually to set wlan loss.
 	w.AddSegment(vnet.SegmentConfig{Name: "lan"})
 	w.AddSegment(vnet.SegmentConfig{Name: "wlan", Wireless: true, Loss: 0.2})

@@ -1,0 +1,130 @@
+package netio
+
+import "sync/atomic"
+
+// Class is the small traffic-class enum the per-endpoint atomic counters
+// are indexed by. Accounting strings map onto it via classOf; anything that
+// is not "data" or "control" lands in ClassOther.
+type Class uint8
+
+// Traffic classes.
+const (
+	ClassData Class = iota
+	ClassControl
+	ClassOther
+	numClasses
+)
+
+// classOf maps an accounting string to its counter index.
+func classOf(class string) Class {
+	switch class {
+	case "data":
+		return ClassData
+	case "control":
+		return ClassControl
+	default:
+		return ClassOther
+	}
+}
+
+// String implements fmt.Stringer; it is also the snapshot map key.
+func (c Class) String() string {
+	switch c {
+	case ClassData:
+		return "data"
+	case ClassControl:
+		return "control"
+	default:
+		return "other"
+	}
+}
+
+// ClassCount accumulates message and byte counts for one traffic class.
+type ClassCount struct {
+	Msgs  uint64
+	Bytes uint64
+}
+
+// Counters is a snapshot of an endpoint's traffic, keyed by class ("data",
+// "control", or "other" for anything else).
+type Counters struct {
+	Tx map[string]ClassCount
+	Rx map[string]ClassCount
+}
+
+// TotalTx sums transmitted messages across classes.
+func (c Counters) TotalTx() uint64 {
+	var n uint64
+	for _, cc := range c.Tx {
+		n += cc.Msgs
+	}
+	return n
+}
+
+// TotalRx sums received messages across classes.
+func (c Counters) TotalRx() uint64 {
+	var n uint64
+	for _, cc := range c.Rx {
+		n += cc.Msgs
+	}
+	return n
+}
+
+// classCounter is one lock-free traffic counter.
+type classCounter struct {
+	msgs  atomic.Uint64
+	bytes atomic.Uint64
+}
+
+// CounterSet is the lock-free per-endpoint traffic accounting every
+// substrate shares: atomic counter arrays indexed by the Class enum. The
+// zero value is ready to use.
+//
+// The counters are independent atomics, so a snapshot (or reset) taken
+// while traffic is in flight can be off by the frame being accounted; take
+// them at phase boundaries, as the experiments do, for exact values.
+type CounterSet struct {
+	tx, rx [numClasses]classCounter
+}
+
+// AddTx counts one transmission of size bytes under class.
+func (s *CounterSet) AddTx(class string, size int) {
+	c := &s.tx[classOf(class)]
+	c.msgs.Add(1)
+	c.bytes.Add(uint64(size))
+}
+
+// AddRx counts one reception of size bytes under class.
+func (s *CounterSet) AddRx(class string, size int) {
+	c := &s.rx[classOf(class)]
+	c.msgs.Add(1)
+	c.bytes.Add(uint64(size))
+}
+
+// Snapshot returns the current counts. Classes with no traffic are
+// omitted.
+func (s *CounterSet) Snapshot() Counters {
+	c := Counters{
+		Tx: make(map[string]ClassCount, int(numClasses)),
+		Rx: make(map[string]ClassCount, int(numClasses)),
+	}
+	for cl := Class(0); cl < numClasses; cl++ {
+		if m := s.tx[cl].msgs.Load(); m != 0 {
+			c.Tx[cl.String()] = ClassCount{Msgs: m, Bytes: s.tx[cl].bytes.Load()}
+		}
+		if m := s.rx[cl].msgs.Load(); m != 0 {
+			c.Rx[cl.String()] = ClassCount{Msgs: m, Bytes: s.rx[cl].bytes.Load()}
+		}
+	}
+	return c
+}
+
+// Reset zeroes every counter.
+func (s *CounterSet) Reset() {
+	for cl := Class(0); cl < numClasses; cl++ {
+		s.tx[cl].msgs.Store(0)
+		s.tx[cl].bytes.Store(0)
+		s.rx[cl].msgs.Store(0)
+		s.rx[cl].bytes.Store(0)
+	}
+}

@@ -1,0 +1,20 @@
+package loopnet_test
+
+import (
+	"testing"
+
+	"morpheus/internal/netio"
+	"morpheus/internal/netio/conformancetest"
+	"morpheus/internal/netio/loopnet"
+)
+
+// TestNetioConformance runs the substrate conformance suite against the
+// in-process loopback.
+func TestNetioConformance(t *testing.T) {
+	conformancetest.Run(t, conformancetest.Harness{
+		New:         func(t *testing.T) netio.Network { return loopnet.New() },
+		Segment:     "conf",
+		Multicast:   true,
+		Synchronous: true,
+	})
+}

@@ -1,0 +1,45 @@
+package netio
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// PortMux is the port-to-handler table every substrate shares. Writers
+// (Handle, during channel setup and reconfiguration) serialise on a mutex
+// and republish a read-only snapshot; the per-frame lookup on the delivery
+// hot path is a lock-free atomic load. The zero value is ready to use.
+type PortMux struct {
+	mu   sync.Mutex
+	m    map[string]Handler
+	view atomic.Pointer[map[string]Handler]
+}
+
+// Set registers (or, with a nil handler, removes) the receiver for a port.
+func (p *PortMux) Set(port string, h Handler) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.m == nil {
+		p.m = make(map[string]Handler)
+	}
+	if h == nil {
+		delete(p.m, port)
+	} else {
+		p.m[port] = h
+	}
+	view := make(map[string]Handler, len(p.m))
+	for k, v := range p.m {
+		view[k] = v
+	}
+	p.view.Store(&view)
+}
+
+// Get looks up the receiver for a port without locking.
+func (p *PortMux) Get(port string) (Handler, bool) {
+	view := p.view.Load()
+	if view == nil {
+		return nil, false
+	}
+	h, ok := (*view)[port]
+	return h, ok
+}

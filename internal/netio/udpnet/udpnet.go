@@ -1,0 +1,456 @@
+// Package udpnet is the real-socket netio backend: each endpoint owns one
+// UDP socket, Morpheus ports are demultiplexed from a small frame header,
+// and segments with a configured group address do native multicast through
+// IP multicast. It is the substrate cmd/morpheus-node and examples/live
+// run on — three OS processes on localhost forming a live Morpheus group.
+//
+// Addressing is static: the configuration maps every node identifier to a
+// UDP listen address, as a deployment descriptor would. A peer registered
+// with port 0 has its actual bound address published back into the
+// network's table on Attach, which is what lets in-process tests run on
+// ephemeral ports.
+//
+// The wire format per datagram is
+//
+//	magic 'M' | version 1 | src NodeID (int32, big endian) |
+//	uvarint len + port | uvarint len + class | payload
+//
+// Frames whose header does not parse — or whose source is the receiving
+// endpoint itself, which is how multicast loopback copies of one's own
+// transmissions are suppressed — are dropped.
+package udpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"morpheus/internal/netio"
+)
+
+// Frame header constants.
+const (
+	frameMagic   = 'M'
+	frameVersion = 1
+	// maxFrame bounds a datagram: 64 KiB covers the largest UDP payload.
+	maxFrame = 64 << 10
+)
+
+// Config describes a UDP substrate deployment.
+type Config struct {
+	// Peers maps every node identifier to its unicast UDP listen address
+	// ("127.0.0.1:9001"). Port 0 binds an ephemeral port and publishes it
+	// (in-process use only: other processes cannot observe the rebind).
+	Peers map[netio.NodeID]string
+	// Groups maps segment names to IP multicast group addresses
+	// ("239.77.7.1:9700"). Segments without an entry are unicast-only:
+	// Multicast on them fails with netio.ErrNoMulticast.
+	Groups map[string]string
+	// Logf receives diagnostics (undecodable frames, read errors); nil
+	// discards them.
+	Logf netio.Logf
+}
+
+// Network is a UDP substrate instance; it implements netio.Network.
+type Network struct {
+	logf netio.Logf
+
+	// basePeers and groupAddrs are the resolved configuration, immutable
+	// after New.
+	basePeers  map[netio.NodeID]*net.UDPAddr
+	groupAddrs map[string]*net.UDPAddr
+
+	mu     sync.RWMutex
+	peers  map[netio.NodeID]*net.UDPAddr // live directory (port-0 rebinds published here)
+	eps    map[netio.NodeID]*Endpoint
+	closed bool
+}
+
+// New validates the configuration and resolves the peer directory and
+// group addresses once.
+func New(cfg Config) (*Network, error) {
+	nw := &Network{
+		logf:       cfg.Logf.Or(),
+		basePeers:  make(map[netio.NodeID]*net.UDPAddr, len(cfg.Peers)),
+		groupAddrs: make(map[string]*net.UDPAddr, len(cfg.Groups)),
+		peers:      make(map[netio.NodeID]*net.UDPAddr, len(cfg.Peers)),
+		eps:        make(map[netio.NodeID]*Endpoint),
+	}
+	for id, addr := range cfg.Peers {
+		ua, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("udpnet: peer %d address %q: %w", id, addr, err)
+		}
+		nw.basePeers[id] = ua
+		nw.peers[id] = ua
+	}
+	for seg, addr := range cfg.Groups {
+		ua, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("udpnet: segment %q group %q: %w", seg, addr, err)
+		}
+		if !ua.IP.IsMulticast() {
+			return nil, fmt.Errorf("udpnet: segment %q group %q is not a multicast address", seg, addr)
+		}
+		nw.groupAddrs[seg] = ua
+	}
+	return nw, nil
+}
+
+// peer resolves a node's unicast address. A port-0 entry means the peer
+// was configured ephemeral and has not attached yet: it is unreachable,
+// not a destination.
+func (nw *Network) peer(id netio.NodeID) *net.UDPAddr {
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
+	addr := nw.peers[id]
+	if addr == nil || addr.Port == 0 {
+		return nil
+	}
+	return addr
+}
+
+// Attach implements netio.Network: it binds the endpoint's unicast socket,
+// joins the multicast group of every attached segment that has one, and
+// starts the receive loops. The whole operation runs under the network
+// lock — socket setup is a handful of fast syscalls, and holding the lock
+// closes the window where a duplicate Attach or a concurrent Network.Close
+// could race the registration.
+func (nw *Network) Attach(cfg netio.EndpointConfig) (netio.Endpoint, error) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if nw.closed {
+		return nil, fmt.Errorf("udpnet: network %w", netio.ErrClosed)
+	}
+	if _, dup := nw.eps[cfg.ID]; dup {
+		return nil, fmt.Errorf("udpnet: node %d already attached", cfg.ID)
+	}
+	laddr := nw.basePeers[cfg.ID]
+	if laddr == nil {
+		return nil, fmt.Errorf("udpnet: %w: %d has no configured address", netio.ErrUnknownNode, cfg.ID)
+	}
+
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("udpnet: node %d listen %v: %w", cfg.ID, laddr, err)
+	}
+	ep := &Endpoint{
+		net:      nw,
+		id:       cfg.ID,
+		kind:     cfg.Kind,
+		segments: append([]string(nil), cfg.Segments...),
+		conn:     conn,
+		groups:   make(map[string]*net.UDPAddr, len(cfg.Segments)),
+		logf:     nw.logf,
+	}
+	// Join segment multicast groups. Each joined group gets its own
+	// listening socket (ListenMulticastUDP sets SO_REUSEADDR, so several
+	// in-process endpoints can share one group).
+	for _, seg := range cfg.Segments {
+		gaddr, ok := nw.groupAddrs[seg]
+		if !ok {
+			continue // unicast-only segment
+		}
+		gconn, err := net.ListenMulticastUDP("udp4", nil, gaddr)
+		if err != nil {
+			_ = ep.closeSockets()
+			return nil, fmt.Errorf("udpnet: node %d join %q (%v): %w", cfg.ID, seg, gaddr, err)
+		}
+		ep.groups[seg] = gaddr
+		ep.gconns = append(ep.gconns, gconn)
+	}
+	// Group sends leave through a wildcard-bound socket: a socket bound to
+	// a concrete unicast address (127.0.0.1 in the localhost demos) pins
+	// multicast egress to that address's interface, which has no group
+	// members; the wildcard socket lets the kernel route and loop the
+	// datagram back to local joiners.
+	if len(ep.groups) > 0 {
+		mconn, err := net.ListenUDP("udp4", &net.UDPAddr{})
+		if err != nil {
+			_ = ep.closeSockets()
+			return nil, fmt.Errorf("udpnet: node %d multicast send socket: %w", cfg.ID, err)
+		}
+		ep.mconn = mconn
+	}
+
+	nw.eps[cfg.ID] = ep
+	// Publish the actual bound address so ephemeral-port peers (":0") are
+	// reachable from this process.
+	if la, ok := conn.LocalAddr().(*net.UDPAddr); ok {
+		nw.peers[cfg.ID] = la
+	}
+
+	// The receive loops are registered with the WaitGroup before the lock
+	// drops, so a Network.Close that observes this endpoint always waits
+	// for them.
+	ep.wg.Add(1 + len(ep.gconns))
+	go ep.readLoop(ep.conn)
+	for _, gc := range ep.gconns {
+		go ep.readLoop(gc)
+	}
+	return ep, nil
+}
+
+// Close implements netio.Network: it closes every endpoint and waits for
+// their receive loops to drain.
+func (nw *Network) Close() error {
+	nw.mu.Lock()
+	if nw.closed {
+		nw.mu.Unlock()
+		return nil
+	}
+	nw.closed = true
+	eps := make([]*Endpoint, 0, len(nw.eps))
+	for _, ep := range nw.eps {
+		eps = append(eps, ep)
+	}
+	nw.mu.Unlock()
+	var firstErr error
+	for _, ep := range eps {
+		if err := ep.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// detach removes a closed endpoint and restores the configured peer
+// address, so an ephemeral-port peer can attach again.
+func (nw *Network) detach(ep *Endpoint) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if nw.eps[ep.id] == ep {
+		delete(nw.eps, ep.id)
+		nw.peers[ep.id] = nw.basePeers[ep.id]
+	}
+}
+
+// Endpoint is one UDP socket attachment; it implements netio.Endpoint.
+type Endpoint struct {
+	net      *Network
+	id       netio.NodeID
+	kind     netio.Kind
+	segments []string
+
+	conn   *net.UDPConn            // unicast socket (also the unicast send socket)
+	mconn  *net.UDPConn            // multicast send socket (wildcard-bound); nil without groups
+	groups map[string]*net.UDPAddr // segment -> group address
+	gconns []*net.UDPConn          // joined group listening sockets
+
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+	ports    netio.PortMux
+	counters netio.CounterSet
+	logf     netio.Logf
+}
+
+var _ netio.Endpoint = (*Endpoint)(nil)
+
+// ID implements netio.Endpoint.
+func (e *Endpoint) ID() netio.NodeID { return e.id }
+
+// Kind implements netio.Endpoint.
+func (e *Endpoint) Kind() netio.Kind { return e.kind }
+
+// Handle implements netio.Endpoint.
+func (e *Endpoint) Handle(port string, h netio.Handler) { e.ports.Set(port, h) }
+
+// Counters implements netio.Endpoint.
+func (e *Endpoint) Counters() netio.Counters { return e.counters.Snapshot() }
+
+// ResetCounters implements netio.Endpoint.
+func (e *Endpoint) ResetCounters() { e.counters.Reset() }
+
+// LocalAddr returns the bound unicast address (useful with port-0 peers).
+func (e *Endpoint) LocalAddr() *net.UDPAddr {
+	la, _ := e.conn.LocalAddr().(*net.UDPAddr)
+	return la
+}
+
+// Close implements netio.Endpoint: graceful shutdown — the sockets close,
+// the receive loops drain, and only then does Close return.
+func (e *Endpoint) Close() error {
+	if e.closed.Swap(true) {
+		return nil
+	}
+	err := e.closeSockets()
+	e.wg.Wait()
+	e.net.detach(e)
+	return err
+}
+
+// closeSockets tears the sockets down (also the Attach failure path, when
+// the receive loops never started).
+func (e *Endpoint) closeSockets() error {
+	err := e.conn.Close()
+	if e.mconn != nil {
+		if cerr := e.mconn.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	for _, gc := range e.gconns {
+		if cerr := gc.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// frame pool: marshal scratch buffers shared across endpoints.
+var framePool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 2048)
+	return &b
+}}
+
+// marshalFrame encodes the header and payload into a pooled buffer.
+func marshalFrame(src netio.NodeID, port, class string, payload []byte) (*[]byte, error) {
+	need := 2 + 4 + 2*binary.MaxVarintLen64 + len(port) + len(class) + len(payload)
+	if need > maxFrame {
+		return nil, fmt.Errorf("udpnet: frame of %d bytes exceeds %d", need, maxFrame)
+	}
+	bp := framePool.Get().(*[]byte)
+	b := (*bp)[:0]
+	b = append(b, frameMagic, frameVersion)
+	b = binary.BigEndian.AppendUint32(b, uint32(src))
+	b = binary.AppendUvarint(b, uint64(len(port)))
+	b = append(b, port...)
+	b = binary.AppendUvarint(b, uint64(len(class)))
+	b = append(b, class...)
+	b = append(b, payload...)
+	*bp = b
+	return bp, nil
+}
+
+// errBadFrame reports an undecodable datagram.
+var errBadFrame = errors.New("udpnet: undecodable frame")
+
+// parseFrame decodes a datagram in place; port, class and payload alias b.
+func parseFrame(b []byte) (src netio.NodeID, port, class string, payload []byte, err error) {
+	if len(b) < 6 || b[0] != frameMagic || b[1] != frameVersion {
+		return 0, "", "", nil, errBadFrame
+	}
+	src = netio.NodeID(int32(binary.BigEndian.Uint32(b[2:6])))
+	rest := b[6:]
+	take := func() ([]byte, bool) {
+		n, w := binary.Uvarint(rest)
+		if w <= 0 || n > uint64(len(rest)-w) {
+			return nil, false
+		}
+		s := rest[w : w+int(n)]
+		rest = rest[w+int(n):]
+		return s, true
+	}
+	p, ok := take()
+	if !ok {
+		return 0, "", "", nil, errBadFrame
+	}
+	c, ok := take()
+	if !ok {
+		return 0, "", "", nil, errBadFrame
+	}
+	return src, string(p), string(c), rest, nil
+}
+
+// Send implements netio.Endpoint: point-to-point datagram to dst.
+func (e *Endpoint) Send(dst netio.NodeID, port, class string, payload []byte) error {
+	if e.closed.Load() {
+		return fmt.Errorf("udpnet: endpoint %d %w", e.id, netio.ErrClosed)
+	}
+	if dst == e.id {
+		// Loopback: stays in the host, never touches the NIC, so it is
+		// not counted — matching every other substrate.
+		if h, ok := e.ports.Get(port); ok && h != nil {
+			h(e.id, port, payload)
+		}
+		return nil
+	}
+	addr := e.net.peer(dst)
+	if addr == nil {
+		return fmt.Errorf("udpnet: %w: %d", netio.ErrUnknownNode, dst)
+	}
+	return e.write(addr, port, class, payload)
+}
+
+// Multicast implements netio.Endpoint: one datagram to the segment's IP
+// multicast group.
+func (e *Endpoint) Multicast(seg, port, class string, payload []byte) error {
+	if e.closed.Load() {
+		return fmt.Errorf("udpnet: endpoint %d %w", e.id, netio.ErrClosed)
+	}
+	attached := false
+	for _, s := range e.segments {
+		if s == seg {
+			attached = true
+			break
+		}
+	}
+	if !attached {
+		return fmt.Errorf("udpnet: node %d %w %q", e.id, netio.ErrNotAttached, seg)
+	}
+	gaddr := e.groups[seg]
+	if gaddr == nil {
+		return fmt.Errorf("udpnet: %w: %q", netio.ErrNoMulticast, seg)
+	}
+	return e.writeVia(e.mconn, gaddr, port, class, payload)
+}
+
+// write marshals and transmits one unicast frame.
+func (e *Endpoint) write(addr *net.UDPAddr, port, class string, payload []byte) error {
+	return e.writeVia(e.conn, addr, port, class, payload)
+}
+
+// writeVia transmits one frame through conn, counting the transmission.
+func (e *Endpoint) writeVia(conn *net.UDPConn, addr *net.UDPAddr, port, class string, payload []byte) error {
+	bp, err := marshalFrame(e.id, port, class, payload)
+	if err != nil {
+		return err
+	}
+	// Count before the write, like a radio counts what it keys up, even
+	// when the datagram is subsequently dropped.
+	e.counters.AddTx(class, len(payload))
+	_, werr := conn.WriteToUDP(*bp, addr)
+	framePool.Put(bp)
+	if werr != nil {
+		if e.closed.Load() {
+			return fmt.Errorf("udpnet: endpoint %d %w", e.id, netio.ErrClosed)
+		}
+		return fmt.Errorf("udpnet: node %d write to %v: %w", e.id, addr, werr)
+	}
+	return nil
+}
+
+// readLoop drains one socket until it closes, demultiplexing frames to
+// port handlers. The payload slice lent to the handler aliases the read
+// buffer, honouring the netio.Handler borrowed-payload contract.
+func (e *Endpoint) readLoop(conn *net.UDPConn) {
+	defer e.wg.Done()
+	buf := make([]byte, maxFrame)
+	for {
+		n, _, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			if e.closed.Load() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			e.logf("udpnet[%d]: read: %v", e.id, err)
+			continue
+		}
+		src, port, class, payload, err := parseFrame(buf[:n])
+		if err != nil {
+			e.logf("udpnet[%d]: drop %d-byte datagram: %v", e.id, n, err)
+			continue
+		}
+		if src == e.id {
+			continue // multicast loopback of our own transmission
+		}
+		if e.closed.Load() {
+			return
+		}
+		e.counters.AddRx(class, len(payload))
+		if h, ok := e.ports.Get(port); ok && h != nil {
+			h(src, port, payload)
+		}
+	}
+}

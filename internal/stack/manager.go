@@ -3,14 +3,13 @@ package stack
 import (
 	"errors"
 	"fmt"
-	"log"
 	"sync"
 	"time"
 
 	"morpheus/internal/appia"
 	"morpheus/internal/appia/appiaxml"
 	"morpheus/internal/group"
-	"morpheus/internal/vnet"
+	"morpheus/internal/netio"
 )
 
 // Manager errors.
@@ -21,8 +20,8 @@ var (
 
 // ManagerConfig configures a StackManager.
 type ManagerConfig struct {
-	// Node is the local network attachment.
-	Node *vnet.Node
+	// Node is the local network attachment (any netio substrate).
+	Node netio.Endpoint
 	// Self is this node's identifier.
 	Self appia.NodeID
 	// Scheduler runs all of the node's channels.
@@ -43,8 +42,9 @@ type ManagerConfig struct {
 	OnDeliver func(ev *group.CastEvent)
 	// OnViewChange, when set, observes data-channel views.
 	OnViewChange func(v group.View)
-	// Logf receives diagnostics; nil means the standard logger.
-	Logf func(format string, args ...any)
+	// Logf receives diagnostics; nil discards them (library code never
+	// writes to the global logger).
+	Logf netio.Logf
 }
 
 func (c *ManagerConfig) channelName() string {
@@ -71,9 +71,7 @@ func (c *ManagerConfig) quiesceTimeout() time.Duration {
 func (c *ManagerConfig) logf(format string, args ...any) {
 	if c.Logf != nil {
 		c.Logf(format, args...)
-		return
 	}
-	log.Printf(format, args...)
 }
 
 // Manager is the Core sub-system's local module: it owns the node's data

@@ -16,8 +16,8 @@ import (
 	"morpheus/internal/fec"
 	"morpheus/internal/group"
 	"morpheus/internal/mecho"
+	"morpheus/internal/netio"
 	"morpheus/internal/transport"
-	"morpheus/internal/vnet"
 )
 
 // NewStandardRegistry returns a layer registry with every protocol of this
@@ -185,7 +185,7 @@ func resolveMechoMode(mode string, env *appiaxml.Env, relay appia.NodeID) (mecho
 		if env.Self == relay {
 			return mecho.Wired, nil
 		}
-		if env.Node != nil && env.Node.Kind() == vnet.Mobile {
+		if env.Node != nil && env.Node.Kind() == netio.Mobile {
 			return mecho.Wireless, nil
 		}
 		return mecho.Wired, nil

@@ -59,7 +59,7 @@ func (m *mgrNode) count() int {
 func buildManagers(t *testing.T, n int) []*mgrNode {
 	t.Helper()
 	w := vnet.NewWorld(12)
-	t.Cleanup(w.Close)
+	t.Cleanup(func() { _ = w.Close() })
 	w.AddSegment(vnet.SegmentConfig{Name: "lan", NativeMulticast: true})
 	RegisterAllWireEvents(nil)
 
@@ -119,7 +119,7 @@ func TestManagerDeployAndSend(t *testing.T) {
 
 func TestManagerSendBeforeDeploy(t *testing.T) {
 	w := vnet.NewWorld(1)
-	t.Cleanup(w.Close)
+	t.Cleanup(func() { _ = w.Close() })
 	w.AddSegment(vnet.SegmentConfig{Name: "lan"})
 	vn, err := w.AddNode(1, vnet.Fixed, "lan")
 	if err != nil {
@@ -217,7 +217,7 @@ func TestStandardRegistryNames(t *testing.T) {
 
 func TestMechoModeResolution(t *testing.T) {
 	w := vnet.NewWorld(2)
-	t.Cleanup(w.Close)
+	t.Cleanup(func() { _ = w.Close() })
 	w.AddSegment(vnet.SegmentConfig{Name: "lan"})
 	w.AddSegment(vnet.SegmentConfig{Name: "wlan", Wireless: true})
 	fixedN, err := w.AddNode(1, vnet.Fixed, "lan")

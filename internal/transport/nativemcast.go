@@ -7,7 +7,8 @@ import (
 // NativeMulticastConfig configures the native multicast bottom.
 type NativeMulticastConfig struct {
 	Config
-	// Segment is the vnet segment whose native multicast is used.
+	// Segment is the substrate segment whose native multicast is used
+	// (a vnet segment, or a udpnet IP-multicast group).
 	Segment string
 }
 

@@ -15,7 +15,7 @@ func buildMcastTrio(t *testing.T) (chans []*appia.Channel, nodes []*vnet.Node, g
 	t.Helper()
 	r := reg(t)
 	w := vnet.NewWorld(8)
-	t.Cleanup(w.Close)
+	t.Cleanup(func() { _ = w.Close() })
 	w.AddSegment(vnet.SegmentConfig{Name: "lan", NativeMulticast: true})
 
 	mu = &sync.Mutex{}

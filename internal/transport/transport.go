@@ -1,7 +1,8 @@
 // Package transport provides the bottom-most Appia layers: they bind a
-// channel to a vnet node, serialising outgoing Sendable events (event kind
-// name + message header stack) and reconstructing incoming ones through the
-// event kind registry.
+// channel to a network endpoint (any netio substrate — the vnet simulator,
+// the in-process loopback, or real UDP sockets), serialising outgoing
+// Sendable events (event kind name + message header stack) and
+// reconstructing incoming ones through the event kind registry.
 //
 // Two layers are provided:
 //
@@ -9,29 +10,29 @@
 //     events with Dest == NoNode are handed to whatever sits directly above
 //     (usually a best-effort-multicast layer) — PTP itself never fans out.
 //   - Fanout helpers live in the group package; native multicast binding is
-//     in this package because it talks to the vnet segment directly.
+//     in this package because it talks to the substrate segment directly.
 package transport
 
 import (
 	"fmt"
-	"log"
 	"sync"
 
 	"morpheus/internal/appia"
-	"morpheus/internal/vnet"
+	"morpheus/internal/netio"
 )
 
 // Config configures a transport layer instance.
 type Config struct {
-	// Node is the vnet attachment point.
-	Node *vnet.Node
+	// Node is the network attachment point.
+	Node netio.Endpoint
 	// Port isolates this channel's traffic; reconfiguration epochs use
 	// distinct ports so stale traffic is dropped by the network.
 	Port string
 	// Registry resolves event kinds; nil means appia.DefaultRegistry().
 	Registry *appia.EventKindRegistry
-	// Logf, when set, receives diagnostics about undecodable frames.
-	Logf func(format string, args ...any)
+	// Logf, when set, receives diagnostics about undecodable frames; nil
+	// discards them (library code never writes to the global logger).
+	Logf netio.Logf
 }
 
 func (c *Config) registry() *appia.EventKindRegistry {
@@ -44,9 +45,7 @@ func (c *Config) registry() *appia.EventKindRegistry {
 func (c *Config) logf(format string, args ...any) {
 	if c.Logf != nil {
 		c.Logf(format, args...)
-		return
 	}
-	log.Printf(format, args...)
 }
 
 // PTPLayer is the point-to-point transport layer.
@@ -164,7 +163,7 @@ func (s *ptpSession) transmit(ch *appia.Channel, e appia.Sendable) {
 }
 
 // receive reconstructs a frame and inserts it into the addressed channel.
-func (s *ptpSession) receive(src vnet.NodeID, port string, payload []byte) {
+func (s *ptpSession) receive(src netio.NodeID, port string, payload []byte) {
 	chName, ev, err := Unmarshal(s.cfg.registry(), payload)
 	if err != nil {
 		s.cfg.logf("transport.ptp[%d]: undecodable frame from %d: %v", s.cfg.Node.ID(), src, err)
@@ -189,9 +188,9 @@ func Marshal(reg *appia.EventKindRegistry, channelName string, e appia.Sendable)
 }
 
 // MarshalAppend encodes like Marshal but appends to dst, so per-frame
-// senders can reuse one scratch buffer instead of allocating. The vnet
-// copies payloads before Send/Multicast return, which is what makes the
-// reuse safe.
+// senders can reuse one scratch buffer instead of allocating. Substrates
+// copy (or finish transmitting) payloads before Send/Multicast return,
+// which is what makes the reuse safe.
 func MarshalAppend(dst []byte, reg *appia.EventKindRegistry, channelName string, e appia.Sendable) ([]byte, error) {
 	kind, err := reg.KindOf(e)
 	if err != nil {

@@ -73,7 +73,7 @@ func buildPair(t *testing.T) (a, b *appia.Channel, deliveredB *[]appia.Event, mu
 	t.Helper()
 	r := reg(t)
 	w := vnet.NewWorld(2)
-	t.Cleanup(w.Close)
+	t.Cleanup(func() { _ = w.Close() })
 	w.AddSegment(vnet.SegmentConfig{Name: "lan"})
 	na, err := w.AddNode(1, vnet.Fixed, "lan")
 	if err != nil {

@@ -5,20 +5,17 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"morpheus/internal/netio"
 )
 
-// classCounter is one lock-free traffic counter.
-type classCounter struct {
-	msgs  atomic.Uint64
-	bytes atomic.Uint64
-}
-
-// Node is one simulated device.
+// Node is one simulated device; it implements netio.Endpoint.
 //
 // The accounting hot path is lock-free: liveness flags are atomics and the
-// per-class counters are atomic arrays indexed by the Class enum. The
-// energy model (only consulted when a battery is installed) and the port
-// handler table have their own narrow locks.
+// per-class counters are atomic arrays indexed by the Class enum (the
+// shared netio.CounterSet). The energy model (only consulted when a
+// battery is installed) and the port handler table have their own narrow
+// locks.
 type Node struct {
 	id    NodeID
 	kind  Kind
@@ -29,15 +26,11 @@ type Node struct {
 	segments []*Segment // first is the primary segment
 
 	down    atomic.Bool
+	closed  atomic.Bool // set by Close; sends then fail with netio.ErrClosed
 	metered atomic.Bool // true once SetEnergy installs a battery model
 
-	tx, rx [numClasses]classCounter
-
-	hmu      sync.Mutex // serialises Handle writers
-	handlers map[string]Handler
-	// handlersView is a read-only snapshot of handlers, republished on
-	// every Handle, so the per-frame port lookup is lock-free.
-	handlersView atomic.Pointer[map[string]Handler]
+	counters netio.CounterSet
+	ports    netio.PortMux
 
 	mu      sync.Mutex    // battery state
 	energy  *EnergyConfig // nil: unmetered
@@ -110,33 +103,31 @@ func (n *Node) SetDown(down bool) {
 	n.down.Store(down)
 }
 
+// Close implements netio.Endpoint: it takes the node down for good (it
+// stops sending and receiving, as an unplugged device would). The node
+// stays in the world's topology so its traffic counters remain readable.
+// Close is idempotent and safe to race with sends, which subsequently
+// fail with an error matching netio.ErrClosed, as on every substrate.
+func (n *Node) Close() error {
+	n.closed.Store(true)
+	n.down.Store(true)
+	return nil
+}
+
+// errIfClosed returns the substrate-uniform post-Close send error.
+func (n *Node) errIfClosed() error {
+	if n.closed.Load() {
+		return fmt.Errorf("vnet: node %d %w", n.id, netio.ErrClosed)
+	}
+	return nil
+}
+
 // Handle registers (or, with a nil handler, removes) the receiver for a
 // port. Ports isolate channels and configuration epochs: traffic addressed
 // to an unregistered port is silently dropped, which is exactly what
 // happens to stale pre-reconfiguration packets.
 func (n *Node) Handle(port string, h Handler) {
-	n.hmu.Lock()
-	defer n.hmu.Unlock()
-	if h == nil {
-		delete(n.handlers, port)
-	} else {
-		n.handlers[port] = h
-	}
-	view := make(map[string]Handler, len(n.handlers))
-	for k, v := range n.handlers {
-		view[k] = v
-	}
-	n.handlersView.Store(&view)
-}
-
-// handler looks up the receiver for a port without locking.
-func (n *Node) handler(port string) (Handler, bool) {
-	view := n.handlersView.Load()
-	if view == nil {
-		return nil, false
-	}
-	h, ok := (*view)[port]
-	return h, ok
+	n.ports.Set(port, h)
 }
 
 // Counters returns a snapshot of the node's traffic counters. Classes other
@@ -145,26 +136,12 @@ func (n *Node) handler(port string) (Handler, bool) {
 // flight can be off by the frame being accounted; take them at phase
 // boundaries, as the experiments do, for exact values.
 func (n *Node) Counters() Counters {
-	c := Counters{Tx: make(map[string]ClassCount, int(numClasses)), Rx: make(map[string]ClassCount, int(numClasses))}
-	for cl := Class(0); cl < numClasses; cl++ {
-		if m := n.tx[cl].msgs.Load(); m != 0 {
-			c.Tx[cl.String()] = ClassCount{Msgs: m, Bytes: n.tx[cl].bytes.Load()}
-		}
-		if m := n.rx[cl].msgs.Load(); m != 0 {
-			c.Rx[cl.String()] = ClassCount{Msgs: m, Bytes: n.rx[cl].bytes.Load()}
-		}
-	}
-	return c
+	return n.counters.Snapshot()
 }
 
 // ResetCounters zeroes the traffic counters (between experiment phases).
 func (n *Node) ResetCounters() {
-	for cl := Class(0); cl < numClasses; cl++ {
-		n.tx[cl].msgs.Store(0)
-		n.tx[cl].bytes.Store(0)
-		n.rx[cl].msgs.Store(0)
-		n.rx[cl].bytes.Store(0)
-	}
+	n.counters.Reset()
 }
 
 // primary returns the node's primary segment, or nil if detached. segments
@@ -210,9 +187,7 @@ func (n *Node) accountTx(class string, size int, wireless bool) bool {
 	if !n.drainBattery(true, size, wireless) {
 		return false
 	}
-	c := &n.tx[classOf(class)]
-	c.msgs.Add(1)
-	c.bytes.Add(uint64(size))
+	n.counters.AddTx(class, size)
 	return true
 }
 
@@ -226,10 +201,8 @@ func (n *Node) accountRx(class string, size int, port string) (Handler, bool) {
 	if !n.drainBattery(false, size, wireless) {
 		return nil, false
 	}
-	c := &n.rx[classOf(class)]
-	c.msgs.Add(1)
-	c.bytes.Add(uint64(size))
-	return n.handler(port)
+	n.counters.AddRx(class, size)
+	return n.ports.Get(port)
 }
 
 // Send transmits payload point-to-point to dst's port. The transmission is
@@ -240,6 +213,9 @@ func (n *Node) Send(dst NodeID, port, class string, payload []byte) error {
 	w := n.world
 	if w.closed.Load() {
 		return ErrWorldClosed
+	}
+	if err := n.errIfClosed(); err != nil {
+		return err
 	}
 	dn, ok := w.lookupNode(dst)
 	if !ok {
@@ -286,6 +262,9 @@ func (n *Node) Multicast(segment, port, class string, payload []byte) error {
 	if w.closed.Load() {
 		return ErrWorldClosed
 	}
+	if err := n.errIfClosed(); err != nil {
+		return err
+	}
 	w.mu.RLock()
 	seg, ok := w.segments[segment]
 	if !ok {
@@ -323,7 +302,7 @@ func (n *Node) Multicast(segment, port, class string, payload []byte) error {
 // deliverLoopback lends the payload straight to the local handler,
 // bypassing accounting (the Handler contract forbids retention).
 func (n *Node) deliverLoopback(dst *Node, port string, payload []byte) {
-	h, ok := dst.handler(port)
+	h, ok := dst.ports.Get(port)
 	if !ok || h == nil {
 		return
 	}

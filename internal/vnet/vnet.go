@@ -25,55 +25,37 @@ import (
 	"time"
 
 	"morpheus/internal/appia"
+	"morpheus/internal/netio"
 )
 
 // NodeID aliases the kernel's node identifier.
 type NodeID = appia.NodeID
 
-// Kind classifies a device, mirroring the paper's fixed/mobile split.
-type Kind int
+// Kind aliases the substrate device classification (fixed/mobile).
+type Kind = netio.Kind
 
 // Device kinds.
 const (
-	Fixed Kind = iota + 1
-	Mobile
+	Fixed  = netio.Fixed
+	Mobile = netio.Mobile
 )
 
-// String implements fmt.Stringer.
-func (k Kind) String() string {
-	switch k {
-	case Fixed:
-		return "fixed"
-	case Mobile:
-		return "mobile"
-	default:
-		return fmt.Sprintf("Kind(%d)", int(k))
-	}
-}
-
-// Errors returned by network operations.
+// Errors returned by network operations. Where a substrate-independent
+// condition exists the error wraps the netio sentinel, so both
+// errors.Is(err, vnet.ErrUnknownNode) and errors.Is(err, netio.ErrUnknownNode)
+// match.
 var (
-	ErrUnknownNode    = errors.New("vnet: unknown node")
+	ErrUnknownNode    = fmt.Errorf("vnet: %w", netio.ErrUnknownNode)
 	ErrNodeDown       = errors.New("vnet: node is down")
-	ErrNoMulticast    = errors.New("vnet: segment does not support native multicast")
-	ErrNotAttached    = errors.New("vnet: node not attached to segment")
-	ErrWorldClosed    = errors.New("vnet: world closed")
-	ErrBatteryDead    = errors.New("vnet: battery exhausted")
-	ErrUnknownSegment = errors.New("vnet: unknown segment")
+	ErrNoMulticast    = fmt.Errorf("vnet: %w", netio.ErrNoMulticast)
+	ErrNotAttached    = fmt.Errorf("vnet: node %w", netio.ErrNotAttached)
+	ErrWorldClosed    = fmt.Errorf("vnet: world %w", netio.ErrClosed)
+	ErrUnknownSegment = fmt.Errorf("vnet: %w", netio.ErrUnknownSegment)
 )
 
-// ErrUnknownSegGap is the old name of ErrUnknownSegment.
-//
-// Deprecated: use ErrUnknownSegment.
-var ErrUnknownSegGap = ErrUnknownSegment
-
-// Handler receives a payload delivered to a node port. It is invoked on a
-// delivery goroutine; implementations must be quick and thread-safe
-// (typically they just post into an appia scheduler mailbox). The payload
-// slice is borrowed — the sender's scratch buffer or the delivery engine's
-// buffer pool — and is only valid for the duration of the call: handlers
-// must not modify it, and handlers that retain it must copy.
-type Handler func(src NodeID, port string, payload []byte)
+// Handler aliases the substrate frame receiver; see netio.Handler for the
+// borrowed-payload contract.
+type Handler = netio.Handler
 
 // SegmentConfig describes one network segment.
 type SegmentConfig struct {
@@ -96,17 +78,8 @@ type SegmentConfig struct {
 	Wireless bool
 }
 
-// EnergyConfig is the battery model of a mobile node, loosely following the
-// session-based broadcast energy models the paper cites ([20]): a fixed
-// per-message cost plus a per-byte cost, with reception cheaper than
-// transmission.
-type EnergyConfig struct {
-	CapacityJ  float64
-	TxPerMsgJ  float64
-	TxPerByteJ float64
-	RxPerMsgJ  float64
-	RxPerByteJ float64
-}
+// EnergyConfig aliases the substrate battery model; see netio.EnergyConfig.
+type EnergyConfig = netio.EnergyConfig
 
 // DefaultMobileEnergy returns a plausible PDA radio budget. Absolute values
 // are arbitrary; experiments compare relative lifetimes.
@@ -120,73 +93,23 @@ func DefaultMobileEnergy() EnergyConfig {
 	}
 }
 
-// Class is the small traffic-class enum the per-node atomic counters are
-// indexed by. Accounting strings map onto it via classOf; anything that is
-// not "data" or "control" lands in ClassOther.
-type Class uint8
+// Traffic accounting aliases; the counter machinery lives in netio so
+// every substrate accounts identically.
+type (
+	// Class is the traffic-class enum counters are indexed by.
+	Class = netio.Class
+	// ClassCount accumulates message and byte counts for one class.
+	ClassCount = netio.ClassCount
+	// Counters is a snapshot of a node's traffic, keyed by class.
+	Counters = netio.Counters
+)
 
 // Traffic classes.
 const (
-	ClassData Class = iota
-	ClassControl
-	ClassOther
-	numClasses
+	ClassData    = netio.ClassData
+	ClassControl = netio.ClassControl
+	ClassOther   = netio.ClassOther
 )
-
-// classOf maps an accounting string to its counter index.
-func classOf(class string) Class {
-	switch class {
-	case "data":
-		return ClassData
-	case "control":
-		return ClassControl
-	default:
-		return ClassOther
-	}
-}
-
-// String implements fmt.Stringer; it is also the snapshot map key.
-func (c Class) String() string {
-	switch c {
-	case ClassData:
-		return "data"
-	case ClassControl:
-		return "control"
-	default:
-		return "other"
-	}
-}
-
-// ClassCount accumulates message and byte counts for one traffic class.
-type ClassCount struct {
-	Msgs  uint64
-	Bytes uint64
-}
-
-// Counters is a snapshot of a node's traffic, keyed by class ("data",
-// "control", or "other" for anything else).
-type Counters struct {
-	Tx map[string]ClassCount
-	Rx map[string]ClassCount
-}
-
-// TotalTx sums transmitted messages across classes.
-func (c Counters) TotalTx() uint64 {
-	var n uint64
-	for _, cc := range c.Tx {
-		n += cc.Msgs
-	}
-	return n
-}
-
-// TotalRx sums received messages across classes.
-func (c Counters) TotalRx() uint64 {
-	var n uint64
-	for _, cc := range c.Rx {
-		n += cc.Msgs
-	}
-	return n
-}
 
 // Segment is a broadcast domain.
 type Segment struct {
@@ -313,6 +236,23 @@ func (w *World) SegmentLoss(name string) (float64, error) {
 	return s.cfg.Loss, nil
 }
 
+// Attach implements netio.Network: it creates a node on the listed
+// segments and installs the battery model when one is configured. A
+// closed world refuses attachments, as every substrate does.
+func (w *World) Attach(cfg netio.EndpointConfig) (netio.Endpoint, error) {
+	if w.closed.Load() {
+		return nil, ErrWorldClosed
+	}
+	n, err := w.AddNode(cfg.ID, cfg.Kind, cfg.Segments...)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Energy != nil {
+		n.SetEnergy(*cfg.Energy)
+	}
+	return n, nil
+}
+
 // AddNode creates a node attached to the listed segments (first one is its
 // primary segment, whose characteristics govern its transmissions).
 func (w *World) AddNode(id NodeID, kind Kind, segments ...string) (*Node, error) {
@@ -322,10 +262,9 @@ func (w *World) AddNode(id NodeID, kind Kind, segments ...string) (*Node, error)
 		return nil, fmt.Errorf("vnet: node %d already exists", id)
 	}
 	n := &Node{
-		id:       id,
-		kind:     kind,
-		world:    w,
-		handlers: make(map[string]Handler),
+		id:    id,
+		kind:  kind,
+		world: w,
 	}
 	for _, segName := range segments {
 		s, ok := w.segments[segName]
@@ -359,31 +298,9 @@ func (w *World) lookupNode(id NodeID) (*Node, bool) {
 	return n, ok
 }
 
-// Node returns a node by ID.
-func (w *World) Node(id NodeID) (*Node, error) {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
-	n, ok := w.nodes[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, id)
-	}
-	return n, nil
-}
-
-// NodeIDs returns all node IDs in ascending order.
-func (w *World) NodeIDs() []NodeID {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
-	ids := make([]NodeID, 0, len(w.nodes))
-	for id := range w.nodes {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
-}
-
-// Close stops all pending deliveries and waits for in-flight handlers.
-func (w *World) Close() {
+// Close stops all pending deliveries and waits for in-flight handlers. It
+// implements netio.Network and always returns nil.
+func (w *World) Close() error {
 	w.dmu.Lock()
 	already := w.closed.Swap(true)
 	if !already {
@@ -400,7 +317,17 @@ func (w *World) Close() {
 	}
 	w.dmu.Unlock()
 	w.inflight.Wait()
+	return nil
 }
+
+// Interface conformance: the world is a netio.Network, nodes are
+// netio.Endpoints, and the world doubles as the link-loss source for the
+// context retrievers.
+var (
+	_ netio.Network    = (*World)(nil)
+	_ netio.Endpoint   = (*Node)(nil)
+	_ netio.LossSource = (*World)(nil)
+)
 
 // draw returns a deterministic uniform sample in [0,1).
 func (w *World) draw() float64 {

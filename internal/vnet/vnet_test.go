@@ -11,7 +11,7 @@ import (
 func newTestWorld(t *testing.T) *World {
 	t.Helper()
 	w := NewWorld(42)
-	t.Cleanup(w.Close)
+	t.Cleanup(func() { _ = w.Close() })
 	w.AddSegment(SegmentConfig{Name: "lan", NativeMulticast: true})
 	w.AddSegment(SegmentConfig{Name: "wlan", Wireless: true})
 	return w

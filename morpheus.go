@@ -17,8 +17,12 @@
 //     (internal/mecho) that relays mobile traffic through fixed nodes.
 //
 // This package is the façade: Start assembles a full Morpheus node — data
-// channel, control channel, context retrievers, policies — on the virtual
-// network testbed (internal/vnet).
+// channel, control channel, context retrievers, policies — on any network
+// substrate implementing netio.Endpoint: the virtual testbed
+// (internal/vnet), the in-process loopback (internal/netio/loopnet), or
+// real UDP sockets (internal/netio/udpnet). Config.Endpoint selects the
+// substrate; the World/ID/Kind/Segments fields remain as the vnet
+// convenience path the experiments use.
 package morpheus
 
 import (
@@ -32,6 +36,7 @@ import (
 	"morpheus/internal/cocaditem"
 	"morpheus/internal/core"
 	"morpheus/internal/group"
+	"morpheus/internal/netio"
 	"morpheus/internal/stack"
 	"morpheus/internal/transport"
 	"morpheus/internal/vnet"
@@ -56,14 +61,18 @@ type (
 	Document = appiaxml.Document
 	// World is the simulated network.
 	World = vnet.World
+	// Endpoint is a node's attachment to any network substrate.
+	Endpoint = netio.Endpoint
+	// Network is a substrate's endpoint factory.
+	Network = netio.Network
 	// Kind classifies devices as fixed or mobile.
-	Kind = vnet.Kind
+	Kind = netio.Kind
 )
 
 // Device kinds.
 const (
-	Fixed  = vnet.Fixed
-	Mobile = vnet.Mobile
+	Fixed  = netio.Fixed
+	Mobile = netio.Mobile
 )
 
 // Message delivery classes (transmission accounting).
@@ -77,8 +86,15 @@ func NewWorld(seed int64) *World { return vnet.NewWorld(seed) }
 
 // Config assembles one Morpheus node.
 type Config struct {
-	// World is the virtual network the node lives in.
-	World *vnet.World
+	// Endpoint is the node's network attachment on any netio substrate
+	// (udpnet for live runs, loopnet for tests, a pre-built vnet node).
+	// When set it wins: World, ID, Kind, Segments and Energy are ignored
+	// and identity is read from the endpoint.
+	Endpoint Endpoint
+	// World is the virtual network the node lives in — the vnet
+	// convenience path: Start attaches the endpoint itself from ID, Kind,
+	// Segments and Energy. Ignored when Endpoint is set.
+	World *World
 	// ID is the node's identifier; the lowest ID in the control group is
 	// the adaptation coordinator.
 	ID NodeID
@@ -88,7 +104,7 @@ type Config struct {
 	// primary. Defaults to ["lan"] for fixed and ["wlan"] for mobile.
 	Segments []string
 	// Energy, when non-nil, meters the node's battery.
-	Energy *vnet.EnergyConfig
+	Energy *netio.EnergyConfig
 	// Members is the bootstrap membership of both the control group and
 	// the initial data channel.
 	Members []NodeID
@@ -132,7 +148,7 @@ type Config struct {
 // Node is a running Morpheus participant.
 type Node struct {
 	cfg      Config
-	vnode    *vnet.Node
+	endpoint Endpoint
 	sched    *appia.Scheduler // data-plane scheduler (reconfigurable stacks)
 	ctlSched *appia.Scheduler // control-plane scheduler (heartbeats, adaptation)
 	manager  *stack.Manager
@@ -152,27 +168,35 @@ func Start(cfg Config) (*Node, error) {
 	if len(cfg.Members) == 0 {
 		return nil, ErrNoMembers
 	}
-	if cfg.World == nil {
-		return nil, errors.New("morpheus: Config.World is required")
-	}
-	logf := cfg.Logf
-	if logf == nil {
-		logf = func(string, ...any) {}
-	}
-	segments := cfg.Segments
-	if len(segments) == 0 {
-		if cfg.Kind == Mobile {
-			segments = []string{"wlan"}
-		} else {
-			segments = []string{"lan"}
+	logf := netio.Logf(cfg.Logf).Or()
+	ep := cfg.Endpoint
+	if ep == nil {
+		// vnet convenience path: attach the endpoint ourselves.
+		if cfg.World == nil {
+			return nil, errors.New("morpheus: Config.Endpoint or Config.World is required")
 		}
-	}
-	vnode, err := cfg.World.AddNode(cfg.ID, cfg.Kind, segments...)
-	if err != nil {
-		return nil, err
-	}
-	if cfg.Energy != nil {
-		vnode.SetEnergy(*cfg.Energy)
+		segments := cfg.Segments
+		if len(segments) == 0 {
+			if cfg.Kind == Mobile {
+				segments = []string{"wlan"}
+			} else {
+				segments = []string{"lan"}
+			}
+		}
+		var err error
+		ep, err = cfg.World.Attach(netio.EndpointConfig{
+			ID:       cfg.ID,
+			Kind:     cfg.Kind,
+			Segments: segments,
+			Energy:   cfg.Energy,
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		// Identity lives on the endpoint.
+		cfg.ID = ep.ID()
+		cfg.Kind = ep.Kind()
 	}
 
 	stack.RegisterAllWireEvents(nil)
@@ -187,10 +211,10 @@ func Start(cfg Config) (*Node, error) {
 	// respected.
 	sched := appia.NewScheduler()
 	ctlSched := appia.NewScheduler()
-	n := &Node{cfg: cfg, vnode: vnode, sched: sched, ctlSched: ctlSched}
+	n := &Node{cfg: cfg, endpoint: ep, sched: sched, ctlSched: ctlSched}
 
 	n.manager = stack.NewManager(stack.ManagerConfig{
-		Node:           vnode,
+		Node:           ep,
 		Self:           cfg.ID,
 		Scheduler:      sched,
 		QuiesceTimeout: cfg.QuiesceTimeout,
@@ -220,13 +244,13 @@ func Start(cfg Config) (*Node, error) {
 	// Control channel: static composition, never reconfigured (§3.2);
 	// Cocaditem and Core share it.
 	retrievers := []cocaditem.Retriever{
-		cocaditem.BatteryRetriever(vnode),
-		cocaditem.DeviceClassRetriever(vnode),
+		cocaditem.BatteryRetriever(ep),
+		cocaditem.DeviceClassRetriever(ep),
 	}
 	retrievers = append(retrievers, cfg.Retrievers...)
 
 	ctlLayers := []appia.Layer{
-		transport.NewPTPLayer(transport.Config{Node: vnode, Port: ControlPort, Logf: logf}),
+		transport.NewPTPLayer(transport.Config{Node: ep, Port: ControlPort, Logf: logf}),
 		group.NewFanoutLayer(group.FanoutConfig{Self: cfg.ID, InitialMembers: cfg.Members}),
 		group.NewNakLayer(group.NakConfig{
 			Self:           cfg.ID,
@@ -291,9 +315,17 @@ func (n *Node) teardownEarly() {
 // ID returns the node's identifier.
 func (n *Node) ID() NodeID { return n.cfg.ID }
 
+// Endpoint exposes the node's network attachment (identity, traffic
+// counters) on whatever substrate it runs.
+func (n *Node) Endpoint() Endpoint { return n.endpoint }
+
 // VNode exposes the virtual network attachment (counters, battery, crash
-// injection).
-func (n *Node) VNode() *vnet.Node { return n.vnode }
+// injection) when the node runs on the vnet convenience path; it returns
+// nil for nodes started on another substrate via Config.Endpoint.
+func (n *Node) VNode() *vnet.Node {
+	vn, _ := n.endpoint.(*vnet.Node)
+	return vn
+}
 
 // Send multicasts an application payload to the group; during
 // reconfigurations it is buffered transparently.

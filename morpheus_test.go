@@ -48,7 +48,7 @@ func eventually(t *testing.T, d time.Duration, what string, cond func() bool) {
 func hybridWorld(t *testing.T, seed int64) *vnet.World {
 	t.Helper()
 	w := vnet.NewWorld(seed)
-	t.Cleanup(w.Close)
+	t.Cleanup(func() { _ = w.Close() })
 	w.AddSegment(vnet.SegmentConfig{Name: "lan", NativeMulticast: true})
 	w.AddSegment(vnet.SegmentConfig{Name: "wlan", Wireless: true})
 	return w
@@ -206,7 +206,7 @@ func TestMessagesSurviveReconfiguration(t *testing.T) {
 // rising measured loss flips the group from ARQ to FEC.
 func TestErrorRecoveryPolicySwitchesToFEC(t *testing.T) {
 	w := vnet.NewWorld(5)
-	t.Cleanup(w.Close)
+	t.Cleanup(func() { _ = w.Close() })
 	w.AddSegment(vnet.SegmentConfig{Name: "lan"})
 	members := []NodeID{1, 2}
 
