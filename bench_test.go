@@ -171,6 +171,26 @@ func BenchmarkErrorRecovery(b *testing.B) {
 	}
 }
 
+// BenchmarkMultiGroupHosting is E9: a node hosting four groups at once
+// (two adapting under load) — per-group transmission cost of the mobile,
+// which must match the dedicated single-group runs.
+func BenchmarkMultiGroupHosting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.RunMultiGroup(experiment.MultiGroupConfig{
+			StressMessages: 30,
+			Messages:       100,
+			Seed:           int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(float64(r.MobileDataTx), r.Group+"-data-tx")
+			b.ReportMetric(float64(r.Leaked), r.Group+"-leaked")
+		}
+	}
+}
+
 // BenchmarkFlushAblation is E8: message continuity across reconfiguration
 // with and without the view-synchronous flush.
 func BenchmarkFlushAblation(b *testing.B) {

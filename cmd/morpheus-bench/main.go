@@ -9,7 +9,7 @@
 //	morpheus-bench -run all -msgs 2000
 //
 // Experiments: figure3 (includes relayload and ctloverhead columns),
-// reconfig, strategies, energy, errorrecovery, flush, all.
+// reconfig, strategies, energy, errorrecovery, flush, multigroup, all.
 package main
 
 import (
@@ -30,7 +30,7 @@ func main() {
 
 func run() int {
 	var (
-		which = flag.String("run", "all", "experiment: figure3|reconfig|strategies|energy|errorrecovery|flush|all")
+		which = flag.String("run", "all", "experiment: figure3|reconfig|strategies|energy|errorrecovery|flush|multigroup|all")
 		msgs  = flag.Int("msgs", 40000, "messages per Figure 3 run (the paper used 40000)")
 		sizes = flag.String("sizes", "2,3,6,9", "comma-separated group sizes for figure3/reconfig")
 		seed  = flag.Int64("seed", 1, "virtual network seed")
@@ -62,6 +62,9 @@ func run() int {
 	}
 	if all || *which == "flush" {
 		ok = flush(*seed) && ok
+	}
+	if all || *which == "multigroup" {
+		ok = multigroup(*seed) && ok
 	}
 	if !ok {
 		return 1
@@ -190,5 +193,21 @@ func flush(seed int64) bool {
 		out = append(out, fmt.Sprintf("%s\t%d\t%d\t%d\t%d", r.Mode, r.Sent, r.MinGotAll, r.Lost, r.Reconfigs))
 	}
 	table("E8 — view-synchronous flush ablation (sends during reconfiguration)", "mode\tsent\tmin-delivered\tlost\treconfigs", out)
+	return true
+}
+
+func multigroup(seed int64) bool {
+	rows, err := experiment.RunMultiGroup(experiment.MultiGroupConfig{Seed: seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "multigroup:", err)
+		return false
+	}
+	var out []string
+	for _, r := range rows {
+		out = append(out, fmt.Sprintf("%s\t%s\t%d\t%d\t%d\t%d\t%d",
+			r.Group, r.Config, r.Epoch, r.MobileDataTx, r.SingleRunDataTx, r.Delivered, r.Leaked))
+	}
+	table("E9 — multi-group hosting (four groups, one node set, two adapting under load)",
+		"group\tconfig\tepoch\tmobile-data-tx\tsingle-run-tx\tdelivered\tleaked", out)
 	return true
 }

@@ -10,6 +10,11 @@
 // With -adapt and a mobile member, the group starts on the plain stack
 // and live-reconfigures to Mecho once context dissemination reveals the
 // hybrid membership — watch for the "config"/"reconfigured" lines.
+//
+// With -join 'room1,room2' each process additionally hosts the named
+// groups on the same node — one UDP endpoint and one control plane serving
+// several independent data stacks — and runs the send/receive workload in
+// every group.
 package main
 
 import (
@@ -32,6 +37,7 @@ func main() {
 		segments = flag.String("segments", "lan", "segment attachments (first is primary)")
 		members  = flag.String("members", "", "bootstrap membership (default: all peer ids)")
 		adapt    = flag.Bool("adapt", false, "enable the hybrid-Mecho adaptation policy")
+		join     = flag.String("join", "", "extra groups to join: 'room1,room2' (workload runs in each)")
 		send     = flag.Int("send", 0, "messages to multicast to the group")
 		interval = flag.Duration("interval", 20*time.Millisecond, "pause between sends")
 		expect   = flag.Int("expect", 0, "messages to receive from other members before exiting")
@@ -47,6 +53,7 @@ func main() {
 		os.Exit(2)
 	}
 	opts.Adapt = *adapt
+	opts.JoinGroups = splitList(*join)
 	opts.SendCount = *send
 	opts.SendInterval = *interval
 	opts.ExpectRecv = *expect

@@ -34,6 +34,9 @@ var memberIDs = []netio.NodeID{1, 2, 100}
 const (
 	sendPerNode = 15
 	relay       = netio.NodeID(1)
+	// extraGroup is the second group every process joins (the multi-group
+	// runtime over one UDP endpoint).
+	extraGroup = "telemetry"
 )
 
 func main() {
@@ -62,14 +65,18 @@ func runChild(id netio.NodeID, peerStr string) {
 		kind = netio.Mobile
 	}
 	err = liverun.Run(liverun.Options{
-		ID:           id,
-		Kind:         kind,
-		Peers:        peerMap,
-		Members:      memberIDs,
-		Adapt:        true,
+		ID:      id,
+		Kind:    kind,
+		Peers:   peerMap,
+		Members: memberIDs,
+		Adapt:   true,
+		// The multi-group runtime: every process also hosts a telemetry
+		// group over the same UDP endpoint and control plane; the workload
+		// runs in both groups, fully isolated from each other.
+		JoinGroups:   []string{extraGroup},
 		SendCount:    sendPerNode,
 		SendInterval: 25 * time.Millisecond,
-		// Each node hears everyone else's casts.
+		// Each node hears everyone else's casts — in every group.
 		ExpectRecv:   sendPerNode * (len(memberIDs) - 1),
 		ExpectConfig: core.MechoConfigName(relay),
 		Timeout:      90 * time.Second,
@@ -104,6 +111,7 @@ func runParent() error {
 		mu           sync.Mutex
 		reconfigured = map[netio.NodeID]bool{}
 		delivered    = map[netio.NodeID]int{}
+		telemetry    = map[netio.NodeID]int{}
 	)
 	results := make(chan result, len(memberIDs))
 	for _, id := range memberIDs {
@@ -124,7 +132,11 @@ func runParent() error {
 				fmt.Printf("  [node %3d] %s\n", id, line)
 				mu.Lock()
 				if strings.HasPrefix(line, "recv ") && !strings.Contains(line, fmt.Sprintf("from=%d ", id)) {
-					delivered[id]++
+					if strings.Contains(line, "group="+extraGroup+" ") {
+						telemetry[id]++
+					} else {
+						delivered[id]++
+					}
 				}
 				if strings.HasPrefix(line, "config ") && strings.Contains(line, "name=mecho") {
 					reconfigured[id] = true
@@ -149,10 +161,10 @@ func runParent() error {
 	want := sendPerNode * (len(memberIDs) - 1)
 	fmt.Println("live: summary")
 	for _, id := range memberIDs {
-		fmt.Printf("live:   node %3d delivered %d/%d, reconfigured to mecho: %v\n",
-			id, delivered[id], want, reconfigured[id])
+		fmt.Printf("live:   node %3d delivered %d/%d chat + %d/%d telemetry, reconfigured to mecho: %v\n",
+			id, delivered[id], want, telemetry[id], want, reconfigured[id])
 	}
-	fmt.Println("live: ok — reliable multicast and a live plain->mecho reconfiguration across 3 processes")
+	fmt.Println("live: ok — reliable multicast in two concurrent groups and a live plain->mecho reconfiguration across 3 processes")
 	return nil
 }
 

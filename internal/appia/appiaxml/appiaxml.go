@@ -204,10 +204,13 @@ func FormatNodeIDs(ids []appia.NodeID) string {
 
 // Env is the local context a layer factory may draw on: the node's network
 // attachment (any netio substrate), identity, current group membership and
-// channel port.
+// channel port. Group names the hosted group the channel belongs to on a
+// multi-group node (empty on single-group deployments); layers use it to
+// tag delivered events so cross-group isolation is observable.
 type Env struct {
 	Node      netio.Endpoint
 	Self      appia.NodeID
+	Group     string
 	Members   []appia.NodeID
 	Port      string
 	Registry  *appia.EventKindRegistry

@@ -5,10 +5,21 @@
 // required by evaluating global policies, and drives the reconfiguration
 // procedure; a local module on every node (stack.Manager) deploys the new
 // XML-described protocol stack once the data channel is quiescent.
+//
+// The layer is a group-hosting control plane: one control channel (one
+// membership service, one failure detector, one context dissemination
+// plane) serves any number of concurrently hosted data groups. Each group
+// registers a GroupRuntime — its stack manager, its adaptation policies,
+// its configured membership — and gets an independent policy evaluator,
+// epoch counter and reconfiguration pipeline; Prepare/Ack events carry the
+// group name so concurrent per-group reconfigurations never interfere.
 package core
 
 import (
+	"errors"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"morpheus/internal/appia"
@@ -18,22 +29,35 @@ import (
 	"morpheus/internal/stack"
 )
 
-// PrepareEvent instructs every participant to deploy a new configuration.
-// Reliable (embeds CastEvent). Headers: epoch, config name, members, XML.
+// DefaultGroup names the group a single-group node hosts implicitly.
+const DefaultGroup = "data"
+
+// Registration errors.
+var (
+	ErrEmptyGroupName = errors.New("core: empty group name")
+	ErrNoManager      = errors.New("core: group runtime needs a manager")
+	ErrDuplicateGroup = errors.New("core: group already registered")
+)
+
+// PrepareEvent instructs every participant to deploy a new configuration
+// for one hosted group. Reliable (embeds CastEvent). Headers: group, epoch,
+// config name, members, XML.
 type PrepareEvent struct {
 	group.CastEvent
-	Epoch      uint64
-	ConfigName string
-	Members    []appia.NodeID
-	XML        string
+	TargetGroup string
+	Epoch       uint64
+	ConfigName  string
+	Members     []appia.NodeID
+	XML         string
 }
 
-// AckEvent reports a completed local deployment. It is a reliable cast so
-// the whole control group (and in particular the coordinator) learns the
-// deployment status even over lossy links.
+// AckEvent reports a completed local deployment for one group. It is a
+// reliable cast so the whole control group (and in particular the
+// coordinator) learns the deployment status even over lossy links.
 type AckEvent struct {
 	group.CastEvent
-	Epoch uint64
+	TargetGroup string
+	Epoch       uint64
 }
 
 // RegisterWireEvents registers core's wire kinds (idempotent).
@@ -45,12 +69,15 @@ func RegisterWireEvents(reg *appia.EventKindRegistry) {
 	reg.Register("core.ack", func() appia.Sendable { return &AckEvent{} })
 }
 
-// PolicyInput is what a policy sees: the current control-group view, the
-// context store, and the currently deployed configuration.
+// PolicyInput is what a policy sees: the group's effective view (the
+// configured group membership restricted to control-group-live nodes), the
+// shared context store, the currently deployed configuration, and the name
+// of the group under evaluation.
 type PolicyInput struct {
 	View    group.View
 	Context *cocaditem.Session
 	Current string
+	Group   string
 }
 
 // Decision is a policy's verdict: deploy Doc under ConfigName for Members.
@@ -72,21 +99,38 @@ type Policy interface {
 	Evaluate(in PolicyInput) *Decision
 }
 
+// GroupRuntime wires one hosted group into the control plane: the local
+// deployment module, the adaptation policies evaluated for the group, and
+// the group's configured membership.
+type GroupRuntime struct {
+	// Group names the group; it must be unique on the node and match the
+	// name every other member registers.
+	Group string
+	// Manager is the group's local deployment module.
+	Manager *stack.Manager
+	// Policies are evaluated in order at the group's coordinator; the
+	// first decision wins. Empty means a non-adaptive group.
+	Policies []Policy
+	// Members is the group's configured membership. The group's effective
+	// view — what policies evaluate and reconfigurations target — is this
+	// set restricted to control-group-live nodes. Empty means the whole
+	// control group.
+	Members []appia.NodeID
+	// OnReconfigured, when set, is called at the group's coordinator once
+	// every member has acknowledged an epoch, with the wall time the
+	// procedure took.
+	OnReconfigured func(epoch uint64, configName string, took time.Duration)
+}
+
 // Config configures the Core layer.
 type Config struct {
 	// Self is this node's identifier.
 	Self appia.NodeID
-	// Manager is the local deployment module.
-	Manager *stack.Manager
-	// Policies are evaluated in order at the coordinator; the first
-	// decision wins.
-	Policies []Policy
+	// Groups are the groups hosted from startup; more can be added (and
+	// removed) at run time via Session.Register / Session.Unregister.
+	Groups []GroupRuntime
 	// EvalInterval is the policy evaluation period (default 200ms).
 	EvalInterval time.Duration
-	// OnReconfigured, when set, is called at the coordinator once every
-	// member has acknowledged an epoch, with the wall time the procedure
-	// took. Used by the reconfiguration-latency experiment.
-	OnReconfigured func(epoch uint64, configName string, took time.Duration)
 	// Logf receives diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -136,7 +180,13 @@ func NewLayer(cfg Config) *Layer {
 
 // NewSession implements appia.Layer.
 func (l *Layer) NewSession() appia.Session {
-	return &Session{cfg: l.cfg}
+	s := &Session{cfg: l.cfg, groups: make(map[string]*groupState)}
+	for _, rt := range l.cfg.Groups {
+		if err := s.Register(rt); err != nil {
+			l.cfg.logf("core[%d]: register group %q: %v", l.cfg.Self, rt.Group, err)
+		}
+	}
+	return s
 }
 
 // evalTick is the private policy evaluation timer.
@@ -144,28 +194,108 @@ type evalTick struct {
 	appia.EventBase
 }
 
-// Session is the per-node Core instance.
+// groupState is one hosted group's control-plane state. Everything except
+// deployedEpoch is only touched on the control scheduler goroutine (after
+// the registration happens-before edge); deployedEpoch is written by deploy
+// goroutines and is therefore atomic.
+type groupState struct {
+	rt      GroupRuntime
+	epoch   uint64
+	current string
+
+	// Coordinator reconfiguration-in-flight state.
+	inFlight      bool
+	acks          map[appia.NodeID]bool
+	decidedAt     time.Time
+	flightName    string
+	flightMembers []appia.NodeID
+
+	// deployedEpoch tracks what the local manager finished deploying.
+	deployedEpoch atomic.Uint64
+}
+
+// Session is the per-node Core instance: the shared control plane plus one
+// evaluator per hosted group.
 type Session struct {
 	cfg      Config
 	ctx      *cocaditem.Session
 	stopTick func()
 
-	view    group.View
-	epoch   uint64
-	current string
+	view group.View // control-group view; scheduler goroutine only
 
-	// Coordinator reconfiguration-in-flight state.
-	inFlight   bool
-	acks       map[appia.NodeID]bool
-	decidedAt  time.Time
-	flightName string
-
-	mu sync.Mutex // guards the fields below, written from deploy goroutines
-	// deployedEpoch tracks what the local manager finished deploying.
-	deployedEpoch uint64
+	mu     sync.Mutex // guards the groups registry
+	groups map[string]*groupState
 }
 
 var _ appia.Session = (*Session)(nil)
+
+// Register adds a hosted group to the control plane. The group's manager
+// must already hold its initial deployment. Safe from any goroutine.
+func (s *Session) Register(rt GroupRuntime) error {
+	if rt.Group == "" {
+		return ErrEmptyGroupName
+	}
+	if rt.Manager == nil {
+		return ErrNoManager
+	}
+	// The group view and its coordinator election assume a sorted,
+	// deduplicated membership (View.Members is documented ascending).
+	rt.Members = group.NormalizeMembers(append([]appia.NodeID(nil), rt.Members...))
+	gs := &groupState{
+		rt:      rt,
+		epoch:   rt.Manager.Epoch(),
+		current: rt.Manager.ConfigName(),
+	}
+	gs.deployedEpoch.Store(gs.epoch)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.groups[rt.Group]; dup {
+		return ErrDuplicateGroup
+	}
+	s.groups[rt.Group] = gs
+	return nil
+}
+
+// Unregister removes a hosted group; in-flight deployments finish but no
+// further adaptation happens for it. Safe from any goroutine.
+func (s *Session) Unregister(name string) {
+	s.mu.Lock()
+	delete(s.groups, name)
+	s.mu.Unlock()
+}
+
+// Groups returns the names of the hosted groups, sorted.
+func (s *Session) Groups() []string {
+	states := s.snapshot()
+	out := make([]string, len(states))
+	for i, gs := range states {
+		out[i] = gs.rt.Group
+	}
+	return out
+}
+
+// lookup resolves a hosted group.
+func (s *Session) lookup(name string) *groupState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.groups[name]
+}
+
+// snapshot returns the hosted groups in deterministic order.
+func (s *Session) snapshot() []*groupState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.groups))
+	for name := range s.groups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*groupState, 0, len(names))
+	for _, name := range names {
+		out = append(out, s.groups[name])
+	}
+	return out
+}
 
 // Handle implements appia.Session.
 func (s *Session) Handle(ch *appia.Channel, ev appia.Event) {
@@ -176,8 +306,6 @@ func (s *Session) Handle(ch *appia.Channel, ev appia.Event) {
 		}
 		self := appia.Session(s)
 		s.stopTick = ch.DeliverEvery(s.cfg.evalInterval(), self, func() appia.Event { return &evalTick{} })
-		s.current = s.cfg.Manager.ConfigName()
-		s.epoch = s.cfg.Manager.Epoch()
 		ch.Forward(ev)
 	case *appia.ChannelClose:
 		if s.stopTick != nil {
@@ -200,64 +328,96 @@ func (s *Session) Handle(ch *appia.Channel, ev appia.Event) {
 	}
 }
 
-// coordinator reports whether this node currently coordinates adaptation.
-func (s *Session) coordinator() bool {
-	return len(s.view.Members) > 0 && s.view.Coordinator() == s.cfg.Self
+// groupView computes a group's effective view: the configured membership
+// restricted to control-group-live nodes (or the whole control view for
+// groups without a configured membership). This is how the single shared
+// failure detector feeds liveness into every hosted group.
+func (s *Session) groupView(gs *groupState) group.View {
+	if len(gs.rt.Members) == 0 {
+		return s.view.Clone()
+	}
+	v := group.View{ID: s.view.ID}
+	for _, m := range gs.rt.Members {
+		if s.view.Contains(m) {
+			v.Members = append(v.Members, m)
+		}
+	}
+	return v
 }
 
-// evaluate runs the policies at the coordinator.
+// evaluate runs every hosted group's policies at that group's coordinator.
+// Groups evaluate independently: one group's in-flight reconfiguration
+// never blocks another's.
 func (s *Session) evaluate(ch *appia.Channel) {
-	if s.inFlight && time.Since(s.decidedAt) > 30*time.Second {
+	if len(s.view.Members) == 0 {
+		return
+	}
+	for _, gs := range s.snapshot() {
+		s.evaluateGroup(ch, gs)
+	}
+}
+
+func (s *Session) evaluateGroup(ch *appia.Channel, gs *groupState) {
+	if gs.inFlight && time.Since(gs.decidedAt) > 30*time.Second {
 		// Safety valve: a member died mid-deployment and its ack will
 		// never come; the control view change will resolve membership,
 		// and adaptation must not stay wedged meanwhile.
-		s.cfg.logf("core[%d]: epoch %d acks incomplete after 30s; unblocking", s.cfg.Self, s.epoch)
-		s.inFlight = false
+		s.cfg.logf("core[%d]: group %q epoch %d acks incomplete after 30s; unblocking",
+			s.cfg.Self, gs.rt.Group, gs.epoch)
+		gs.inFlight = false
 	}
-	if !s.coordinator() || s.inFlight || s.ctx == nil || len(s.cfg.Policies) == 0 {
+	gv := s.groupView(gs)
+	if len(gv.Members) == 0 || gv.Coordinator() != s.cfg.Self {
 		return
 	}
-	in := PolicyInput{View: s.view.Clone(), Context: s.ctx, Current: s.current}
-	for _, p := range s.cfg.Policies {
+	if gs.inFlight || s.ctx == nil || len(gs.rt.Policies) == 0 {
+		return
+	}
+	in := PolicyInput{View: gv, Context: s.ctx, Current: gs.current, Group: gs.rt.Group}
+	for _, p := range gs.rt.Policies {
 		d := p.Evaluate(in)
 		if d == nil {
 			continue
 		}
-		if d.ConfigName == s.current {
+		if d.ConfigName == gs.current {
 			continue
 		}
-		s.initiate(ch, p, d)
+		s.initiate(ch, gs, gv, p, d)
 		return
 	}
 }
 
-// initiate starts a reconfiguration: ship the XML to everybody (§3.3: "the
-// coordinator sends to each participant the configuration that should be
-// deployed at that node").
-func (s *Session) initiate(ch *appia.Channel, p Policy, d *Decision) {
+// initiate starts a reconfiguration of one group: ship the XML to everybody
+// (§3.3: "the coordinator sends to each participant the configuration that
+// should be deployed at that node"). Non-members of the group receive and
+// ignore the Prepare — the control channel is shared, the deployment is
+// not.
+func (s *Session) initiate(ch *appia.Channel, gs *groupState, gv group.View, p Policy, d *Decision) {
 	xml, err := d.Doc.Marshal()
 	if err != nil {
-		s.cfg.logf("core[%d]: marshal config %q: %v", s.cfg.Self, d.ConfigName, err)
+		s.cfg.logf("core[%d]: group %q: marshal config %q: %v", s.cfg.Self, gs.rt.Group, d.ConfigName, err)
 		return
 	}
-	s.epoch++
-	s.inFlight = true
-	s.acks = make(map[appia.NodeID]bool)
-	s.decidedAt = time.Now()
-	s.flightName = d.ConfigName
-	s.cfg.logf("core[%d]: policy %q: %s -> %s (epoch %d): %s",
-		s.cfg.Self, p.Name(), s.current, d.ConfigName, s.epoch, d.Reason)
-	s.current = d.ConfigName
-
 	members := d.Members
 	if len(members) == 0 {
-		members = s.view.Members
+		members = gv.Members
 	}
+	gs.epoch++
+	gs.inFlight = true
+	gs.acks = make(map[appia.NodeID]bool)
+	gs.decidedAt = time.Now()
+	gs.flightName = d.ConfigName
+	gs.flightMembers = append([]appia.NodeID(nil), members...)
+	s.cfg.logf("core[%d]: group %q: policy %q: %s -> %s (epoch %d): %s",
+		s.cfg.Self, gs.rt.Group, p.Name(), gs.current, d.ConfigName, gs.epoch, d.Reason)
+	gs.current = d.ConfigName
+
 	ev := &PrepareEvent{
-		Epoch:      s.epoch,
-		ConfigName: d.ConfigName,
-		Members:    append([]appia.NodeID(nil), members...),
-		XML:        xml,
+		TargetGroup: gs.rt.Group,
+		Epoch:       gs.epoch,
+		ConfigName:  d.ConfigName,
+		Members:     append([]appia.NodeID(nil), members...),
+		XML:         xml,
 	}
 	ev.Class = appia.ClassControl
 	m := ev.EnsureMsg()
@@ -269,18 +429,23 @@ func (s *Session) initiate(ch *appia.Channel, p Policy, d *Decision) {
 	m.PushUvarintSlice(ids)
 	m.PushString(ev.ConfigName)
 	m.PushUvarint(ev.Epoch)
+	m.PushString(ev.TargetGroup)
 	sess := appia.Session(s)
 	_ = ch.SendFrom(sess, ev, appia.Down)
 }
 
-// onPrepare deploys the new configuration locally (every member, including
-// the coordinator, through the reliable self-delivery).
+// onPrepare deploys the new configuration locally (every group member,
+// including the coordinator, through the reliable self-delivery).
 func (s *Session) onPrepare(ch *appia.Channel, e *PrepareEvent) {
 	if e.Dir() == appia.Down {
 		ch.Forward(e)
 		return
 	}
 	m := e.EnsureMsg()
+	groupName, err := m.PopString()
+	if err != nil {
+		return
+	}
 	epoch, err := m.PopUvarint()
 	if err != nil {
 		return
@@ -301,90 +466,122 @@ func (s *Session) onPrepare(ch *appia.Channel, e *PrepareEvent) {
 	for i, u := range ids {
 		members[i] = appia.NodeID(uint32(u))
 	}
-	e.Epoch, e.ConfigName, e.Members, e.XML = epoch, name, members, xml
+	e.TargetGroup, e.Epoch, e.ConfigName, e.Members, e.XML = groupName, epoch, name, members, xml
 
-	doc, err := appiaxml.ParseString(xml)
-	if err != nil {
-		s.cfg.logf("core[%d]: bad config XML for epoch %d: %v", s.cfg.Self, epoch, err)
+	gs := s.lookup(groupName)
+	if gs == nil {
+		return // we do not host this group: not our deployment
+	}
+	if epoch < gs.epoch {
+		// Out-of-order Prepare from a deposed coordinator (the control
+		// channel is FIFO per origin only): the deployment would be
+		// rejected as stale anyway, and adopting its config name would
+		// desynchronize this node's believed configuration — at a
+		// coordinator, that triggers a pointless group-wide redeployment.
 		return
 	}
-	if epoch > s.epoch {
-		s.epoch = epoch
+	doc, err := appiaxml.ParseString(xml)
+	if err != nil {
+		s.cfg.logf("core[%d]: group %q: bad config XML for epoch %d: %v", s.cfg.Self, groupName, epoch, err)
+		return
 	}
-	s.current = name
+	gs.epoch = epoch
+	gs.current = name
 
 	// The deployment blocks on view-synchronous quiescence, so it runs off
 	// the scheduler goroutine; the Ack is inserted thread-safely after.
+	// Deployments of different groups run concurrently by construction.
 	go func() {
-		if err := s.cfg.Manager.Reconfigure(doc, name, epoch, members); err != nil {
-			s.cfg.logf("core[%d]: reconfigure epoch %d: %v", s.cfg.Self, epoch, err)
+		if err := gs.rt.Manager.Reconfigure(doc, name, epoch, members); err != nil {
+			s.cfg.logf("core[%d]: group %q: reconfigure epoch %d: %v", s.cfg.Self, groupName, epoch, err)
 			return
 		}
-		s.mu.Lock()
-		if epoch > s.deployedEpoch {
-			s.deployedEpoch = epoch
+		for {
+			cur := gs.deployedEpoch.Load()
+			if epoch <= cur || gs.deployedEpoch.CompareAndSwap(cur, epoch) {
+				break
+			}
 		}
-		s.mu.Unlock()
-		ack := &AckEvent{Epoch: epoch}
+		ack := &AckEvent{TargetGroup: groupName, Epoch: epoch}
 		ack.Class = appia.ClassControl
-		ack.EnsureMsg().PushUvarint(epoch)
+		am := ack.EnsureMsg()
+		am.PushUvarint(epoch)
+		am.PushString(groupName)
 		if err := ch.Insert(ack, appia.Down); err != nil {
-			s.cfg.logf("core[%d]: ack epoch %d: %v", s.cfg.Self, epoch, err)
+			s.cfg.logf("core[%d]: group %q: ack epoch %d: %v", s.cfg.Self, groupName, epoch, err)
 		}
 	}()
 }
 
-// onAck tallies deployment acknowledgements at the coordinator.
+// onAck tallies deployment acknowledgements at the group's coordinator.
 func (s *Session) onAck(ch *appia.Channel, e *AckEvent) {
 	if e.Dir() == appia.Down {
 		ch.Forward(e)
 		return
 	}
-	epoch, err := e.EnsureMsg().PopUvarint()
+	m := e.EnsureMsg()
+	groupName, err := m.PopString()
 	if err != nil {
 		return
 	}
-	if !s.inFlight || epoch != s.epoch || s.acks == nil {
+	epoch, err := m.PopUvarint()
+	if err != nil {
+		return
+	}
+	e.TargetGroup, e.Epoch = groupName, epoch
+	gs := s.lookup(groupName)
+	if gs == nil {
+		return
+	}
+	if !gs.inFlight || epoch != gs.epoch || gs.acks == nil {
 		return
 	}
 	// Origin (set by the reliable layer) identifies the deployer; the
-	// vnet-level Source may be a relay.
-	s.acks[e.Origin] = true
-	for _, m := range s.view.Members {
-		if m == s.cfg.Self {
+	// substrate-level Source may be a relay.
+	gs.acks[e.Origin] = true
+	for _, mbr := range gs.flightMembers {
+		if mbr == s.cfg.Self {
 			continue // our own deployment is tracked via deployedEpoch
 		}
-		if !s.acks[m] {
+		if !s.view.Contains(mbr) {
+			continue // died mid-flight; the view change excused it
+		}
+		if !gs.acks[mbr] {
 			return
 		}
 	}
 	// All remote members acked; require the local deployment too.
-	s.mu.Lock()
-	localDone := s.deployedEpoch >= epoch
-	s.mu.Unlock()
-	if !localDone {
-		// Re-check on the next ack or tick; cheap approach: leave
-		// inFlight set, the eval tick will not fire policies, and the
-		// local goroutine's ack-to-self closes the loop below.
+	if gs.deployedEpoch.Load() < epoch {
+		// Re-check on the next ack: the local goroutine's ack-to-self
+		// closes the loop below.
 		return
 	}
-	s.inFlight = false
-	took := time.Since(s.decidedAt)
-	if s.cfg.OnReconfigured != nil {
-		s.cfg.OnReconfigured(epoch, s.flightName, took)
+	gs.inFlight = false
+	took := time.Since(gs.decidedAt)
+	if gs.rt.OnReconfigured != nil {
+		gs.rt.OnReconfigured(epoch, gs.flightName, took)
 	}
-	s.cfg.logf("core[%d]: epoch %d (%s) deployed group-wide in %v", s.cfg.Self, epoch, s.flightName, took)
+	s.cfg.logf("core[%d]: group %q: epoch %d (%s) deployed group-wide in %v",
+		s.cfg.Self, gs.rt.Group, epoch, gs.flightName, took)
 }
 
-// DeployedEpoch reports the last epoch the local manager finished (safe
-// from any goroutine).
-func (s *Session) DeployedEpoch() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.deployedEpoch
+// DeployedEpoch reports the last epoch the named group's local manager
+// finished (safe from any goroutine; 0 for unknown groups).
+func (s *Session) DeployedEpoch(groupName string) uint64 {
+	gs := s.lookup(groupName)
+	if gs == nil {
+		return 0
+	}
+	return gs.deployedEpoch.Load()
 }
 
-// CurrentConfig returns the configuration name this node believes active.
-// Scheduler-goroutine safety: reads a field written on the scheduler; for
-// test/diagnostic use only.
-func (s *Session) CurrentConfig() string { return s.current }
+// CurrentConfig returns the configuration name this node believes active
+// for the named group. Scheduler-goroutine safety: reads a field written on
+// the scheduler; for test/diagnostic use only.
+func (s *Session) CurrentConfig(groupName string) string {
+	gs := s.lookup(groupName)
+	if gs == nil {
+		return ""
+	}
+	return gs.current
+}

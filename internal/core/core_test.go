@@ -305,14 +305,19 @@ func TestCoreControlLoop(t *testing.T) {
 			group.NewGMSLayer(group.GMSConfig{Self: id, InitialMembers: members}),
 			cocaditem.NewLayer(cocaditem.Config{Self: id, Interval: 20 * time.Millisecond, Retrievers: []cocaditem.Retriever{cocaditem.DeviceClassRetriever(vn)}}),
 			NewLayer(Config{
-				Self: id, Manager: mgr,
-				Policies: []Policy{StaticPolicy{Config: MechoConfigName(1), Make: func() Decision {
-					return Decision{ConfigName: MechoConfigName(1), Doc: MechoConfig(1)}
-				}}},
+				Self: id,
+				Groups: []GroupRuntime{{
+					Group:   DefaultGroup,
+					Manager: mgr,
+					Members: members,
+					Policies: []Policy{StaticPolicy{Config: MechoConfigName(1), Make: func() Decision {
+						return Decision{ConfigName: MechoConfigName(1), Doc: MechoConfig(1)}
+					}}},
+					OnReconfigured: func(epoch uint64, name string, took time.Duration) {
+						done <- epoch
+					},
+				}},
 				EvalInterval: 30 * time.Millisecond,
-				OnReconfigured: func(epoch uint64, name string, took time.Duration) {
-					done <- epoch
-				},
 			}),
 		)
 		if err != nil {

@@ -77,7 +77,7 @@ func (l *Layer) NewSession() appia.Session {
 	return &session{
 		cfg:     l.cfg,
 		members: l.cfg.InitialMembers,
-		rng:     rand.New(rand.NewSource(seed)),
+		seed:    seed,
 		seen:    make(map[gossipID]struct{}),
 		nextID:  1,
 	}
@@ -92,7 +92,7 @@ type gossipID struct {
 type session struct {
 	cfg     Config
 	members []appia.NodeID
-	rng     *rand.Rand
+	seed    int64
 	seen    map[gossipID]struct{}
 	nextID  uint64
 }
@@ -155,9 +155,10 @@ func (s *session) receive(ch *appia.Channel, e appia.Sendable) {
 	ch.Forward(e)
 }
 
-// infect sends copies to fanout random peers with the remaining TTL.
+// infect sends copies to the message's forwarding set with the remaining
+// TTL.
 func (s *session) infect(ch *appia.Channel, e appia.Sendable, id gossipID, ttl int) {
-	peers := s.pickPeers(e.SendableBase().Source)
+	peers := s.peersFor(id, ttl)
 	sess := appia.Session(s)
 	for _, p := range peers {
 		cp := appia.CloneSendable(e)
@@ -168,12 +169,34 @@ func (s *session) infect(ch *appia.Channel, e appia.Sendable, id gossipID, ttl i
 	}
 }
 
-// pickPeers draws up to Fanout distinct random members, excluding self and
-// the node we just heard this message from.
-func (s *session) pickPeers(exclude appia.NodeID) []appia.NodeID {
+// peersFor derives this node's forwarding set for one gossip round as a
+// pure function of (layer seed, message id, remaining TTL, membership): up
+// to Fanout distinct members, excluding self and the origin (which
+// trivially holds its own message). Earlier versions drew from a shared
+// per-session RNG stream and excluded the node the copy was first heard
+// from, which made every draw — and therefore every transmission counter —
+// depend on the cross-node interleaving of *all prior* message deliveries.
+// Hashing the draw per (message, round) removes that coupling: the draws
+// for one message no longer shift when an unrelated message is processed
+// first, so the E5 gossip counters replay (up to per-message first-arrival
+// depth) at equal seeds. The TTL stays in the mix because a frozen
+// per-message edge set would forfeit gossip's path redundancy.
+//
+// The first slot of the set is not random: it is the node's successor on a
+// per-message rotation of the membership ring (the same stride at every
+// node, derived from the message id alone). The rotation is a bijection,
+// so every member has exactly one ring-predecessor per message and the
+// infection graph has no in-degree-0 holes — the deterministic analogue of
+// the coverage that i.i.d. draws only provide in expectation. The
+// remaining Fanout−1 slots are the hash-random picks.
+func (s *session) peersFor(id gossipID, ttl int) []appia.NodeID {
 	var candidates []appia.NodeID
-	for _, m := range s.members {
-		if m != s.cfg.Self && m != exclude {
+	self := -1
+	for i, m := range s.members {
+		if m == s.cfg.Self {
+			self = i
+		}
+		if m != s.cfg.Self && m != id.origin {
 			candidates = append(candidates, m)
 		}
 	}
@@ -181,10 +204,47 @@ func (s *session) pickPeers(exclude appia.NodeID) []appia.NodeID {
 	if len(candidates) <= f {
 		return candidates
 	}
-	s.rng.Shuffle(len(candidates), func(i, j int) {
+	var out []appia.NodeID
+	if self >= 0 {
+		// Ring pick: common stride per message, first eligible successor.
+		n := len(s.members)
+		stride := 1 + int(mix(uint64(uint32(id.origin)), id.n)%uint64(n-1))
+		for k := 0; k < n-1; k++ {
+			cand := s.members[(self+stride+k)%n]
+			if cand != s.cfg.Self && cand != id.origin {
+				out = append(out, cand)
+				break
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(int64(mix(uint64(s.seed), uint64(uint32(id.origin)), id.n, uint64(ttl)))))
+	rng.Shuffle(len(candidates), func(i, j int) {
 		candidates[i], candidates[j] = candidates[j], candidates[i]
 	})
-	return candidates[:f]
+	for _, c := range candidates {
+		if len(out) >= f {
+			break
+		}
+		if len(out) > 0 && c == out[0] {
+			continue // the ring pick already holds a slot
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// mix folds the inputs through a splitmix64 finaliser, decorrelating the
+// per-message RNG seeds.
+func mix(vs ...uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, v := range vs {
+		h ^= v + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+		z := h
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		h = z ^ (z >> 31)
+	}
+	return h
 }
 
 // pushHeader frames a message: [gossiped][origin][counter][ttl].

@@ -159,6 +159,54 @@ func TestEnergyLifetime(t *testing.T) {
 	}
 }
 
+// TestMultiGroupHosting is E9 at reduced scale: four concurrently hosted
+// groups on one node set, two reconfiguring under load, with per-group
+// counters matching their dedicated single-group equivalents at equal
+// seeds and zero cross-group leakage.
+func TestMultiGroupHosting(t *testing.T) {
+	rows, err := RunMultiGroup(MultiGroupConfig{StressMessages: 30, Messages: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		t.Logf("%-6s config=%-14s epoch=%d mobileDataTx=%d singleRunDataTx=%d delivered=%d leaked=%d",
+			r.Group, r.Config, r.Epoch, r.MobileDataTx, r.SingleRunDataTx, r.Delivered, r.Leaked)
+		if r.Leaked != 0 {
+			t.Errorf("group %s: %d cross-group leaks", r.Group, r.Leaked)
+		}
+		if r.Delivered != 60 {
+			t.Errorf("group %s: delivered %d, want 60", r.Group, r.Delivered)
+		}
+		if r.MobileDataTx != r.SingleRunDataTx {
+			t.Errorf("group %s: multi-group data tx %d != single-group %d",
+				r.Group, r.MobileDataTx, r.SingleRunDataTx)
+		}
+		switch r.Group {
+		case "alpha", "beta":
+			if r.Config != "mecho:relay=1" || r.Epoch < 2 {
+				t.Errorf("group %s did not reconfigure: config=%s epoch=%d", r.Group, r.Config, r.Epoch)
+			}
+			if r.MobileDataTx != 60 {
+				t.Errorf("group %s: mecho cost %d, want 60 (one unicast per cast)", r.Group, r.MobileDataTx)
+			}
+		case "gamma":
+			if r.Epoch != 1 {
+				t.Errorf("gamma reconfigured to epoch %d", r.Epoch)
+			}
+			if r.MobileDataTx != 60*3 {
+				t.Errorf("gamma: plain fan-out cost %d, want %d", r.MobileDataTx, 60*3)
+			}
+		case "delta":
+			if r.MobileDataTx != 60 {
+				t.Errorf("delta: mecho cost %d, want 60", r.MobileDataTx)
+			}
+		}
+	}
+}
+
 func TestFlushAblation(t *testing.T) {
 	rows, err := RunFlushAblation(200, 9)
 	if err != nil {

@@ -1,0 +1,354 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"morpheus"
+	"morpheus/internal/appia"
+	"morpheus/internal/core"
+)
+
+// --- E9: multi-group hosting -------------------------------------------------
+
+// MultiGroupRow reports one hosted group of the E9 scenario: its final
+// configuration, the mobile's per-group data transmissions in the measured
+// phase, and the same quantity from an identically seeded single-group run
+// of the same stack — the two must match, proving that co-hosting N groups
+// on one node costs each group nothing and leaks nothing.
+type MultiGroupRow struct {
+	Group  string
+	Config string
+	Epoch  uint64
+	// MobileDataTx is the mobile's data-class transmissions attributed to
+	// this group during the measured phase of the multi-group run.
+	MobileDataTx uint64
+	// SingleRunDataTx is the same workload measured in a dedicated
+	// single-group run at the same seed.
+	SingleRunDataTx uint64
+	// Delivered is how many measured-phase payloads the observer node
+	// delivered in this group (want: Messages).
+	Delivered int
+	// Leaked counts deliveries that crossed a group boundary (want: 0).
+	Leaked int
+}
+
+// MultiGroupConfig parameterises the E9 scenario.
+type MultiGroupConfig struct {
+	// StressMessages are sent per group by the mobile while two groups
+	// reconfigure underneath the traffic (default 40).
+	StressMessages int
+	// Messages are sent per group in the measured phase, after the
+	// reconfigurations settle (default 150).
+	Messages int
+	// Timeout bounds the run.
+	Timeout time.Duration
+	// Seed drives the virtual network (multi-group and single-group runs
+	// use the same seed).
+	Seed int64
+}
+
+func (c *MultiGroupConfig) defaults() {
+	if c.StressMessages == 0 {
+		c.StressMessages = 40
+	}
+	if c.Messages == 0 {
+		c.Messages = 150
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 60 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 17
+	}
+}
+
+// mgGroupSpec describes one hosted group of the scenario.
+type mgGroupSpec struct {
+	name        string
+	policies    []morpheus.Policy
+	initial     *morpheus.Document
+	initialName string
+	// settled is the configuration the group must reach before the
+	// measured phase.
+	settled string
+}
+
+// mgSpecs is the paper-flavoured group mix: two groups that adapt
+// plain→Mecho concurrently under load, one pinned to plain, one pinned to
+// Mecho from the start.
+func mgSpecs() []mgGroupSpec {
+	return []mgGroupSpec{
+		{name: "alpha", policies: []morpheus.Policy{core.HybridMechoPolicy{}}, settled: core.MechoConfigName(1)},
+		{name: "beta", policies: []morpheus.Policy{core.HybridMechoPolicy{}}, settled: core.MechoConfigName(1)},
+		{name: "gamma", settled: core.PlainConfigName},
+		{name: "delta", initial: core.MechoConfig(1), initialName: core.MechoConfigName(1), settled: core.MechoConfigName(1)},
+	}
+}
+
+// mgCollector tallies one group's deliveries at one node and counts
+// cross-group leaks via the group tag and the payload marker.
+type mgCollector struct {
+	group  string
+	mu     sync.Mutex
+	got    int
+	leaked int
+}
+
+func (c *mgCollector) config(members []appia.NodeID, spec mgGroupSpec) morpheus.GroupConfig {
+	return morpheus.GroupConfig{
+		Members:           members,
+		Policies:          spec.policies,
+		InitialConfig:     spec.initial,
+		InitialConfigName: spec.initialName,
+		OnCast: func(ev *morpheus.CastEvent) {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			if ev.Group != c.group || !strings.HasPrefix(string(ev.Msg.Bytes()), "g="+c.group+";") {
+				c.leaked++
+				return
+			}
+			c.got++
+		},
+	}
+}
+
+func (c *mgCollector) counts() (got, leaked int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.got, c.leaked
+}
+
+// mgPayload marks a payload with its group so leaks are detectable.
+func mgPayload(group string, i int) []byte {
+	return []byte(fmt.Sprintf("g=%s;line %06d from the pda", group, i))
+}
+
+// RunMultiGroup is E9: one node set (three fixed, one mobile PDA) hosts
+// four groups with mixed plain/Mecho configurations over a single shared
+// endpoint and control plane. Phase 1 stresses the runtime — the mobile
+// multicasts in every group concurrently while alpha and beta reconfigure
+// plain→Mecho at the same time. Phase 2 measures the mobile's per-group
+// Figure-3-style transmission cost and replays the identical workload in
+// four dedicated single-group runs at the same seed: per-group counters
+// must match, and nothing may cross group boundaries.
+func RunMultiGroup(cfg MultiGroupConfig) ([]MultiGroupRow, error) {
+	cfg.defaults()
+	specs := mgSpecs()
+	members := []appia.NodeID{1, 2, 3, MobileID}
+
+	w := hybridWorld(cfg.Seed)
+	defer w.Close()
+
+	nodes := make(map[appia.NodeID]*morpheus.Node, len(members))
+	groups := make(map[appia.NodeID]map[string]*morpheus.Group)
+	// observer deliveries are tallied at node 1 (the relay: it sees every
+	// configuration's traffic) per group.
+	obs := make(map[string]*mgCollector, len(specs))
+	defer func() {
+		for _, nd := range nodes {
+			_ = nd.Close()
+		}
+	}()
+	for _, id := range members {
+		kind, seg := morpheus.Fixed, "lan"
+		if id == MobileID {
+			kind, seg = morpheus.Mobile, "wlan"
+		}
+		nd, err := morpheus.Start(morpheus.Config{
+			World: w, ID: id, Kind: kind, Segments: []string{seg},
+			Members:         members,
+			ContextInterval: 40 * time.Millisecond,
+			EvalInterval:    50 * time.Millisecond,
+			PublishOnChange: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		nodes[id] = nd
+		groups[id] = make(map[string]*morpheus.Group)
+		for _, spec := range specs {
+			col := &mgCollector{group: spec.name}
+			if id == 1 {
+				obs[spec.name] = col
+			}
+			g, err := nd.Join(spec.name, col.config(members, spec))
+			if err != nil {
+				return nil, fmt.Errorf("node %d join %s: %w", id, spec.name, err)
+			}
+			groups[id][spec.name] = g
+		}
+	}
+	// Phase 1 — stress: concurrent sends in every group while alpha and
+	// beta reconfigure underneath.
+	var wg sync.WaitGroup
+	var sendErr error
+	var sendErrMu sync.Mutex
+	for _, spec := range specs {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			g := groups[MobileID][name]
+			for i := 0; i < cfg.StressMessages; i++ {
+				if err := g.Send(mgPayload(name, i)); err != nil {
+					sendErrMu.Lock()
+					if sendErr == nil {
+						sendErr = fmt.Errorf("stress send %s: %w", name, err)
+					}
+					sendErrMu.Unlock()
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}(spec.name)
+	}
+	wg.Wait()
+	if sendErr != nil {
+		return nil, sendErr
+	}
+	// Every group must settle on its expected configuration on every node.
+	for _, spec := range specs {
+		spec := spec
+		if !waitFor(cfg.Timeout, func() bool {
+			for _, id := range members {
+				if groups[id][spec.name].ConfigName() != spec.settled {
+					return false
+				}
+			}
+			return true
+		}) {
+			return nil, fmt.Errorf("group %s never settled on %s", spec.name, spec.settled)
+		}
+	}
+	// ... and deliver the complete stress workload at the observer.
+	if !waitFor(cfg.Timeout, func() bool {
+		for _, spec := range specs {
+			if got, _ := obs[spec.name].counts(); got < cfg.StressMessages {
+				return false
+			}
+		}
+		return true
+	}) {
+		return nil, fmt.Errorf("stress deliveries incomplete")
+	}
+
+	// Phase 2 — measured: interleave Messages casts per group round-robin
+	// and attribute the mobile's transmissions per group.
+	baseline := make(map[string]int, len(specs))
+	for _, spec := range specs {
+		got, _ := obs[spec.name].counts()
+		baseline[spec.name] = got
+		groups[MobileID][spec.name].ResetCounters()
+	}
+	for i := 0; i < cfg.Messages; i++ {
+		for _, spec := range specs {
+			if err := groups[MobileID][spec.name].Send(mgPayload(spec.name, cfg.StressMessages+i)); err != nil {
+				return nil, fmt.Errorf("measured send %s: %w", spec.name, err)
+			}
+		}
+	}
+	if !waitFor(cfg.Timeout, func() bool {
+		for _, spec := range specs {
+			if got, _ := obs[spec.name].counts(); got < baseline[spec.name]+cfg.Messages {
+				return false
+			}
+		}
+		return true
+	}) {
+		return nil, fmt.Errorf("measured deliveries incomplete")
+	}
+
+	rows := make([]MultiGroupRow, 0, len(specs))
+	for _, spec := range specs {
+		g := groups[MobileID][spec.name]
+		got, leaked := obs[spec.name].counts()
+		single, err := runSingleGroupEquivalent(spec, cfg, members)
+		if err != nil {
+			return nil, fmt.Errorf("single-group equivalent %s: %w", spec.name, err)
+		}
+		rows = append(rows, MultiGroupRow{
+			Group:           spec.name,
+			Config:          g.ConfigName(),
+			Epoch:           g.Epoch(),
+			MobileDataTx:    g.Counters().Tx[appia.ClassData].Msgs,
+			SingleRunDataTx: single,
+			Delivered:       got - baseline[spec.name],
+			Leaked:          leaked,
+		})
+	}
+	return rows, nil
+}
+
+// runSingleGroupEquivalent replays one group's measured-phase workload in a
+// dedicated single-group deployment at the same seed and returns the
+// mobile's data transmissions.
+func runSingleGroupEquivalent(spec mgGroupSpec, cfg MultiGroupConfig, members []appia.NodeID) (uint64, error) {
+	w := hybridWorld(cfg.Seed)
+	defer w.Close()
+	var nodes []*morpheus.Node
+	defer func() {
+		for _, nd := range nodes {
+			_ = nd.Close()
+		}
+	}()
+	obs := &mgCollector{group: spec.name}
+	for _, id := range members {
+		kind, seg := morpheus.Fixed, "lan"
+		if id == MobileID {
+			kind, seg = morpheus.Mobile, "wlan"
+		}
+		ndCfg := morpheus.Config{
+			World: w, ID: id, Kind: kind, Segments: []string{seg},
+			Members:         members,
+			ContextInterval: 40 * time.Millisecond,
+			EvalInterval:    50 * time.Millisecond,
+			PublishOnChange: true,
+		}
+		nd, err := morpheus.Start(ndCfg)
+		if err != nil {
+			return 0, err
+		}
+		nodes = append(nodes, nd)
+		gc := obs.config(members, spec)
+		if id != 1 {
+			gc.OnCast = nil // only node 1 observes
+		}
+		if _, err := nd.Join(spec.name, gc); err != nil {
+			return 0, err
+		}
+	}
+	var mobile *morpheus.Node
+	for _, nd := range nodes {
+		if nd.ID() == MobileID {
+			mobile = nd
+		}
+	}
+	g := mobile.Group(spec.name)
+	// Same settle condition as the multi-group run. Adaptive groups need a
+	// little traffic-free time for context dissemination either way.
+	if !waitFor(cfg.Timeout, func() bool {
+		for _, nd := range nodes {
+			if nd.Group(spec.name).ConfigName() != spec.settled {
+				return false
+			}
+		}
+		return true
+	}) {
+		return 0, fmt.Errorf("never settled on %s", spec.settled)
+	}
+	g.ResetCounters()
+	for i := 0; i < cfg.Messages; i++ {
+		if err := g.Send(mgPayload(spec.name, cfg.StressMessages+i)); err != nil {
+			return 0, err
+		}
+	}
+	if !waitFor(cfg.Timeout, func() bool {
+		got, _ := obs.counts()
+		return got >= cfg.Messages
+	}) {
+		return 0, fmt.Errorf("deliveries incomplete")
+	}
+	return g.Counters().Tx[appia.ClassData].Msgs, nil
+}

@@ -163,11 +163,18 @@ func popVector(m *appia.Message) (DeliveredVector, error) {
 // it; the GMS control events below exploit this.
 //
 // Origin and Seq are local metadata filled in by the reliable layer on
-// delivery (the wire carries them as message headers).
+// delivery (the wire carries them as message headers). Group is local
+// metadata too: on a node hosting several groups, the delivering stack
+// stamps the event with the name of the group it belongs to, so
+// applications (and the multi-group isolation tests) can assert that
+// traffic never crossed group boundaries. It never travels on the wire —
+// group isolation is structural (per-group port namespaces and sequence
+// spaces), the tag only makes it observable.
 type CastEvent struct {
 	appia.SendableEvent
 	Origin appia.NodeID
 	Seq    uint64
+	Group  string
 }
 
 // CastBase implements Caster.

@@ -11,6 +11,10 @@ import (
 type NakConfig struct {
 	// Self is this node's identifier.
 	Self appia.NodeID
+	// Group names the group this layer serves on a multi-group node; it is
+	// stamped onto delivered casts so cross-group leakage is observable.
+	// Empty for single-group (or control) channels.
+	Group string
 	// InitialMembers seeds the stability peer set until the first view.
 	InitialMembers []appia.NodeID
 	// NackDelay is how long a gap may stand before a retransmission
@@ -21,6 +25,14 @@ type NakConfig struct {
 	// disables stability gossip (buffers then grow without bound — only
 	// for short-lived test channels).
 	StableInterval time.Duration
+	// StableEvery, when positive, additionally gossips the delivered
+	// vector after every StableEvery-th delivered cast, re-arming the
+	// wall-clock timer each time. Under sustained traffic the gossip
+	// schedule then depends only on the (deterministic) delivery sequence,
+	// not on wall-clock timing — which is what keeps experiment counters
+	// reproducible at equal seeds; the timer remains as a keepalive for
+	// idle channels.
+	StableEvery int
 }
 
 func (c *NakConfig) nackDelay() time.Duration {
@@ -115,7 +127,8 @@ type nakSession struct {
 	recv    map[appia.NodeID]*originState
 	peerVec map[appia.NodeID]DeliveredVector // last stability vector per peer
 
-	stopStable func()
+	stopStable  func()
+	sinceGossip int // deliveries since the last stability gossip
 }
 
 var _ appia.Session = (*nakSession)(nil)
@@ -131,12 +144,7 @@ func (s *nakSession) Handle(ch *appia.Channel, ev appia.Event) {
 	}
 	switch e := ev.(type) {
 	case *appia.ChannelInit:
-		if s.cfg.StableInterval >= 0 {
-			sess := appia.Session(s)
-			s.stopStable = ch.DeliverEvery(s.cfg.stableInterval(), sess, func() appia.Event {
-				return &stableTick{}
-			})
-		}
+		s.armStable(ch)
 		ch.Forward(ev)
 	case *appia.ChannelClose:
 		if s.stopStable != nil {
@@ -163,6 +171,7 @@ func (s *nakSession) Handle(ch *appia.Channel, ev appia.Event) {
 		s.fireNack(ch, e.origin)
 	case *stableTick:
 		s.gossipStable(ch)
+		s.armStable(ch)
 	default:
 		ch.Forward(ev)
 	}
@@ -220,9 +229,11 @@ func (s *nakSession) sendCast(ch *appia.Channel, base *CastEvent, ev appia.Event
 		cb := c.CastBase()
 		cb.Origin = s.cfg.Self
 		cb.Seq = seq
+		cb.Group = s.cfg.Group
 	}
 	sess := appia.Session(s)
 	_ = ch.SendFrom(sess, selfCopy, appia.Up)
+	s.countDelivery(ch)
 
 	ch.Forward(ev)
 }
@@ -242,6 +253,7 @@ func (s *nakSession) receiveCast(ch *appia.Channel, base *CastEvent, ev appia.Ev
 	origin := appia.NodeID(uint32(o))
 	base.Origin = origin
 	base.Seq = seq
+	base.Group = s.cfg.Group
 
 	st := s.origin(origin)
 	if seq > st.known {
@@ -254,6 +266,7 @@ func (s *nakSession) receiveCast(ch *appia.Channel, base *CastEvent, ev appia.Ev
 		st.next++
 		s.storeHistory(st, origin, seq, ev)
 		ch.Forward(ev)
+		s.countDelivery(ch)
 		s.drain(ch, origin, st)
 	default:
 		if _, dup := st.buffer[seq]; !dup {
@@ -289,6 +302,7 @@ func (s *nakSession) drain(ch *appia.Channel, origin appia.NodeID, st *originSta
 		st.next++
 		s.storeHistory(st, origin, seq, ev)
 		ch.Forward(ev)
+		s.countDelivery(ch)
 	}
 	if !st.missing() {
 		if st.cancel != nil {
@@ -429,8 +443,37 @@ func (s *nakSession) handleNack(ch *appia.Channel, e *Nack) {
 	}
 }
 
+// armStable (re-)schedules the wall-clock stability keepalive. A negative
+// StableInterval disables stability gossip entirely.
+func (s *nakSession) armStable(ch *appia.Channel) {
+	if s.cfg.StableInterval < 0 {
+		return
+	}
+	if s.stopStable != nil {
+		s.stopStable()
+	}
+	sess := appia.Session(s)
+	s.stopStable = ch.DeliverAfter(s.cfg.stableInterval(), sess, &stableTick{})
+}
+
+// countDelivery advances the delivery-driven gossip schedule: with
+// StableEvery set, every StableEvery-th delivered cast gossips immediately
+// and pushes the wall-clock keepalive back, so under load the gossip points
+// are a pure function of the delivery sequence.
+func (s *nakSession) countDelivery(ch *appia.Channel) {
+	if s.cfg.StableEvery <= 0 || s.cfg.StableInterval < 0 {
+		return
+	}
+	s.sinceGossip++
+	if s.sinceGossip >= s.cfg.StableEvery {
+		s.gossipStable(ch)
+		s.armStable(ch)
+	}
+}
+
 // gossipStable multicasts our delivered vector.
 func (s *nakSession) gossipStable(ch *appia.Channel) {
+	s.sinceGossip = 0
 	st := &Stable{Vector: s.deliveredVector()}
 	st.Class = appia.ClassControl
 	st.Vector.push(st.EnsureMsg())

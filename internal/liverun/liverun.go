@@ -9,11 +9,17 @@
 // Output lines (one event per line, stable prefixes for scripting):
 //
 //	ready id=<id> addr=<udp addr> config=<name>
-//	recv id=<id> from=<src> payload=<text>
+//	joined id=<id> group=<name> config=<cfg>
+//	recv id=<id> group=<name> from=<src> payload=<text>
 //	view id=<id> members=<comma list>
 //	config id=<id> epoch=<n> name=<config>
 //	reconfigured id=<id> epoch=<n> config=<name> took=<duration>
 //	done id=<id> sent=<n> received=<n> config=<name> tx=<msgs>
+//
+// With Options.JoinGroups set, the process additionally joins the named
+// groups on the same node (the multi-group runtime: one endpoint, one
+// control plane, N data stacks) and runs the send/receive workload in each
+// of them too.
 package liverun
 
 import (
@@ -48,14 +54,19 @@ type Options struct {
 	Segments []string
 	// Members is the bootstrap membership (default: all peer IDs).
 	Members []netio.NodeID
-	// Adapt enables the paper's hybrid-Mecho adaptation policy.
+	// Adapt enables the paper's hybrid-Mecho adaptation policy (default
+	// group only; extra groups stay on their static plain stack).
 	Adapt bool
-	// SendCount messages are multicast to the group ("<id> says hello <i>").
+	// JoinGroups names additional groups to join beyond the default one;
+	// every member must list the same names. The send/receive workload
+	// runs in each group independently.
+	JoinGroups []string
+	// SendCount messages are multicast to each group ("<id> says hello <i>").
 	SendCount int
 	// SendInterval paces the sends (default 20ms).
 	SendInterval time.Duration
-	// ExpectRecv is how many messages from other members to wait for
-	// before declaring success.
+	// ExpectRecv is how many messages from other members to wait for in
+	// each group before declaring success.
 	ExpectRecv int
 	// ExpectConfig, when non-empty, additionally requires the deployed
 	// configuration to reach this name (e.g. "mecho:relay=1") — the
@@ -121,8 +132,18 @@ func Run(opts Options, out io.Writer) error {
 	}
 
 	var recvMu sync.Mutex
-	received := 0
+	received := make(map[string]int) // per-group deliveries from other members
 	recvCond := sync.NewCond(&recvMu)
+	countRecv := func(gname string, from morpheus.NodeID, payload []byte) {
+		emit("recv id=%d group=%s from=%d payload=%s", opts.ID, gname, from, payload)
+		if from == opts.ID {
+			return // local echo of one's own cast: not network delivery
+		}
+		recvMu.Lock()
+		received[gname]++
+		recvMu.Unlock()
+		recvCond.Broadcast()
+	}
 
 	var policies []morpheus.Policy
 	if opts.Adapt {
@@ -145,14 +166,7 @@ func Run(opts Options, out io.Writer) error {
 		Heartbeat:    200 * time.Millisecond,
 		SuspectAfter: 5 * time.Second,
 		OnMessage: func(from morpheus.NodeID, payload []byte) {
-			emit("recv id=%d from=%d payload=%s", opts.ID, from, payload)
-			if from == opts.ID {
-				return // local echo of one's own cast: not network delivery
-			}
-			recvMu.Lock()
-			received++
-			recvMu.Unlock()
-			recvCond.Broadcast()
+			countRecv(morpheus.DefaultGroup, from, payload)
 		},
 		OnViewChange: func(v morpheus.View) {
 			emit("view id=%d members=%s", opts.ID, FormatMembers(v.Members))
@@ -167,6 +181,24 @@ func Run(opts Options, out io.Writer) error {
 	}
 	defer node.Close()
 	emit("ready id=%d addr=%s config=%s", opts.ID, opts.Peers[opts.ID], node.ConfigName())
+
+	// The multi-group runtime: join every extra group on the same node —
+	// same endpoint and control plane, one more data stack each.
+	sendGroups := []*morpheus.Group{node.Group(morpheus.DefaultGroup)}
+	for _, gname := range opts.JoinGroups {
+		gname := gname
+		g, err := node.Join(gname, morpheus.GroupConfig{
+			Members: opts.Members,
+			OnMessage: func(from morpheus.NodeID, payload []byte) {
+				countRecv(gname, from, payload)
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("liverun: join %q: %w", gname, err)
+		}
+		emit("joined id=%d group=%s config=%s", opts.ID, gname, g.ConfigName())
+		sendGroups = append(sendGroups, g)
+	}
 
 	deadline := time.Now().Add(opts.Timeout)
 
@@ -197,24 +229,42 @@ func Run(opts Options, out io.Writer) error {
 
 	sent := 0
 	for i := 0; i < opts.SendCount; i++ {
-		if err := node.Send(fmt.Appendf(nil, "%d says hello %d", opts.ID, i)); err != nil {
-			return fmt.Errorf("liverun: send %d: %w", i, err)
+		for _, g := range sendGroups {
+			if err := g.Send(fmt.Appendf(nil, "%d says hello %s %d", opts.ID, g.Name(), i)); err != nil {
+				return fmt.Errorf("liverun: send %d in %q: %w", i, g.Name(), err)
+			}
+			sent++
 		}
-		sent++
 		time.Sleep(opts.SendInterval)
 	}
 
-	// Wait for the receive quota.
+	// Wait for the receive quota in every group.
+	quotaMet := func() (string, bool) {
+		for _, g := range sendGroups {
+			if received[g.Name()] < opts.ExpectRecv {
+				return g.Name(), false
+			}
+		}
+		return "", true
+	}
+	got := 0
 	recvMu.Lock()
-	for received < opts.ExpectRecv {
+	for {
+		lagging, ok := quotaMet()
+		if ok {
+			break
+		}
 		if time.Now().After(deadline) {
-			got := received
+			gotLagging := received[lagging]
 			recvMu.Unlock()
-			return fmt.Errorf("liverun: timeout with %d/%d messages received", got, opts.ExpectRecv)
+			return fmt.Errorf("liverun: timeout with %d/%d messages received in group %q",
+				gotLagging, opts.ExpectRecv, lagging)
 		}
 		waitCondTimeout(recvCond, 100*time.Millisecond)
 	}
-	got := received
+	for _, n := range received {
+		got += n
+	}
 	recvMu.Unlock()
 
 	// Wait for the expected configuration (proof the group survived a
@@ -226,8 +276,8 @@ func Run(opts Options, out io.Writer) error {
 		time.Sleep(50 * time.Millisecond)
 	}
 
-	emit("done id=%d sent=%d received=%d config=%s tx=%d",
-		opts.ID, sent, got, node.ConfigName(), ep.Counters().TotalTx())
+	emit("done id=%d sent=%d received=%d config=%s groups=%d tx=%d",
+		opts.ID, sent, got, node.ConfigName(), 1+len(opts.JoinGroups), ep.Counters().TotalTx())
 	return nil
 }
 

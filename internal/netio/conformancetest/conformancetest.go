@@ -109,6 +109,7 @@ func Run(t *testing.T, h Harness) {
 	t.Run("MulticastFanout", func(t *testing.T) { testMulticastFanout(t, h) })
 	t.Run("MulticastNotAttached", func(t *testing.T) { testMulticastNotAttached(t, h) })
 	t.Run("PortIsolationAcrossEpochs", func(t *testing.T) { testPortIsolation(t, h) })
+	t.Run("CrossGroupIsolation", func(t *testing.T) { testCrossGroupIsolation(t, h) })
 	t.Run("CountersReset", func(t *testing.T) { testCountersReset(t, h) })
 	t.Run("ConcurrentClose", func(t *testing.T) { testConcurrentClose(t, h) })
 	t.Run("AttachAfterNetworkClose", func(t *testing.T) { testAttachAfterClose(t, h) })
@@ -267,6 +268,62 @@ func testPortIsolation(t *testing.T, h Harness) {
 	}
 	if n := len(epoch2.snapshot()); n != 1 {
 		t.Fatalf("epoch 2 got %d deliveries, want 1", n)
+	}
+}
+
+// testCrossGroupIsolation models a multi-group node: two hosted groups use
+// group-namespaced ports that share the same port leaf ("alpha/data@1",
+// "beta/data@1" — same base and epoch). Frames addressed to one group's
+// port must never surface on the other's handler: group isolation is the
+// port namespace, so the substrate's exact-port demux is what enforces it.
+func testCrossGroupIsolation(t *testing.T, h Harness) {
+	nw := h.New(t)
+	defer nw.Close()
+	a, b := attach(t, nw, h, 1), attach(t, nw, h, 2)
+
+	const (
+		alphaPort = "alpha/data@1"
+		betaPort  = "beta/data@1"
+	)
+	alpha, beta := newRecorder(), newRecorder()
+	b.Handle(alphaPort, alpha.handler)
+	b.Handle(betaPort, beta.handler)
+
+	if err := a.Send(2, alphaPort, "data", []byte("for-alpha")); err != nil {
+		t.Fatalf("send alpha: %v", err)
+	}
+	if err := a.Send(2, betaPort, "data", []byte("for-beta")); err != nil {
+		t.Fatalf("send beta: %v", err)
+	}
+	gotA := alpha.waitCount(t, 1)
+	gotB := beta.waitCount(t, 1)
+	if gotA[0].payload != "for-alpha" || gotA[0].port != alphaPort {
+		t.Fatalf("alpha delivered %+v", gotA[0])
+	}
+	if gotB[0].payload != "for-beta" || gotB[0].port != betaPort {
+		t.Fatalf("beta delivered %+v", gotB[0])
+	}
+	h.settle()
+	if n := len(alpha.snapshot()); n != 1 {
+		t.Fatalf("alpha got %d deliveries, want exactly 1 (cross-group leak)", n)
+	}
+	if n := len(beta.snapshot()); n != 1 {
+		t.Fatalf("beta got %d deliveries, want exactly 1 (cross-group leak)", n)
+	}
+
+	// One group leaving (port unbound) must not disturb the other, and the
+	// leaver's traffic must vanish rather than leak.
+	b.Handle(alphaPort, nil)
+	if err := a.Send(2, alphaPort, "data", []byte("after-leave")); err != nil {
+		t.Fatalf("send after leave: %v", err)
+	}
+	if err := a.Send(2, betaPort, "data", []byte("beta-still-up")); err != nil {
+		t.Fatalf("send beta 2: %v", err)
+	}
+	beta.waitCount(t, 2)
+	h.settle()
+	if n := len(alpha.snapshot()); n != 1 {
+		t.Fatalf("left group still received frames: %d", n)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 var (
 	ErrNotDeployed = errors.New("stack: no configuration deployed")
 	ErrStaleEpoch  = errors.New("stack: stale configuration epoch")
+	ErrClosed      = errors.New("stack: manager closed")
 )
 
 // ManagerConfig configures a StackManager.
@@ -24,6 +25,14 @@ type ManagerConfig struct {
 	Node netio.Endpoint
 	// Self is this node's identifier.
 	Self appia.NodeID
+	// Group names the hosted group this manager serves. When set, the
+	// per-epoch port is namespaced as "<group>/<base>@<epoch>", extending
+	// the epoch isolation the port scheme already provides to group
+	// isolation: a node hosting many groups gives each one a disjoint port
+	// space, so frames can never cross groups even when two groups sit at
+	// the same epoch. Delivered casts are stamped with the group name.
+	// Empty means a single-group node (legacy "<base>@<epoch>" ports).
+	Group string
 	// Scheduler runs all of the node's channels.
 	Scheduler *appia.Scheduler
 	// Registry resolves layer names; nil means NewStandardRegistry().
@@ -61,6 +70,15 @@ func (c *ManagerConfig) basePort() string {
 	return c.BasePort
 }
 
+// portFor computes the substrate port for one configuration epoch,
+// namespaced by group when the manager serves one of many hosted groups.
+func (c *ManagerConfig) portFor(epoch uint64) string {
+	if c.Group == "" {
+		return fmt.Sprintf("%s@%d", c.basePort(), epoch)
+	}
+	return fmt.Sprintf("%s/%s@%d", c.Group, c.basePort(), epoch)
+}
+
 func (c *ManagerConfig) quiesceTimeout() time.Duration {
 	if c.QuiesceTimeout <= 0 {
 		return defaultQuiesceTimeout
@@ -96,6 +114,11 @@ type Manager struct {
 		// level- rather than edge-triggered.
 		quiescentSeen bool
 		reconfig      bool
+		// closed marks the manager permanently torn down; a reconfiguration
+		// that completes after Close must discard its freshly built channel
+		// instead of installing it (which would re-bind the group's ports
+		// on a supposedly-left group).
+		closed bool
 	}
 }
 
@@ -125,6 +148,17 @@ func (m *Manager) ConfigName() string {
 	return m.state.configName
 }
 
+// Group returns the hosted group this manager serves ("" on single-group
+// nodes).
+func (m *Manager) Group() string { return m.cfg.Group }
+
+// Members returns the membership of the deployed configuration.
+func (m *Manager) Members() []appia.NodeID {
+	m.state.Lock()
+	defer m.state.Unlock()
+	return append([]appia.NodeID(nil), m.state.members...)
+}
+
 // Channel returns the live data channel (nil before the first Deploy).
 func (m *Manager) Channel() *appia.Channel {
 	m.state.Lock()
@@ -147,6 +181,11 @@ func (m *Manager) Deploy(doc *appiaxml.Document, configName string, epoch uint64
 		return fmt.Errorf("stack: channel for epoch %d never became ready", epoch)
 	}
 	m.state.Lock()
+	if m.state.closed {
+		m.state.Unlock()
+		_ = ch.Close()
+		return ErrClosed
+	}
 	m.state.ch = ch
 	m.state.epoch = epoch
 	m.state.configName = configName
@@ -164,8 +203,9 @@ func (m *Manager) build(doc *appiaxml.Document, epoch uint64, members []appia.No
 	env := &appiaxml.Env{
 		Node:      m.cfg.Node,
 		Self:      m.cfg.Self,
+		Group:     m.cfg.Group,
 		Members:   group.NormalizeMembers(append([]appia.NodeID(nil), members...)),
-		Port:      fmt.Sprintf("%s@%d", m.cfg.basePort(), epoch),
+		Port:      m.cfg.portFor(epoch),
 		Registry:  m.cfg.Events,
 		Scheduler: m.cfg.Scheduler,
 		Deliver:   m.deliver,
@@ -198,6 +238,9 @@ func (m *Manager) deliver(ev appia.Event) {
 		// informational only
 	case group.Caster:
 		cb := e.CastBase()
+		// Stamp the group tag here as well as in the reliable layer: some
+		// configurations (FEC) deliver casts without passing group.nak.
+		cb.Group = m.cfg.Group
 		if m.cfg.OnDeliver != nil {
 			m.cfg.OnDeliver(cb)
 		}
@@ -286,14 +329,26 @@ func (m *Manager) Reconfigure(doc *appiaxml.Document, configName string, epoch u
 	if err := old.Close(); err != nil {
 		m.cfg.logf("stack[%d]: close old channel: %v", m.cfg.Self, err)
 	}
+	// Rescue casts the old channel's GMS was still holding: a send that
+	// raced a *remotely initiated* flush lands in the GMS pending buffer
+	// (blocked) before this node's Core has even set the manager to
+	// buffering mode, and would otherwise die with the channel. They never
+	// reached the reliable layer, so resubmitting them on the new stack is
+	// lossless and duplicate-free. Prepended: they predate everything
+	// buffered after the Prepare arrived.
+	if rescued := pendingPayloads(old); len(rescued) > 0 {
+		m.state.Lock()
+		m.state.buffered = append(rescued, m.state.buffered...)
+		m.state.Unlock()
+	}
 
 	ch, err := m.build(doc, epoch, members)
 	if err != nil {
-		m.finishReconfig(nil, "", 0, nil)
+		m.finishReconfig(nil, "", epoch, nil)
 		return err
 	}
 	if err := ch.Start(); err != nil {
-		m.finishReconfig(nil, "", 0, nil)
+		m.finishReconfig(nil, "", epoch, nil)
 		return err
 	}
 	ch.WaitReady(m.cfg.quiesceTimeout())
@@ -304,12 +359,37 @@ func (m *Manager) Reconfigure(doc *appiaxml.Document, configName string, epoch u
 // finishReconfig installs the new channel and flushes buffered sends.
 func (m *Manager) finishReconfig(ch *appia.Channel, configName string, epoch uint64, members []appia.NodeID) {
 	m.state.Lock()
-	if ch != nil {
-		m.state.ch = ch
-		m.state.configName = configName
-		m.state.epoch = epoch
-		m.state.members = append([]appia.NodeID(nil), members...)
+	if m.state.closed {
+		// Raced with Close: the group is gone — do not install (that would
+		// re-bind its ports); discard the freshly built channel instead.
+		m.state.reconfig = false
+		m.state.quiesced = nil
+		m.state.buffered = nil
+		m.state.Unlock()
+		if ch != nil {
+			_ = ch.Close()
+		}
+		return
 	}
+	if ch == nil {
+		// Rebuild failed with the old channel already gone. Keep the
+		// buffered sends (including any rescued GMS-pending casts) for the
+		// next epoch's attempt rather than dropping them silently, and
+		// remember the channel is trivially quiescent so that attempt does
+		// not stall on a flush of a closed channel.
+		held := len(m.state.buffered)
+		m.state.reconfig = false
+		m.state.quiesced = nil
+		m.state.quiescentSeen = true
+		m.state.Unlock()
+		m.cfg.logf("stack[%d]: epoch %d rebuild failed; holding %d buffered sends for the next deployment",
+			m.cfg.Self, epoch, held)
+		return
+	}
+	m.state.ch = ch
+	m.state.configName = configName
+	m.state.epoch = epoch
+	m.state.members = append([]appia.NodeID(nil), members...)
 	m.state.reconfig = false
 	m.state.quiesced = nil
 	m.state.quiescentSeen = false // fresh channel, fresh lifecycle
@@ -317,9 +397,6 @@ func (m *Manager) finishReconfig(ch *appia.Channel, configName string, epoch uin
 	m.state.buffered = nil
 	m.state.Unlock()
 
-	if ch == nil {
-		return
-	}
 	for _, p := range buffered {
 		ev := &group.CastEvent{}
 		ev.Msg = appia.NewMessage(p)
@@ -329,11 +406,37 @@ func (m *Manager) finishReconfig(ch *appia.Channel, configName string, epoch uin
 	}
 }
 
-// Close tears down the current channel.
+// pendingPayloads extracts application casts stranded in a closed
+// channel's GMS pending buffer. Only pure CastEvents are rescued: control
+// subtypes (ordering batches, flush traffic) are stale the moment the
+// epoch changes and are regenerated by the new stack. Reading the session
+// is safe here because Close has completed — the closed-channel handoff
+// orders this read after the scheduler's last touch.
+func pendingPayloads(ch *appia.Channel) [][]byte {
+	type pender interface{ Pending() []appia.Event }
+	gs, ok := ch.SessionFor("group.gms").(pender)
+	if !ok {
+		return nil
+	}
+	var out [][]byte
+	for _, ev := range gs.Pending() {
+		ce, ok := ev.(*group.CastEvent)
+		if !ok || ce.Dest != appia.NoNode || ce.Msg == nil {
+			continue
+		}
+		out = append(out, append([]byte(nil), ce.Msg.Bytes()...))
+	}
+	return out
+}
+
+// Close tears down the current channel and marks the manager closed: an
+// in-flight reconfiguration that completes afterwards discards its new
+// channel instead of installing it.
 func (m *Manager) Close() error {
 	m.state.Lock()
 	ch := m.state.ch
 	m.state.ch = nil
+	m.state.closed = true
 	m.state.Unlock()
 	if ch == nil {
 		return nil

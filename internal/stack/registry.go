@@ -74,11 +74,17 @@ func NewStandardRegistry() *appiaxml.LayerRegistry {
 		if err != nil {
 			return nil, err
 		}
+		stableEvery, err := p.Int("stable-every", 0)
+		if err != nil {
+			return nil, err
+		}
 		return group.NewNakLayer(group.NakConfig{
 			Self:           env.Self,
+			Group:          env.Group,
 			InitialMembers: env.Members,
 			NackDelay:      nackDelay,
 			StableInterval: stable,
+			StableEvery:    stableEvery,
 		}), nil
 	})
 

@@ -16,18 +16,26 @@
 //   - adaptive protocols, notably the Mecho best-effort multicast
 //     (internal/mecho) that relays mobile traffic through fixed nodes.
 //
-// This package is the façade: Start assembles a full Morpheus node — data
-// channel, control channel, context retrievers, policies — on any network
-// substrate implementing netio.Endpoint: the virtual testbed
-// (internal/vnet), the in-process loopback (internal/netio/loopnet), or
-// real UDP sockets (internal/netio/udpnet). Config.Endpoint selects the
-// substrate; the World/ID/Kind/Segments fields remain as the vnet
-// convenience path the experiments use.
+// This package is the façade, and a Node is a *group-hosting runtime*: one
+// process participates in any number of concurrently hosted groups, each
+// with its own membership, protocol stack, configuration epoch and
+// adaptation policies, while sharing a single network endpoint, context
+// sensor plane, control scheduler and failure detector. Start assembles
+// the shared control plane plus a default group from Config.Members;
+// Node.Join adds further groups at run time, each returning a Group handle
+// (Send / Leave / per-group traffic counters). Any substrate implementing
+// netio.Endpoint works: the virtual testbed (internal/vnet), the
+// in-process loopback (internal/netio/loopnet), or real UDP sockets
+// (internal/netio/udpnet). Config.Endpoint selects the substrate; the
+// World/ID/Kind/Segments fields remain as the vnet convenience path the
+// experiments use.
 package morpheus
 
 import (
 	"errors"
 	"fmt"
+	"strings"
+	"sync"
 
 	"time"
 
@@ -49,6 +57,9 @@ type (
 	NodeID = appia.NodeID
 	// View is an agreed group membership epoch.
 	View = group.View
+	// CastEvent is a delivered group multicast (origin, sequence number,
+	// group tag, payload).
+	CastEvent = group.CastEvent
 	// Sample is one context observation.
 	Sample = cocaditem.Sample
 	// Policy decides when and how to adapt.
@@ -67,6 +78,8 @@ type (
 	Network = netio.Network
 	// Kind classifies devices as fixed or mobile.
 	Kind = netio.Kind
+	// Counters is a snapshot of class-keyed traffic counts.
+	Counters = netio.Counters
 )
 
 // Device kinds.
@@ -80,6 +93,10 @@ const (
 	ClassData    = appia.ClassData
 	ClassControl = appia.ClassControl
 )
+
+// DefaultGroup is the name of the group Start joins implicitly from
+// Config.Members; Node.Send and friends operate on it.
+const DefaultGroup = core.DefaultGroup
 
 // NewWorld creates a simulated network with a deterministic seed.
 func NewWorld(seed int64) *World { return vnet.NewWorld(seed) }
@@ -105,14 +122,16 @@ type Config struct {
 	Segments []string
 	// Energy, when non-nil, meters the node's battery.
 	Energy *netio.EnergyConfig
-	// Members is the bootstrap membership of both the control group and
-	// the initial data channel.
+	// Members is the bootstrap membership of the control group and of the
+	// default data group.
 	Members []NodeID
-	// InitialConfig is the first data stack (default core.PlainConfig).
+	// InitialConfig is the default group's first data stack (default
+	// core.PlainConfig).
 	InitialConfig *Document
 	// InitialConfigName names it (default "plain").
 	InitialConfigName string
-	// Policies drive adaptation; leave empty for a non-adaptive node.
+	// Policies drive the default group's adaptation; leave empty for a
+	// non-adaptive node.
 	Policies []Policy
 	// Retrievers adds context sources beyond the built-in battery and
 	// device-class retrievers.
@@ -123,13 +142,13 @@ type Config struct {
 	PublishOnChange bool
 	// EvalInterval is the Core policy evaluation period (default 200ms).
 	EvalInterval time.Duration
-	// OnMessage receives application payloads delivered by the data
-	// channel (on the node's scheduler goroutine: return quickly).
+	// OnMessage receives application payloads delivered by the default
+	// group (on the group's scheduler goroutine: return quickly).
 	OnMessage func(from NodeID, payload []byte)
-	// OnViewChange observes data channel views.
+	// OnViewChange observes default group views.
 	OnViewChange func(v View)
-	// OnReconfigured observes completed reconfigurations (coordinator
-	// only).
+	// OnReconfigured observes completed default-group reconfigurations
+	// (coordinator only).
 	OnReconfigured func(epoch uint64, configName string, took time.Duration)
 	// QuiesceTimeout bounds reconfiguration flushes (default 5s).
 	QuiesceTimeout time.Duration
@@ -137,33 +156,91 @@ type Config struct {
 	Heartbeat time.Duration
 	// SuspectAfter is the control group failure detection threshold.
 	SuspectAfter time.Duration
-	// NackDelay tunes the reliable layer's retransmission timer.
+	// NackDelay tunes the control channel's retransmission timer.
 	NackDelay time.Duration
-	// StableInterval tunes the stability gossip period.
+	// StableInterval tunes the control channel's stability gossip period.
 	StableInterval time.Duration
 	// Logf receives diagnostics; nil discards them.
 	Logf func(format string, args ...any)
 }
 
-// Node is a running Morpheus participant.
+// GroupConfig describes one hosted group to Join.
+type GroupConfig struct {
+	// Members is the group's bootstrap membership; every member must join
+	// the group under the same name with the same list. Empty means the
+	// node's control-group membership.
+	Members []NodeID
+	// InitialConfig is the group's first stack (default core.PlainConfig).
+	// All members must join with the same initial configuration.
+	InitialConfig *Document
+	// InitialConfigName names it (default "plain").
+	InitialConfigName string
+	// Policies drive this group's adaptation, evaluated independently of
+	// every other group's; empty means a non-adaptive group.
+	Policies []Policy
+	// QuiesceTimeout bounds this group's reconfiguration flushes
+	// (default 5s).
+	QuiesceTimeout time.Duration
+	// OnMessage receives payloads delivered in this group (on the group's
+	// scheduler goroutine: return quickly).
+	OnMessage func(from NodeID, payload []byte)
+	// OnCast, when set, receives the full delivered cast event (origin,
+	// sequence number, group tag) in addition to OnMessage.
+	OnCast func(ev *CastEvent)
+	// OnViewChange observes the group's data-channel views.
+	OnViewChange func(v View)
+	// OnReconfigured observes completed reconfigurations of this group
+	// (group coordinator only).
+	OnReconfigured func(epoch uint64, configName string, took time.Duration)
+}
+
+// Node is a running Morpheus participant: the shared control plane of a
+// group-hosting runtime.
 type Node struct {
 	cfg      Config
 	endpoint Endpoint
-	sched    *appia.Scheduler // data-plane scheduler (reconfigurable stacks)
 	ctlSched *appia.Scheduler // control-plane scheduler (heartbeats, adaptation)
-	manager  *stack.Manager
 	ctl      *appia.Channel
 	ctx      *cocaditem.Session
 	coreSes  *core.Session
+
+	mu     sync.Mutex
+	groups map[string]*Group
+	closed bool
 }
 
-// ErrNoMembers reports a Start without bootstrap membership.
-var ErrNoMembers = errors.New("morpheus: Config.Members must not be empty")
+// Group is one hosted group on a Node: an independent protocol stack,
+// membership, epoch counter and adaptation pipeline sharing the node's
+// endpoint and control plane.
+type Group struct {
+	name    string
+	node    *Node
+	cfg     GroupConfig
+	ep      *groupEndpoint
+	sched   *appia.Scheduler
+	manager *stack.Manager
+}
 
-// ControlPort is the vnet port of the (never reconfigured) control channel.
+// Facade errors.
+var (
+	// ErrNoMembers reports a Start without bootstrap membership.
+	ErrNoMembers = errors.New("morpheus: Config.Members must not be empty")
+	// ErrBadGroupName reports a Join with an empty or unusable group name.
+	ErrBadGroupName = errors.New("morpheus: group name must be non-empty and free of '/' and '@'")
+	// ErrGroupExists reports a Join of an already hosted group.
+	ErrGroupExists = errors.New("morpheus: group already joined")
+	// ErrNodeClosed reports an operation on a closed node.
+	ErrNodeClosed = errors.New("morpheus: node closed")
+	// ErrNoGroup reports an operation on a group the node does not host.
+	ErrNoGroup = errors.New("morpheus: group not joined")
+)
+
+// ControlPort is the substrate port of the (never reconfigured) control
+// channel.
 const ControlPort = "ctl"
 
-// Start builds, deploys and starts a node.
+// Start builds, deploys and starts a node: the shared control plane plus
+// the default group.
 func Start(cfg Config) (*Node, error) {
 	if len(cfg.Members) == 0 {
 		return nil, ErrNoMembers
@@ -203,46 +280,36 @@ func Start(cfg Config) (*Node, error) {
 	cocaditem.RegisterWireEvents(nil)
 	core.RegisterWireEvents(nil)
 
-	// The data and control planes get separate schedulers: a data-channel
-	// mailbox backlog (a bulk transfer, a benchmark flood) must not delay
-	// heartbeats or failure-detector timers, or the group would evict
-	// perfectly healthy-but-busy members. The two stacks share no sessions,
-	// so the Appia rule that session-sharing channels share a scheduler is
-	// respected.
-	sched := appia.NewScheduler()
-	ctlSched := appia.NewScheduler()
-	n := &Node{cfg: cfg, endpoint: ep, sched: sched, ctlSched: ctlSched}
+	n := &Node{
+		cfg:      cfg,
+		endpoint: ep,
+		ctlSched: appia.NewScheduler(),
+		groups:   make(map[string]*Group),
+	}
 
-	n.manager = stack.NewManager(stack.ManagerConfig{
-		Node:           ep,
-		Self:           cfg.ID,
-		Scheduler:      sched,
-		QuiesceTimeout: cfg.QuiesceTimeout,
-		OnDeliver: func(ev *group.CastEvent) {
-			if cfg.OnMessage != nil {
-				cfg.OnMessage(ev.Origin, ev.Msg.Bytes())
-			}
-		},
-		OnViewChange: cfg.OnViewChange,
-		Logf:         logf,
+	// The default group rides on Config for backwards compatibility: a
+	// single-group node keeps the original Start(Members, Policies,
+	// OnMessage) shape.
+	g, err := n.buildGroup(DefaultGroup, GroupConfig{
+		Members:           cfg.Members,
+		InitialConfig:     cfg.InitialConfig,
+		InitialConfigName: cfg.InitialConfigName,
+		Policies:          cfg.Policies,
+		QuiesceTimeout:    cfg.QuiesceTimeout,
+		OnMessage:         cfg.OnMessage,
+		OnViewChange:      cfg.OnViewChange,
+		OnReconfigured:    cfg.OnReconfigured,
 	})
-
-	initialDoc := cfg.InitialConfig
-	initialName := cfg.InitialConfigName
-	if initialDoc == nil {
-		initialDoc = core.PlainConfig()
-		initialName = core.PlainConfigName
-	}
-	if initialName == "" {
-		initialName = "custom"
-	}
-	if err := n.manager.Deploy(initialDoc, initialName, 1, cfg.Members); err != nil {
-		n.teardownEarly()
+	if err != nil {
+		n.ctlSched.Close()
 		return nil, fmt.Errorf("morpheus: deploy initial config: %w", err)
 	}
+	n.groups[DefaultGroup] = g
 
 	// Control channel: static composition, never reconfigured (§3.2);
-	// Cocaditem and Core share it.
+	// Cocaditem and Core share it. Every hosted group hangs off this one
+	// channel: one membership service, one failure detector, one context
+	// plane, N policy evaluators.
 	retrievers := []cocaditem.Retriever{
 		cocaditem.BatteryRetriever(ep),
 		cocaditem.DeviceClassRetriever(ep),
@@ -272,12 +339,10 @@ func Start(cfg Config) (*Node, error) {
 			PublishOnChange: cfg.PublishOnChange,
 		}),
 		core.NewLayer(core.Config{
-			Self:           cfg.ID,
-			Manager:        n.manager,
-			Policies:       cfg.Policies,
-			EvalInterval:   cfg.EvalInterval,
-			OnReconfigured: cfg.OnReconfigured,
-			Logf:           logf,
+			Self:         cfg.ID,
+			Groups:       []core.GroupRuntime{g.runtime()},
+			EvalInterval: cfg.EvalInterval,
+			Logf:         logf,
 		}),
 	}
 	qos, err := appia.NewQoS("control", ctlLayers...)
@@ -285,7 +350,7 @@ func Start(cfg Config) (*Node, error) {
 		n.teardownEarly()
 		return nil, err
 	}
-	n.ctl = qos.CreateChannel("ctl", ctlSched)
+	n.ctl = qos.CreateChannel("ctl", n.ctlSched)
 	if err := n.ctl.Start(); err != nil {
 		n.teardownEarly()
 		return nil, err
@@ -305,11 +370,139 @@ func Start(cfg Config) (*Node, error) {
 
 // teardownEarly releases partially-started resources.
 func (n *Node) teardownEarly() {
-	if n.manager != nil {
-		_ = n.manager.Close()
+	for _, g := range n.groups {
+		if g != nil {
+			g.teardown()
+		}
 	}
 	n.ctlSched.Close()
-	n.sched.Close()
+}
+
+// buildGroup constructs and deploys one hosted group: its own scheduler
+// (so one group's backlog never delays another's, nor the control plane),
+// its own stack manager in the group's port namespace, and a per-group
+// transmission-accounting view of the shared endpoint.
+func (n *Node) buildGroup(name string, gc GroupConfig) (*Group, error) {
+	if name == "" || strings.ContainsAny(name, "/@") {
+		return nil, ErrBadGroupName
+	}
+	members := gc.Members
+	if len(members) == 0 {
+		members = n.cfg.Members
+	}
+	// Normalized once here: the group's effective view, its coordinator
+	// election and the protocol layers all assume a sorted, deduplicated
+	// membership.
+	members = group.NormalizeMembers(append([]NodeID(nil), members...))
+	logf := netio.Logf(n.cfg.Logf).Or()
+	g := &Group{
+		name:  name,
+		node:  n,
+		ep:    &groupEndpoint{Endpoint: n.endpoint},
+		sched: appia.NewScheduler(),
+	}
+	gc.Members = members
+	g.manager = stack.NewManager(stack.ManagerConfig{
+		Node:           g.ep,
+		Self:           n.cfg.ID,
+		Group:          name,
+		Scheduler:      g.sched,
+		QuiesceTimeout: gc.QuiesceTimeout,
+		OnDeliver: func(ev *group.CastEvent) {
+			if gc.OnCast != nil {
+				gc.OnCast(ev)
+			}
+			if gc.OnMessage != nil {
+				gc.OnMessage(ev.Origin, ev.Msg.Bytes())
+			}
+		},
+		OnViewChange: gc.OnViewChange,
+		Logf:         logf,
+	})
+	initialDoc := gc.InitialConfig
+	initialName := gc.InitialConfigName
+	if initialDoc == nil {
+		initialDoc = core.PlainConfig()
+		initialName = core.PlainConfigName
+	}
+	if initialName == "" {
+		initialName = "custom"
+	}
+	g.cfg = gc
+	if err := g.manager.Deploy(initialDoc, initialName, 1, members); err != nil {
+		g.teardown()
+		return nil, err
+	}
+	return g, nil
+}
+
+// Join adds the node to a named group: deploys the group's initial stack
+// and registers it with the control plane so its policies evaluate (and
+// its reconfigurations run) independently of every other hosted group.
+// Every member of the group must Join it under the same name with the same
+// bootstrap membership and initial configuration, exactly as with
+// Config.Members at Start.
+func (n *Node) Join(name string, gc GroupConfig) (*Group, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, ErrNodeClosed
+	}
+	if _, dup := n.groups[name]; dup {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrGroupExists, name)
+	}
+	// Reserve the name while the stack deploys outside the lock.
+	n.groups[name] = nil
+	n.mu.Unlock()
+
+	g, err := n.buildGroup(name, gc)
+	if err == nil {
+		if rerr := n.coreSes.Register(g.runtime()); rerr != nil {
+			g.teardown()
+			g, err = nil, rerr
+		}
+	}
+	n.mu.Lock()
+	// Re-check closed: a Close that ran while the stack was deploying has
+	// already torn down (and replaced) the group map, so this group must
+	// not be installed — it would leak its scheduler and keep its ports
+	// bound on a dead node.
+	if err == nil && n.closed {
+		err = ErrNodeClosed
+	}
+	if err != nil {
+		delete(n.groups, name)
+		n.mu.Unlock()
+		if g != nil {
+			n.coreSes.Unregister(name)
+			g.teardown()
+		}
+		return nil, err
+	}
+	n.groups[name] = g
+	n.mu.Unlock()
+	return g, nil
+}
+
+// Group returns the named hosted group, or nil.
+func (n *Node) Group(name string) *Group {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.groups[name]
+}
+
+// Groups returns the hosted groups (excluding any mid-Join reservations).
+func (n *Node) Groups() []*Group {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]*Group, 0, len(n.groups))
+	for _, g := range n.groups {
+		if g != nil {
+			out = append(out, g)
+		}
+	}
+	return out
 }
 
 // ID returns the node's identifier.
@@ -327,34 +520,173 @@ func (n *Node) VNode() *vnet.Node {
 	return vn
 }
 
-// Send multicasts an application payload to the group; during
+// defaultGroup returns the default group, or nil after it was left.
+func (n *Node) defaultGroup() *Group { return n.Group(DefaultGroup) }
+
+// Send multicasts an application payload to the default group; during
 // reconfigurations it is buffered transparently.
-func (n *Node) Send(payload []byte) error { return n.manager.Send(payload) }
+func (n *Node) Send(payload []byte) error {
+	g := n.defaultGroup()
+	if g == nil {
+		return fmt.Errorf("%w: %q", ErrNoGroup, DefaultGroup)
+	}
+	return g.Send(payload)
+}
 
 // Context exposes the node's Cocaditem store (Latest, Snapshot, Subscribe).
 func (n *Node) Context() *cocaditem.Session { return n.ctx }
 
-// Manager exposes the stack manager (current epoch, configuration name).
-func (n *Node) Manager() *stack.Manager { return n.manager }
+// Core exposes the node's control-plane session (group registry,
+// per-group deployment state).
+func (n *Node) Core() *core.Session { return n.coreSes }
 
-// ConfigName returns the currently deployed data configuration.
-func (n *Node) ConfigName() string { return n.manager.ConfigName() }
+// Manager exposes the default group's stack manager.
+func (n *Node) Manager() *stack.Manager {
+	g := n.defaultGroup()
+	if g == nil {
+		return nil
+	}
+	return g.manager
+}
 
-// Epoch returns the current configuration epoch.
-func (n *Node) Epoch() uint64 { return n.manager.Epoch() }
+// ConfigName returns the default group's deployed configuration.
+func (n *Node) ConfigName() string {
+	g := n.defaultGroup()
+	if g == nil {
+		return ""
+	}
+	return g.ConfigName()
+}
 
-// Close stops the node: control channel, data channel, scheduler.
+// Epoch returns the default group's configuration epoch.
+func (n *Node) Epoch() uint64 {
+	g := n.defaultGroup()
+	if g == nil {
+		return 0
+	}
+	return g.Epoch()
+}
+
+// Close stops the node: control channel, then every hosted group.
 func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	groups := make([]*Group, 0, len(n.groups))
+	for _, g := range n.groups {
+		if g != nil {
+			groups = append(groups, g)
+		}
+	}
+	n.groups = make(map[string]*Group)
+	n.mu.Unlock()
+
 	var firstErr error
 	if n.ctl != nil {
 		if err := n.ctl.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
-	if err := n.manager.Close(); err != nil && firstErr == nil {
-		firstErr = err
+	for _, g := range groups {
+		if err := g.teardown(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	n.ctlSched.Close()
-	n.sched.Close()
 	return firstErr
+}
+
+// --- Group ------------------------------------------------------------------
+
+// runtime describes the group to the control plane.
+func (g *Group) runtime() core.GroupRuntime {
+	return core.GroupRuntime{
+		Group:          g.name,
+		Manager:        g.manager,
+		Policies:       g.cfg.Policies,
+		Members:        g.cfg.Members,
+		OnReconfigured: g.cfg.OnReconfigured,
+	}
+}
+
+// Name returns the group's name.
+func (g *Group) Name() string { return g.name }
+
+// Send multicasts an application payload to this group; during the group's
+// reconfigurations it is buffered transparently.
+func (g *Group) Send(payload []byte) error { return g.manager.Send(payload) }
+
+// Manager exposes the group's stack manager (epoch, configuration name).
+func (g *Group) Manager() *stack.Manager { return g.manager }
+
+// ConfigName returns the group's deployed configuration.
+func (g *Group) ConfigName() string { return g.manager.ConfigName() }
+
+// Epoch returns the group's configuration epoch.
+func (g *Group) Epoch() uint64 { return g.manager.Epoch() }
+
+// Counters snapshots the group's share of the endpoint's transmissions:
+// what this group's stack put on the wire, keyed by class. (Receptions are
+// accounted on the shared endpoint only — the per-group view counts cost,
+// which is what the paper's Figure 3 measures.)
+func (g *Group) Counters() Counters { return g.ep.counters.Snapshot() }
+
+// ResetCounters zeroes the group's transmission counters (between
+// experiment phases).
+func (g *Group) ResetCounters() { g.ep.counters.Reset() }
+
+// Leave withdraws the node from the group: adaptation stops, the stack is
+// torn down, the group's ports unbind. Other members keep running (their
+// control-plane view change excuses this node from future flushes).
+func (g *Group) Leave() error {
+	n := g.node
+	n.mu.Lock()
+	if n.groups[g.name] != g {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNoGroup, g.name)
+	}
+	delete(n.groups, g.name)
+	n.mu.Unlock()
+	if n.coreSes != nil {
+		n.coreSes.Unregister(g.name)
+	}
+	return g.teardown()
+}
+
+// teardown releases the group's resources.
+func (g *Group) teardown() error {
+	err := g.manager.Close()
+	g.sched.Close()
+	return err
+}
+
+// groupEndpoint is a per-group view of the shared endpoint: sends delegate
+// to the substrate and are additionally accounted per group, so a node
+// hosting many groups can attribute its radio cost — the quantity Figure 3
+// measures — to each one. Self-sends are not accounted, mirroring the
+// substrate contract (they never touch the NIC).
+type groupEndpoint struct {
+	netio.Endpoint
+	counters netio.CounterSet
+}
+
+// Send implements netio.Endpoint.
+func (g *groupEndpoint) Send(dst NodeID, port, class string, payload []byte) error {
+	err := g.Endpoint.Send(dst, port, class, payload)
+	if err == nil && dst != g.Endpoint.ID() {
+		g.counters.AddTx(class, len(payload))
+	}
+	return err
+}
+
+// Multicast implements netio.Endpoint.
+func (g *groupEndpoint) Multicast(segment, port, class string, payload []byte) error {
+	err := g.Endpoint.Multicast(segment, port, class, payload)
+	if err == nil {
+		g.counters.AddTx(class, len(payload))
+	}
+	return err
 }

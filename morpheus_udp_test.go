@@ -1,6 +1,7 @@
 package morpheus_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -140,6 +141,123 @@ func TestMorpheusOverUDP(t *testing.T) {
 	}
 	if tx := mobile.Endpoint().Counters().TotalTx(); tx == 0 {
 		t.Error("mobile endpoint counted no transmissions")
+	}
+}
+
+// TestMultiGroupOverUDP proves the group-hosting runtime on real sockets:
+// three endpoints on 127.0.0.1 each join two extra groups over one UDP
+// endpoint and one control plane, exchange reliable multicasts in every
+// group, and nothing crosses group boundaries.
+func TestMultiGroupOverUDP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("udpnet socket tests skipped in -short mode")
+	}
+	members := []morpheus.NodeID{1, 2, 3}
+	peers := map[netio.NodeID]string{1: "127.0.0.1:0", 2: "127.0.0.1:0", 3: "127.0.0.1:0"}
+	nw, err := udpnet.New(udpnet.Config{Peers: peers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+
+	groupNames := []string{"rooms-a", "rooms-b"}
+	type tally struct {
+		mu  sync.Mutex
+		got map[string]map[string]int // group -> payload -> count
+	}
+	counts := make(map[morpheus.NodeID]*tally)
+	var nodes []*morpheus.Node
+	defer func() {
+		for _, nd := range nodes {
+			_ = nd.Close()
+		}
+	}()
+	for _, id := range members {
+		ep, err := nw.Attach(netio.EndpointConfig{ID: id, Kind: netio.Fixed, Segments: []string{"lan"}})
+		if err != nil {
+			t.Fatalf("attach %d: %v", id, err)
+		}
+		tl := &tally{got: make(map[string]map[string]int)}
+		for _, gname := range groupNames {
+			tl.got[gname] = make(map[string]int)
+		}
+		counts[id] = tl
+		nd, err := morpheus.Start(morpheus.Config{
+			Endpoint:     ep,
+			Members:      members,
+			Heartbeat:    100 * time.Millisecond,
+			SuspectAfter: 5 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("start %d: %v", id, err)
+		}
+		for _, gname := range groupNames {
+			gname := gname
+			_, err := nd.Join(gname, morpheus.GroupConfig{
+				Members: members,
+				OnCast: func(ev *morpheus.CastEvent) {
+					if ev.Group != gname {
+						t.Errorf("node %d: event tagged %q delivered in %q", id, ev.Group, gname)
+						return
+					}
+					tl.mu.Lock()
+					tl.got[gname][string(ev.Msg.Bytes())]++
+					tl.mu.Unlock()
+				},
+			})
+			if err != nil {
+				t.Fatalf("node %d join %s: %v", id, gname, err)
+			}
+		}
+		nodes = append(nodes, nd)
+	}
+
+	const msgs = 5
+	want := make(map[string][]string)
+	for _, nd := range nodes {
+		for _, gname := range groupNames {
+			for i := 0; i < msgs; i++ {
+				p := fmt.Sprintf("%s|from=%d|%d", gname, nd.ID(), i)
+				want[gname] = append(want[gname], p)
+				if err := nd.Group(gname).Send([]byte(p)); err != nil {
+					t.Fatalf("send %s from %d: %v", gname, nd.ID(), err)
+				}
+			}
+		}
+	}
+	waitUntil(t, 60*time.Second, "all group payloads delivered everywhere", func() bool {
+		for _, tl := range counts {
+			tl.mu.Lock()
+			ok := true
+			for _, gname := range groupNames {
+				for _, p := range want[gname] {
+					if tl.got[gname][p] == 0 {
+						ok = false
+						break
+					}
+				}
+			}
+			tl.mu.Unlock()
+			if !ok {
+				return false
+			}
+		}
+		return true
+	})
+	// Exactly once, and only in the right group.
+	for id, tl := range counts {
+		tl.mu.Lock()
+		for _, gname := range groupNames {
+			if extra := len(tl.got[gname]) - len(want[gname]); extra != 0 {
+				t.Errorf("node %d group %s holds %d unexpected payloads", id, gname, extra)
+			}
+			for _, p := range want[gname] {
+				if n := tl.got[gname][p]; n != 1 {
+					t.Errorf("node %d group %s delivered %q %d times", id, gname, p, n)
+				}
+			}
+		}
+		tl.mu.Unlock()
 	}
 }
 
