@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-json
+.PHONY: check build vet test race bench bench-json golden
 
 # check is the CI entry point: vet, build, full test suite, bench smoke run.
 check: vet build test bench
@@ -18,6 +18,14 @@ test:
 # udpnet tests skip themselves under -short, keeping the job reliable).
 race:
 	$(GO) test -race -short ./...
+
+# golden replays the virtualized experiments (figure3, E5, E6, E9) three
+# times each and checks the counter-matrix hashes against the pins in
+# internal/experiment/testdata/golden.json. Regenerate pins after an
+# intentional behavior change with:
+#   go test ./internal/experiment -run TestGoldenReplay -update-golden
+golden:
+	$(GO) test ./internal/experiment -run TestGoldenReplay -count=1 -v
 
 # bench runs every benchmark once as a smoke test (catches bit-rot without
 # paying for stable numbers).

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"morpheus/internal/appia"
+	"morpheus/internal/clock"
 	"morpheus/internal/netio"
 )
 
@@ -218,6 +219,10 @@ type Env struct {
 	Shared    *SessionCache
 	Deliver   appia.DeliverFunc
 	Logf      func(format string, args ...any)
+	// Clock is the node's time plane, handed to layers that read the
+	// current time directly (the scheduler's timers have their own copy).
+	// Nil means wall clock.
+	Clock clock.Clock
 }
 
 // LayerFactory builds a layer instance from parameters and the local

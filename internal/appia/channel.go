@@ -52,8 +52,8 @@ type Channel struct {
 	lastType  reflect.Type
 	lastRoute []int
 
-	mu     sync.Mutex    // guards state transitions and ready/closed closing
-	state  atomic.Int32  // ChannelState; read lock-free on the Insert hot path
+	mu     sync.Mutex   // guards state transitions and ready/closed closing
+	state  atomic.Int32 // ChannelState; read lock-free on the Insert hot path
 	ready  chan struct{}
 	closed chan struct{}
 }
@@ -157,12 +157,14 @@ func (ch *Channel) Start() error {
 // Close injects ChannelClose, which visits every session top-down, then
 // marks the channel closed. It returns once the close event has been fully
 // processed. Calling Close from session code would deadlock; use
-// CloseAsync there.
+// CloseAsync there. The wait goes through the scheduler's clock, so on a
+// virtual clock the caller releases the run token while the teardown
+// cascade executes.
 func (ch *Channel) Close() error {
 	if err := ch.CloseAsync(); err != nil {
 		return err
 	}
-	<-ch.closed
+	ch.sched.Clock().Wait(ch.closed)
 	return nil
 }
 
@@ -208,14 +210,11 @@ func (ch *Channel) Closed() <-chan struct{} { return ch.closed }
 func (ch *Channel) Ready() <-chan struct{} { return ch.ready }
 
 // WaitReady blocks until the channel is operational or the timeout elapses;
-// it reports whether readiness was reached.
+// it reports whether readiness was reached. The wait goes through the
+// scheduler's clock (on a virtual clock the timeout is virtual time and the
+// caller's run token is released meanwhile).
 func (ch *Channel) WaitReady(timeout time.Duration) bool {
-	select {
-	case <-ch.ready:
-		return true
-	case <-time.After(timeout):
-		return false
-	}
+	return ch.sched.Clock().WaitTimeout(ch.ready, timeout)
 }
 
 // Insert routes an event through the whole stack from the outside: from

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"morpheus/internal/clock"
 )
 
 // ErrSchedulerClosed is returned by insertions into a stopped scheduler.
@@ -26,6 +28,15 @@ type task struct {
 // The mailbox is unbounded: insertions never block, which is essential
 // because the scheduler goroutine itself re-queues events while forwarding
 // them.
+//
+// A scheduler belongs to a Clock (wall by default). Timers (After/Every)
+// are armed on it, and when the clock is a deterministic *clock.Virtual the
+// scheduler additionally participates in the clock's run-token regime: a
+// parked scheduler that receives work is queued for the token by the
+// poster (so the queue order is a function of the serialized execution),
+// dispatches batches only while holding it, and releases it when it parks
+// again — which is the "all schedulers parked" half of the virtual clock's
+// time-advance rule.
 type Scheduler struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -36,16 +47,48 @@ type Scheduler struct {
 	wg      sync.WaitGroup
 	started bool
 
+	clk  clock.Clock
+	vclk *clock.Virtual // non-nil when clk is the deterministic clock
+
+	// Virtual-clock token state. grant receives the token; closing unhooks
+	// the goroutine from the token regime at Close so teardown cannot
+	// deadlock on a token the closer itself holds. tokenHeld is only
+	// touched by the scheduler goroutine.
+	grant     chan struct{}
+	closing   chan struct{}
+	tokenHeld bool
+
 	timerMu sync.Mutex
-	timers  map[*time.Timer]struct{}
+	timers  map[*schedTimer]struct{}
 }
 
-// NewScheduler returns a scheduler; call Start before inserting events.
-func NewScheduler() *Scheduler {
-	s := &Scheduler{timers: make(map[*time.Timer]struct{})}
+// schedTimer tracks one outstanding After timer for cancellation at Close.
+type schedTimer struct{ t clock.Timer }
+
+// NewScheduler returns a wall-clock scheduler; call Start before inserting
+// events.
+func NewScheduler() *Scheduler { return NewSchedulerWithClock(nil) }
+
+// NewSchedulerWithClock returns a scheduler driven by clk (nil means the
+// wall clock).
+func NewSchedulerWithClock(clk clock.Clock) *Scheduler {
+	s := &Scheduler{
+		clk:     clock.Or(clk),
+		timers:  make(map[*schedTimer]struct{}),
+		grant:   make(chan struct{}, 1),
+		closing: make(chan struct{}),
+		// A scheduler is born parked: the first post must behave like a
+		// wake-up (in particular it must queue the scheduler for a virtual
+		// clock's run token), even when it lands before run() first parks.
+		waiting: true,
+	}
+	s.vclk, _ = s.clk.(*clock.Virtual)
 	s.cond = sync.NewCond(&s.mu)
 	return s
 }
+
+// Clock returns the clock driving this scheduler's timers.
+func (s *Scheduler) Clock() clock.Clock { return s.clk }
 
 // Start launches the scheduler goroutine. It is a no-op if already started.
 func (s *Scheduler) Start() {
@@ -62,7 +105,10 @@ func (s *Scheduler) Start() {
 // Close stops the scheduler after draining already-queued work, cancels
 // outstanding timers, and waits for the goroutine to exit. It is safe to
 // call more than once, but must not be called from the scheduler goroutine
-// itself.
+// itself. Under a virtual clock the final drain runs outside the token
+// regime (the closer may itself hold the token): the channel teardown
+// ordering is unaffected because Channel.Close completes before schedulers
+// are closed.
 func (s *Scheduler) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -73,14 +119,19 @@ func (s *Scheduler) Close() {
 	s.closed = true
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	close(s.closing)
 
 	s.timerMu.Lock()
 	for t := range s.timers {
-		t.Stop()
+		t.t.Stop()
 	}
-	s.timers = make(map[*time.Timer]struct{})
+	s.timers = make(map[*schedTimer]struct{})
 	s.timerMu.Unlock()
 
+	if s.vclk != nil {
+		// Reclaim a token grant the goroutine will no longer collect.
+		s.vclk.CancelRunnable(s.grant)
+	}
 	s.wg.Wait()
 }
 
@@ -101,6 +152,14 @@ func (s *Scheduler) post(t task) error {
 	s.waiting = false
 	s.mu.Unlock()
 	if wake {
+		if s.vclk != nil {
+			// Queue the scheduler for the run token here, on the poster's
+			// goroutine: posters are serialized by the token regime, so the
+			// runnable order — and therefore the whole execution — is
+			// deterministic. Exactly one enqueue per park/wake cycle (the
+			// waiting flag was cleared above).
+			s.vclk.EnqueueRunnable(s.grant)
+		}
 		s.cond.Signal()
 	}
 	return nil
@@ -112,23 +171,23 @@ func (s *Scheduler) Do(fn func()) error {
 	return s.post(task{fn: fn})
 }
 
-// After runs fn on the scheduler goroutine after d. The returned cancel
-// function stops the timer if it has not fired.
+// After runs fn on the scheduler goroutine after d (per the scheduler's
+// clock). The returned cancel function stops the timer if it has not fired.
 func (s *Scheduler) After(d time.Duration, fn func()) (cancel func()) {
-	var t *time.Timer
-	t = time.AfterFunc(d, func() {
+	st := &schedTimer{}
+	st.t = s.clk.AfterFunc(d, func() {
 		s.timerMu.Lock()
-		delete(s.timers, t)
+		delete(s.timers, st)
 		s.timerMu.Unlock()
 		_ = s.Do(fn) // a closed scheduler drops late timers by design
 	})
 	s.timerMu.Lock()
-	s.timers[t] = struct{}{}
+	s.timers[st] = struct{}{}
 	s.timerMu.Unlock()
 	return func() {
-		t.Stop()
+		st.t.Stop()
 		s.timerMu.Lock()
-		delete(s.timers, t)
+		delete(s.timers, st)
 		s.timerMu.Unlock()
 	}
 }
@@ -172,7 +231,7 @@ func (s *Scheduler) Flush() {
 	if err := s.Do(func() { close(done) }); err != nil {
 		return // closed: queue already drained
 	}
-	<-done
+	s.clk.Wait(done)
 }
 
 // run is the scheduler loop: a double-buffered batch dequeue. Instead of a
@@ -182,17 +241,39 @@ func (s *Scheduler) Flush() {
 // slices with no allocation.
 func (s *Scheduler) run() {
 	defer s.wg.Done()
+	defer s.releaseToken()
 	var batch []task
 	for {
 		s.mu.Lock()
 		for len(s.queue) == 0 && !s.closed {
 			s.waiting = true
+			if s.vclk != nil && s.tokenHeld {
+				// Release the run token before parking, outside mu (lock
+				// order: never hold s.mu across clock calls that can
+				// block). Re-check the park condition afterwards: a post
+				// may have landed in the window.
+				s.mu.Unlock()
+				s.releaseToken()
+				s.mu.Lock()
+				if len(s.queue) > 0 || s.closed {
+					break
+				}
+			}
 			s.cond.Wait()
 		}
 		if len(s.queue) == 0 { // closed and fully drained
 			s.mu.Unlock()
 			return
 		}
+		closed := s.closed
+		s.mu.Unlock()
+		if !closed {
+			// Serialize with every other actor of a virtual clock. A
+			// closing scheduler skips this: its remaining work is teardown
+			// debris, and the closer may be holding the token.
+			s.acquireToken()
+		}
+		s.mu.Lock()
 		batch, s.queue = s.queue, batch[:0]
 		s.mu.Unlock()
 
@@ -201,6 +282,31 @@ func (s *Scheduler) run() {
 		}
 		clear(batch) // release the events for the GC in one bulk write
 	}
+}
+
+// acquireToken blocks until this scheduler holds the virtual clock's run
+// token (no-op on wall clocks or when already held).
+func (s *Scheduler) acquireToken() {
+	if s.vclk == nil || s.tokenHeld {
+		return
+	}
+	select {
+	case <-s.grant:
+		s.tokenHeld = true
+	case <-s.vclk.Done():
+		// Clock stopped: run unmanaged.
+	case <-s.closing:
+		// Close() reclaims the pending grant via CancelRunnable.
+	}
+}
+
+// releaseToken returns the run token if held.
+func (s *Scheduler) releaseToken() {
+	if s.vclk == nil || !s.tokenHeld {
+		return
+	}
+	s.tokenHeld = false
+	s.vclk.Release()
 }
 
 // dispatch executes one task.

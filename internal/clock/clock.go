@@ -1,0 +1,133 @@
+// Package clock is the time plane of the Morpheus runtime: a seam between
+// code that needs timers and the source of time itself. Every timer-driven
+// layer (vnet delivery, scheduler timeouts, heartbeats and failure
+// detection, NAK keepalives, context sampling, policy ticks) takes a Clock
+// instead of calling the time package, which makes whole experiments —
+// control plane included — bit-reproducible when the deterministic Virtual
+// implementation is plugged in.
+//
+// Two implementations exist:
+//
+//   - Wall() wraps the time package one-to-one; it is the default
+//     everywhere and the only choice for live (udpnet) runs.
+//   - Virtual (virtual.go) is a discrete-event clock: time is a counter
+//     that jumps to the next timer deadline, and it only jumps when every
+//     participating goroutine ("actor") is parked — all schedulers idle,
+//     no deliveries in flight. Actors additionally execute one at a time
+//     under a run token the clock hands out in FIFO order, so the entire
+//     run is equivalent to a deterministic single-threaded execution.
+package clock
+
+import "time"
+
+// Timer is a started timer, mirroring *time.Timer across implementations.
+// Exactly one of C / the AfterFunc callback is active per timer, as with
+// the time package.
+type Timer interface {
+	// C is the delivery channel of NewTimer/After timers; it is nil for
+	// AfterFunc timers.
+	C() <-chan time.Time
+	// Stop cancels the timer, reporting whether it was still pending.
+	Stop() bool
+	// Reset re-arms the timer for d from now, reporting whether it was
+	// still pending.
+	Reset(d time.Duration) bool
+}
+
+// Ticker is a started ticker, mirroring *time.Ticker.
+type Ticker interface {
+	C() <-chan time.Time
+	Stop()
+}
+
+// Clock is a source of time and timers. The Wait* and Go methods exist
+// because a deterministic clock must know about every point where an actor
+// blocks or forks: on the wall clock they degrade to plain channel
+// operations and `go`.
+type Clock interface {
+	// Now returns the current time on this clock's timeline.
+	Now() time.Time
+	// Since returns Now().Sub(t).
+	Since(t time.Time) time.Duration
+	// Sleep pauses the calling actor for d. On the virtual clock this is
+	// also the yield point that lets other actors (and time) progress.
+	Sleep(d time.Duration)
+	// After returns a channel that delivers the time after d.
+	After(d time.Duration) <-chan time.Time
+	// AfterFunc runs fn once after d. On the virtual clock fn runs on the
+	// clock goroutine while the system is otherwise quiescent.
+	AfterFunc(d time.Duration, fn func()) Timer
+	// NewTimer returns a timer delivering on C after d.
+	NewTimer(d time.Duration) Timer
+	// NewTicker returns a ticker delivering on C every d.
+	NewTicker(d time.Duration) Ticker
+	// Wait blocks until ch is closed (or delivers).
+	Wait(ch <-chan struct{})
+	// WaitTimeout blocks until ch is closed (or delivers) or d elapses,
+	// reporting whether the channel fired first. A negative d means no
+	// deadline. At most one value is consumed from ch, as with a select.
+	WaitTimeout(ch <-chan struct{}, d time.Duration) bool
+	// Go starts fn as a new actor of this clock's execution. Wall: a
+	// plain goroutine. Virtual: the goroutine joins the run-token
+	// rotation, so its effects serialize with every other actor.
+	Go(fn func())
+}
+
+// wall implements Clock on the time package.
+type wall struct{}
+
+var wallClock Clock = wall{}
+
+// Wall returns the process-wide wall clock.
+func Wall() Clock { return wallClock }
+
+// Or returns c, or the wall clock when c is nil. It is the idiom for
+// defaulting a Clock configuration field.
+func Or(c Clock) Clock {
+	if c == nil {
+		return wallClock
+	}
+	return c
+}
+
+func (wall) Now() time.Time                         { return time.Now() }
+func (wall) Since(t time.Time) time.Duration        { return time.Since(t) }
+func (wall) Sleep(d time.Duration)                  { time.Sleep(d) }
+func (wall) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+func (wall) AfterFunc(d time.Duration, fn func()) Timer {
+	return wallTimer{time.AfterFunc(d, fn)}
+}
+
+func (wall) NewTimer(d time.Duration) Timer   { return wallTimer{time.NewTimer(d)} }
+func (wall) NewTicker(d time.Duration) Ticker { return wallTicker{time.NewTicker(d)} }
+
+func (wall) Wait(ch <-chan struct{}) { <-ch }
+
+func (wall) WaitTimeout(ch <-chan struct{}, d time.Duration) bool {
+	if d < 0 {
+		<-ch
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ch:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+func (wall) Go(fn func()) { go fn() }
+
+type wallTimer struct{ t *time.Timer }
+
+func (w wallTimer) C() <-chan time.Time        { return w.t.C }
+func (w wallTimer) Stop() bool                 { return w.t.Stop() }
+func (w wallTimer) Reset(d time.Duration) bool { return w.t.Reset(d) }
+
+type wallTicker struct{ t *time.Ticker }
+
+func (w wallTicker) C() <-chan time.Time { return w.t.C }
+func (w wallTicker) Stop()               { w.t.Stop() }

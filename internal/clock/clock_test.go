@@ -1,0 +1,339 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// The conformance suite pins the Clock contract across both
+// implementations: timer firing order, Stop/Reset semantics, ticker
+// behavior, channel waits and actor forking. Wall subtests use real (small)
+// durations with generous margins; the virtual clock runs the identical
+// assertions on its deterministic timeline.
+
+// impl describes one implementation under test.
+type impl struct {
+	name string
+	mk   func(t *testing.T) (Clock, func())
+}
+
+func implementations() []impl {
+	return []impl{
+		{name: "wall", mk: func(t *testing.T) (Clock, func()) { return Wall(), func() {} }},
+		{name: "virtual", mk: func(t *testing.T) (Clock, func()) {
+			v := NewVirtual()
+			return v, v.Stop
+		}},
+	}
+}
+
+func runConformance(t *testing.T, name string, f func(t *testing.T, c Clock)) {
+	t.Helper()
+	for _, im := range implementations() {
+		im := im
+		t.Run(name+"/"+im.name, func(t *testing.T) {
+			c, stop := im.mk(t)
+			defer stop()
+			f(t, c)
+		})
+	}
+}
+
+func TestConformance(t *testing.T) {
+	base := 10 * time.Millisecond
+
+	runConformance(t, "SleepAdvancesNow", func(t *testing.T, c Clock) {
+		start := c.Now()
+		c.Sleep(3 * base)
+		if got := c.Now().Sub(start); got < 3*base {
+			t.Fatalf("slept %v, clock advanced only %v", 3*base, got)
+		}
+	})
+
+	runConformance(t, "TimerOrdering", func(t *testing.T, c Clock) {
+		var mu sync.Mutex
+		var order []int
+		// Registered out of deadline order on purpose.
+		c.AfterFunc(3*base, func() { mu.Lock(); order = append(order, 2); mu.Unlock() })
+		c.AfterFunc(1*base, func() { mu.Lock(); order = append(order, 0); mu.Unlock() })
+		c.AfterFunc(2*base, func() { mu.Lock(); order = append(order, 1); mu.Unlock() })
+		c.Sleep(5 * base)
+		mu.Lock()
+		defer mu.Unlock()
+		if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+			t.Fatalf("timers fired out of deadline order: %v", order)
+		}
+	})
+
+	runConformance(t, "StopPreventsFire", func(t *testing.T, c Clock) {
+		var mu sync.Mutex
+		fired := false
+		tm := c.AfterFunc(2*base, func() { mu.Lock(); fired = true; mu.Unlock() })
+		if !tm.Stop() {
+			t.Fatal("Stop of a pending timer reported not-pending")
+		}
+		c.Sleep(4 * base)
+		mu.Lock()
+		defer mu.Unlock()
+		if fired {
+			t.Fatal("stopped timer fired")
+		}
+		if tm.Stop() {
+			t.Fatal("second Stop reported pending")
+		}
+	})
+
+	runConformance(t, "StopAfterFire", func(t *testing.T, c Clock) {
+		tm := c.AfterFunc(base, func() {})
+		c.Sleep(3 * base)
+		if tm.Stop() {
+			t.Fatal("Stop after fire reported pending")
+		}
+	})
+
+	runConformance(t, "ResetRearms", func(t *testing.T, c Clock) {
+		var mu sync.Mutex
+		count := 0
+		tm := c.AfterFunc(base, func() { mu.Lock(); count++; mu.Unlock() })
+		c.Sleep(3 * base)
+		mu.Lock()
+		if count != 1 {
+			mu.Unlock()
+			t.Fatalf("fired %d times before Reset, want 1", count)
+		}
+		mu.Unlock()
+		if tm.Reset(base) {
+			t.Fatal("Reset of an expired timer reported pending")
+		}
+		c.Sleep(3 * base)
+		mu.Lock()
+		defer mu.Unlock()
+		if count != 2 {
+			t.Fatalf("fired %d times after Reset, want 2", count)
+		}
+	})
+
+	runConformance(t, "NewTimerChan", func(t *testing.T, c Clock) {
+		start := c.Now()
+		tm := c.NewTimer(base)
+		c.Sleep(3 * base)
+		select {
+		case at := <-tm.C():
+			if at.Before(start.Add(base)) {
+				t.Fatalf("timer delivered %v, before deadline %v", at, start.Add(base))
+			}
+		default:
+			t.Fatal("timer channel empty after deadline passed")
+		}
+	})
+
+	runConformance(t, "TickerTicks", func(t *testing.T, c Clock) {
+		tk := c.NewTicker(base)
+		defer tk.Stop()
+		got := 0
+		for i := 0; i < 40 && got < 3; i++ {
+			c.Sleep(base)
+			select {
+			case <-tk.C():
+				got++
+			default:
+			}
+		}
+		if got < 3 {
+			t.Fatalf("ticker delivered %d ticks, want >= 3", got)
+		}
+	})
+
+	runConformance(t, "TickerStopEndsTicks", func(t *testing.T, c Clock) {
+		tk := c.NewTicker(base)
+		c.Sleep(2 * base)
+		tk.Stop()
+		// Drain whatever was delivered before Stop.
+		select {
+		case <-tk.C():
+		default:
+		}
+		c.Sleep(4 * base)
+		select {
+		case <-tk.C():
+			t.Fatal("tick delivered after Stop")
+		default:
+		}
+	})
+
+	runConformance(t, "WaitTimeoutFires", func(t *testing.T, c Clock) {
+		ch := make(chan struct{})
+		c.AfterFunc(base, func() { close(ch) })
+		if !c.WaitTimeout(ch, 10*base) {
+			t.Fatal("WaitTimeout missed a channel that closed before the deadline")
+		}
+		if c.WaitTimeout(make(chan struct{}), base) {
+			t.Fatal("WaitTimeout reported success on a never-ready channel")
+		}
+	})
+
+	runConformance(t, "GoRunsAndJoins", func(t *testing.T, c Clock) {
+		done := make(chan struct{})
+		var mu sync.Mutex
+		ran := false
+		c.Go(func() {
+			c.Sleep(base)
+			mu.Lock()
+			ran = true
+			mu.Unlock()
+			close(done)
+		})
+		c.Wait(done)
+		mu.Lock()
+		defer mu.Unlock()
+		if !ran {
+			t.Fatal("Go actor did not run to completion before Wait returned")
+		}
+	})
+}
+
+// --- virtual-only behavior ---------------------------------------------------
+
+// TestVirtualAdvanceIsExact pins that virtual time jumps exactly to
+// deadlines: no real time passes, and Now is the deadline, not "roughly
+// after it".
+func TestVirtualAdvanceIsExact(t *testing.T) {
+	v := NewVirtual()
+	defer v.Stop()
+	start := v.Now()
+	wallStart := time.Now()
+	v.Sleep(24 * time.Hour) // a day of virtual time, instantly
+	if got := v.Now().Sub(start); got != 24*time.Hour {
+		t.Fatalf("virtual Sleep advanced %v, want exactly 24h", got)
+	}
+	if real := time.Since(wallStart); real > 5*time.Second {
+		t.Fatalf("virtual day took %v of real time", real)
+	}
+}
+
+// TestVirtualTieBreakIsRegistrationOrder pins the (deadline, seq) rule:
+// same-deadline timers fire in the order they were registered.
+func TestVirtualTieBreakIsRegistrationOrder(t *testing.T) {
+	v := NewVirtual()
+	defer v.Stop()
+	var order []int
+	for i := 0; i < 8; i++ {
+		i := i
+		v.AfterFunc(time.Second, func() { order = append(order, i) })
+	}
+	v.Sleep(2 * time.Second)
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("tie-broken fire order %v, want registration order", order)
+		}
+	}
+	if len(order) != 8 {
+		t.Fatalf("fired %d timers, want 8", len(order))
+	}
+}
+
+// TestVirtualTickerIsDriftFree pins exact tick timestamps: period p ticks
+// at p, 2p, 3p with no accumulation error — the deterministic analogue of
+// the "ticker drift" conformance case.
+func TestVirtualTickerIsDriftFree(t *testing.T) {
+	v := NewVirtual()
+	defer v.Stop()
+	start := v.Now()
+	const p = 7 * time.Millisecond
+	tk := v.NewTicker(p)
+	defer tk.Stop()
+	for i := 1; i <= 5; i++ {
+		v.Sleep(p)
+		select {
+		case at := <-tk.C():
+			if want := start.Add(time.Duration(i) * p); !at.Equal(want) {
+				t.Fatalf("tick %d at %v, want exactly %v", i, at, want)
+			}
+		default:
+			t.Fatalf("tick %d not delivered", i)
+		}
+	}
+}
+
+// TestVirtualActorSerialization pins the run-token regime: concurrent
+// actors incrementing a plain (unsynchronized) counter never race, because
+// at most one actor runs at a time and the token handoffs order their
+// accesses. Run under -race this is the determinism foundation's proof.
+func TestVirtualActorSerialization(t *testing.T) {
+	v := NewVirtual()
+	defer v.Stop()
+	counter := 0 // deliberately unsynchronized
+	const actors, rounds = 8, 50
+	done := make([]chan struct{}, actors)
+	for i := 0; i < actors; i++ {
+		d := make(chan struct{})
+		done[i] = d
+		v.Go(func() {
+			defer close(d)
+			for r := 0; r < rounds; r++ {
+				counter++
+				v.Sleep(time.Millisecond)
+			}
+		})
+	}
+	for _, d := range done {
+		v.Wait(d)
+	}
+	if counter != actors*rounds {
+		t.Fatalf("counter = %d, want %d", counter, actors*rounds)
+	}
+}
+
+// TestVirtualStoppedClockTimers pins the post-Stop contract: a timer
+// created (or reset) on a stopped clock is never armed and must report
+// not-pending, so teardown-racing bookkeeping keyed on Stop's return value
+// cannot miscount.
+func TestVirtualStoppedClockTimers(t *testing.T) {
+	v := NewVirtual()
+	v.Stop()
+	tm := v.AfterFunc(time.Second, func() { t.Error("timer on a stopped clock fired") })
+	if tm.Stop() {
+		t.Fatal("Stop on a never-armed timer reported pending")
+	}
+	tm2 := v.NewTimer(time.Second)
+	if tm2.Reset(time.Second) {
+		t.Fatal("Reset on a stopped clock reported pending")
+	}
+	if tm2.Stop() {
+		t.Fatal("Stop after Reset on a stopped clock reported pending")
+	}
+}
+
+// TestVirtualNonActorReleasePanics pins that breaking the actor contract
+// fails loudly: releasing a token one does not hold (the visible symptom
+// of a non-actor goroutine blocking through the clock) panics instead of
+// silently corrupting the quiescence accounting.
+func TestVirtualNonActorReleasePanics(t *testing.T) {
+	v := NewVirtual()
+	v.Release() // the creator legitimately gives up its token
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Release (token not held) did not panic")
+		}
+		v.Stop()
+	}()
+	v.Release()
+}
+
+// TestVirtualWaiterWakesAtProductionTime pins that a WaitTimeout waiter
+// wakes at the virtual instant its channel was closed, not at some later
+// quiescent point.
+func TestVirtualWaiterWakesAtProductionTime(t *testing.T) {
+	v := NewVirtual()
+	defer v.Stop()
+	ch := make(chan struct{})
+	v.AfterFunc(5*time.Second, func() { close(ch) })
+	v.AfterFunc(9*time.Second, func() {}) // a later timer the wake must not wait for
+	if !v.WaitTimeout(ch, time.Minute) {
+		t.Fatal("waiter timed out")
+	}
+	if got := v.Now().Sub(VirtualBase); got != 5*time.Second {
+		t.Fatalf("woke at +%v, want +5s (the close instant)", got)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"morpheus/internal/appia"
+	"morpheus/internal/clock"
 	"morpheus/internal/group"
 	"morpheus/internal/netio"
 )
@@ -117,7 +118,12 @@ type Config struct {
 	PublishOnChange bool
 	// Epsilon is the change threshold for PublishOnChange (default 0.01).
 	Epsilon float64
+	// Clock stamps samples (Sample.When). Nil means wall clock; the
+	// sampling tick itself runs on the channel scheduler's clock.
+	Clock clock.Clock
 }
+
+func (c *Config) clock() clock.Clock { return clock.Or(c.Clock) }
 
 func (c *Config) interval() time.Duration {
 	if c.Interval <= 0 {
@@ -223,7 +229,7 @@ func (s *Session) sample(ch *appia.Channel) {
 	keepalive := s.ticks%10 == 0
 	for _, r := range s.cfg.Retrievers {
 		num, str := r.Retrieve()
-		sm := Sample{Topic: r.Topic(), Node: s.cfg.Self, Num: num, Str: str, When: time.Now()}
+		sm := Sample{Topic: r.Topic(), Node: s.cfg.Self, Num: num, Str: str, When: s.cfg.clock().Now()}
 		if s.cfg.PublishOnChange && !keepalive {
 			s.mu.Lock()
 			prev, seen := s.last[r.Topic()]
@@ -283,7 +289,7 @@ func (s *Session) onPublish(ch *appia.Channel, e *PublishEvent) {
 		Node:  appia.NodeID(uint32(nodeU)),
 		Num:   math.Float64frombits(bits),
 		Str:   str,
-		When:  time.Now(),
+		When:  s.cfg.clock().Now(),
 	}
 	if sm.Node == s.cfg.Self {
 		return // self-delivered copy: already recorded at sampling time

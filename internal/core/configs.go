@@ -16,11 +16,13 @@ import (
 const dataChannel = "data"
 
 // stableEvery is the delivery-count-driven stability gossip period baked
-// into the standard configurations: gossiping every N delivered casts (with
-// the wall-clock timer demoted to an idle keepalive) makes the control
-// traffic of a loaded channel a pure function of the delivery sequence, so
-// experiment counters replay identically at equal seeds instead of varying
-// with wall-clock gossip timing.
+// into the standard configurations: gossiping every N delivered casts makes
+// the control traffic of a loaded channel a pure function of the delivery
+// sequence and bounds retransmission-buffer growth between idle ticks. The
+// interval timer survives only as an idle-channel keepalive, and since the
+// clock plane (internal/clock) it runs on the node's configured clock —
+// deterministic under the virtual clock the experiments use, wall time on
+// live substrates — so it no longer perturbs measured counters either way.
 const stableEvery = "64"
 
 // nakSession is the reliable-layer session spec shared by the standard

@@ -24,6 +24,7 @@ import (
 
 	"morpheus/internal/appia"
 	"morpheus/internal/appia/appiaxml"
+	"morpheus/internal/clock"
 	"morpheus/internal/cocaditem"
 	"morpheus/internal/group"
 	"morpheus/internal/stack"
@@ -131,9 +132,16 @@ type Config struct {
 	Groups []GroupRuntime
 	// EvalInterval is the policy evaluation period (default 200ms).
 	EvalInterval time.Duration
+	// Clock times reconfiguration latencies and spawns the per-deployment
+	// goroutines. Nil means wall clock; under a *clock.Virtual, deployments
+	// join the clock's actor rotation so reconfigurations are part of the
+	// deterministic timeline.
+	Clock clock.Clock
 	// Logf receives diagnostics.
 	Logf func(format string, args ...any)
 }
+
+func (c *Config) clock() clock.Clock { return clock.Or(c.Clock) }
 
 func (c *Config) evalInterval() time.Duration {
 	if c.EvalInterval <= 0 {
@@ -358,7 +366,7 @@ func (s *Session) evaluate(ch *appia.Channel) {
 }
 
 func (s *Session) evaluateGroup(ch *appia.Channel, gs *groupState) {
-	if gs.inFlight && time.Since(gs.decidedAt) > 30*time.Second {
+	if gs.inFlight && s.cfg.clock().Since(gs.decidedAt) > 30*time.Second {
 		// Safety valve: a member died mid-deployment and its ack will
 		// never come; the control view change will resolve membership,
 		// and adaptation must not stay wedged meanwhile.
@@ -405,7 +413,7 @@ func (s *Session) initiate(ch *appia.Channel, gs *groupState, gv group.View, p P
 	gs.epoch++
 	gs.inFlight = true
 	gs.acks = make(map[appia.NodeID]bool)
-	gs.decidedAt = time.Now()
+	gs.decidedAt = s.cfg.clock().Now()
 	gs.flightName = d.ConfigName
 	gs.flightMembers = append([]appia.NodeID(nil), members...)
 	s.cfg.logf("core[%d]: group %q: policy %q: %s -> %s (epoch %d): %s",
@@ -491,7 +499,10 @@ func (s *Session) onPrepare(ch *appia.Channel, e *PrepareEvent) {
 	// The deployment blocks on view-synchronous quiescence, so it runs off
 	// the scheduler goroutine; the Ack is inserted thread-safely after.
 	// Deployments of different groups run concurrently by construction.
-	go func() {
+	// Spawned through the clock: under the virtual clock plane the
+	// deployment goroutine is an actor, queued for the run token in this
+	// (deterministic) program order.
+	s.cfg.clock().Go(func() {
 		if err := gs.rt.Manager.Reconfigure(doc, name, epoch, members); err != nil {
 			s.cfg.logf("core[%d]: group %q: reconfigure epoch %d: %v", s.cfg.Self, groupName, epoch, err)
 			return
@@ -510,7 +521,7 @@ func (s *Session) onPrepare(ch *appia.Channel, e *PrepareEvent) {
 		if err := ch.Insert(ack, appia.Down); err != nil {
 			s.cfg.logf("core[%d]: group %q: ack epoch %d: %v", s.cfg.Self, groupName, epoch, err)
 		}
-	}()
+	})
 }
 
 // onAck tallies deployment acknowledgements at the group's coordinator.
@@ -557,7 +568,7 @@ func (s *Session) onAck(ch *appia.Channel, e *AckEvent) {
 		return
 	}
 	gs.inFlight = false
-	took := time.Since(gs.decidedAt)
+	took := s.cfg.clock().Since(gs.decidedAt)
 	if gs.rt.OnReconfigured != nil {
 		gs.rt.OnReconfigured(epoch, gs.flightName, took)
 	}

@@ -12,6 +12,7 @@ import (
 
 	"morpheus"
 	"morpheus/internal/appia"
+	"morpheus/internal/clock"
 	"morpheus/internal/core"
 	"morpheus/internal/group"
 	"morpheus/internal/stack"
@@ -41,21 +42,24 @@ func (c *counter) get() int {
 	return c.n
 }
 
-// waitFor polls cond until true or timeout; reports success.
-func waitFor(timeout time.Duration, cond func() bool) bool {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
+// waitFor polls cond until true or timeout; reports success. On a virtual
+// clock each poll happens at a quiescent point of the simulation, so the
+// value of cond — and therefore the driver's next action — is a
+// deterministic function of virtual time.
+func waitFor(clk clock.Clock, timeout time.Duration, cond func() bool) bool {
+	deadline := clk.Now().Add(timeout)
+	for clk.Now().Before(deadline) {
 		if cond() {
 			return true
 		}
-		time.Sleep(2 * time.Millisecond)
+		clk.Sleep(2 * time.Millisecond)
 	}
 	return false
 }
 
-// hybridWorld builds the paper's two-segment testbed.
-func hybridWorld(seed int64) *vnet.World {
-	w := vnet.NewWorld(seed)
+// hybridWorld builds the paper's two-segment testbed on the given clock.
+func hybridWorld(seed int64, clk clock.Clock) *vnet.World {
+	w := vnet.NewWorldWithClock(seed, clk)
 	w.AddSegment(vnet.SegmentConfig{Name: "lan", NativeMulticast: true})
 	w.AddSegment(vnet.SegmentConfig{Name: "wlan", Wireless: true})
 	return w
@@ -80,18 +84,19 @@ type rawNode struct {
 	delivered counter
 }
 
-// startRawNode deploys doc on a fresh node.
+// startRawNode deploys doc on a fresh node, on the world's clock.
 func startRawNode(w *vnet.World, id appia.NodeID, kind vnet.Kind, seg string, members []appia.NodeID, doc *morpheus.Document, name string) (*rawNode, error) {
 	vn, err := w.AddNode(id, kind, seg)
 	if err != nil {
 		return nil, err
 	}
 	stack.RegisterAllWireEvents(nil)
-	n := &rawNode{id: id, vn: vn, sched: appia.NewScheduler()}
+	n := &rawNode{id: id, vn: vn, sched: appia.NewSchedulerWithClock(w.Clock())}
 	n.mgr = stack.NewManager(stack.ManagerConfig{
 		Node:      vn,
 		Self:      id,
 		Scheduler: n.sched,
+		Clock:     w.Clock(),
 		OnDeliver: func(ev *group.CastEvent) { n.delivered.add() },
 		Logf:      func(string, ...any) {},
 	})
@@ -159,7 +164,9 @@ func (c *Figure3Config) defaults() {
 // RunFigure3 reproduces the paper's experiment: a hybrid chat group where
 // the mobile device sends Messages multicasts, counting every transmission
 // the mobile's radio makes (data and control), with and without the Mecho
-// adaptation.
+// adaptation. Each run executes on its own virtual clock, so the full
+// counter matrix — control plane included — is bit-reproducible at equal
+// seeds; timeouts are virtual time.
 func RunFigure3(cfg Figure3Config) ([]Figure3Row, error) {
 	cfg.defaults()
 	rows := make([]Figure3Row, 0, len(cfg.Sizes))
@@ -182,7 +189,9 @@ func RunFigure3(cfg Figure3Config) ([]Figure3Row, error) {
 // runFigure3Optimized runs the adapted version: full Morpheus nodes with
 // the hybrid policy; measurement starts once Mecho is deployed everywhere.
 func runFigure3Optimized(n int, cfg Figure3Config) (Figure3Row, error) {
-	w := hybridWorld(cfg.Seed)
+	clk := clock.NewVirtual()
+	defer clk.Stop()
+	w := hybridWorld(cfg.Seed, clk)
 	defer w.Close()
 	members := hybridMembers(n)
 
@@ -222,7 +231,7 @@ func runFigure3Optimized(n int, cfg Figure3Config) (Figure3Row, error) {
 		// deploys Mecho with the single fixed node as relay.
 		wantCfg = core.MechoConfigName(1)
 	}
-	if !waitFor(cfg.Timeout, func() bool {
+	if !waitFor(clk, cfg.Timeout, func() bool {
 		for _, nd := range nodes {
 			if nd.ConfigName() != wantCfg {
 				return false
@@ -251,7 +260,7 @@ func runFigure3Optimized(n int, cfg Figure3Config) (Figure3Row, error) {
 			return Figure3Row{}, err
 		}
 	}
-	if !waitFor(cfg.Timeout, func() bool {
+	if !waitFor(clk, cfg.Timeout, func() bool {
 		for id, c := range counters {
 			_ = id
 			if c.get() < cfg.Messages {
@@ -276,7 +285,9 @@ func runFigure3Optimized(n int, cfg Figure3Config) (Figure3Row, error) {
 // runFigure3Baseline runs the non-adaptive version: the plain stack with no
 // Morpheus control plane at all.
 func runFigure3Baseline(n int, cfg Figure3Config) (Figure3Row, error) {
-	w := hybridWorld(cfg.Seed + 1000)
+	clk := clock.NewVirtual()
+	defer clk.Stop()
+	w := hybridWorld(cfg.Seed+1000, clk)
 	defer w.Close()
 	members := hybridMembers(n)
 
@@ -309,7 +320,7 @@ func runFigure3Baseline(n int, cfg Figure3Config) (Figure3Row, error) {
 			return Figure3Row{}, err
 		}
 	}
-	if !waitFor(cfg.Timeout, func() bool {
+	if !waitFor(clk, cfg.Timeout, func() bool {
 		for _, nd := range nodes {
 			if nd.delivered.get() < cfg.Messages {
 				return false

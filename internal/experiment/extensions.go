@@ -7,6 +7,7 @@ import (
 
 	"morpheus"
 	"morpheus/internal/appia"
+	"morpheus/internal/clock"
 	"morpheus/internal/core"
 	"morpheus/internal/epidemic"
 	"morpheus/internal/group"
@@ -32,7 +33,7 @@ func RunReconfigLatency(sizes []int, timeout time.Duration, seed int64) ([]Recon
 	}
 	rows := make([]ReconfigRow, 0, len(sizes))
 	for _, n := range sizes {
-		w := hybridWorld(seed + int64(n))
+		w := hybridWorld(seed+int64(n), nil)
 		members := hybridMembers(n)
 		tookCh := make(chan time.Duration, 4)
 		var nodes []*morpheus.Node
@@ -152,7 +153,9 @@ type bebNode struct {
 }
 
 func runStrategy(n int, strat string, cfg StrategyConfig) (StrategyRow, error) {
-	w := vnet.NewWorld(cfg.Seed + int64(n))
+	clk := clock.NewVirtual()
+	defer clk.Stop()
+	w := vnet.NewWorldWithClock(cfg.Seed+int64(n), clk)
 	defer w.Close()
 	w.AddSegment(vnet.SegmentConfig{Name: "lan", NativeMulticast: true, Loss: cfg.Loss})
 	group.RegisterWireEvents(nil)
@@ -173,7 +176,7 @@ func runStrategy(n int, strat string, cfg StrategyConfig) (StrategyRow, error) {
 		if err != nil {
 			return StrategyRow{}, err
 		}
-		nd := &bebNode{id: id, vn: vn, sched: appia.NewScheduler()}
+		nd := &bebNode{id: id, vn: vn, sched: appia.NewSchedulerWithClock(clk)}
 		var beb appia.Layer
 		switch strat {
 		case "fanout":
@@ -223,7 +226,7 @@ func runStrategy(n int, strat string, cfg StrategyConfig) (StrategyRow, error) {
 		}
 	}
 	// Best-effort: wait until delivery counts stop moving.
-	waitStable(cfg.Timeout, func() int {
+	waitStable(clk, cfg.Timeout, func() int {
 		total := 0
 		for _, nd := range nodes {
 			total += nd.delivered.get()
@@ -253,10 +256,10 @@ func runStrategy(n int, strat string, cfg StrategyConfig) (StrategyRow, error) {
 
 // waitStable polls a monotone counter until it stops increasing for a few
 // consecutive checks (or the timeout passes).
-func waitStable(timeout time.Duration, read func() int) {
-	deadline := time.Now().Add(timeout)
+func waitStable(clk clock.Clock, timeout time.Duration, read func() int) {
+	deadline := clk.Now().Add(timeout)
 	last, quiet := -1, 0
-	for time.Now().Before(deadline) {
+	for clk.Now().Before(deadline) {
 		cur := read()
 		if cur == last {
 			quiet++
@@ -267,7 +270,7 @@ func waitStable(timeout time.Duration, read func() int) {
 			quiet = 0
 			last = cur
 		}
-		time.Sleep(10 * time.Millisecond)
+		clk.Sleep(10 * time.Millisecond)
 	}
 }
 
@@ -323,7 +326,9 @@ func RunEnergyLifetime(cfg EnergyConfig) ([]EnergyRow, error) {
 }
 
 func runEnergyMode(mode string, cfg EnergyConfig) (EnergyRow, error) {
-	w := vnet.NewWorld(cfg.Seed)
+	clk := clock.NewVirtual()
+	defer clk.Stop()
+	w := vnet.NewWorldWithClock(cfg.Seed, clk)
 	defer w.Close()
 	w.AddSegment(vnet.SegmentConfig{Name: "wlan", Wireless: true})
 
@@ -374,12 +379,12 @@ func runEnergyMode(mode string, cfg EnergyConfig) (EnergyRow, error) {
 	}
 
 	// Let context dissemination settle so the policy sees every battery.
-	time.Sleep(200 * time.Millisecond)
+	clk.Sleep(200 * time.Millisecond)
 
 	casts := 0
-	deadline := time.Now().Add(cfg.Timeout)
+	deadline := clk.Now().Add(cfg.Timeout)
 	row := EnergyRow{Mode: mode}
-	for time.Now().Before(deadline) {
+	for clk.Now().Before(deadline) {
 		dead := appia.NoNode
 		for _, nd := range nodes {
 			if !nd.VNode().Alive() {
@@ -398,7 +403,7 @@ func runEnergyMode(mode string, cfg EnergyConfig) (EnergyRow, error) {
 		// Pace the workload so battery context keeps flowing and the
 		// adaptation loop (sample → disseminate → evaluate → reconfigure)
 		// can act between drains, as it would at chat-like rates.
-		time.Sleep(2 * time.Millisecond)
+		clk.Sleep(2 * time.Millisecond)
 	}
 	row.CastsBeforeDeath = casts
 	row.ReconfigurationsN = reconfigs.get()
@@ -511,11 +516,11 @@ func runErrorRecovery(strat string, loss float64, cfg ErrorRecoveryConfig) (Erro
 	// ARQ converges to full delivery; FEC plateaus. Wait for stability.
 	expected := cfg.Messages * (cfg.Nodes - 1)
 	if strat == "arq" {
-		waitFor(cfg.Timeout, func() bool {
+		waitFor(clock.Wall(), cfg.Timeout, func() bool {
 			return receiversDelivered(nodes, sender) >= expected
 		})
 	} else {
-		waitStable(cfg.Timeout, func() int { return receiversDelivered(nodes, sender) })
+		waitStable(clock.Wall(), cfg.Timeout, func() int { return receiversDelivered(nodes, sender) })
 	}
 	elapsed := time.Since(start)
 
@@ -575,7 +580,7 @@ func RunFlushAblation(messages int, seed int64) ([]FlushAblationRow, error) {
 }
 
 func runFlushMode(mode string, messages int, seed int64) (FlushAblationRow, error) {
-	w := hybridWorld(seed)
+	w := hybridWorld(seed, nil)
 	defer w.Close()
 	members := hybridMembers(3)
 
@@ -623,7 +628,7 @@ func runFlushMode(mode string, messages int, seed int64) (FlushAblationRow, erro
 		time.Sleep(time.Millisecond)
 	}
 	// Allow late repairs to finish.
-	waitStable(20*time.Second, func() int {
+	waitStable(clock.Wall(), 20*time.Second, func() int {
 		total := 0
 		for _, c := range counters {
 			total += c.get()

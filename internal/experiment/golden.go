@@ -1,0 +1,135 @@
+package experiment
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Golden replay: every experiment that runs on the virtual clock plane is
+// required to be bit-reproducible — two runs at the same seed must produce
+// byte-identical counter matrices. Each GoldenRunner below executes one
+// experiment at a fixed, reduced scale and serializes its complete output
+// (every counter of every row) into a canonical matrix string; the suite in
+// golden_replay_test.go replays each runner several times, asserts the
+// matrices are hash-identical, and pins the hashes in testdata so any
+// nondeterminism (or silent behavior change) fails tier-1.
+
+// GoldenResult is one deterministic experiment run: its canonical counter
+// matrix and the matrix's SHA-256.
+type GoldenResult struct {
+	Name   string
+	Matrix string
+	Hash   string
+}
+
+// GoldenRunner executes one experiment of the golden suite.
+type GoldenRunner struct {
+	Name string
+	Run  func(seed int64) (string, error)
+}
+
+// finish wraps a matrix into a GoldenResult.
+func finish(name, matrix string) GoldenResult {
+	sum := sha256.Sum256([]byte(matrix))
+	return GoldenResult{Name: name, Matrix: matrix, Hash: hex.EncodeToString(sum[:])}
+}
+
+// RunGolden executes the named runner at the given seed.
+func RunGolden(r GoldenRunner, seed int64) (GoldenResult, error) {
+	matrix, err := r.Run(seed)
+	if err != nil {
+		return GoldenResult{}, err
+	}
+	return finish(r.Name, matrix), nil
+}
+
+// GoldenRunners returns the golden suite: the four experiment families the
+// virtual clock plane fully virtualizes (figure3, E5 strategies, E6 energy
+// lifetime, E9 multi-group). Scales are reduced so three consecutive
+// replays fit a tier-1 test budget; the quantities are still the ones the
+// paper plots.
+func GoldenRunners() []GoldenRunner {
+	return []GoldenRunner{
+		{Name: "figure3", Run: goldenFigure3},
+		{Name: "e5-strategies", Run: goldenStrategies},
+		{Name: "e6-energy", Run: goldenEnergy},
+		{Name: "e9-multigroup", Run: goldenMultiGroup},
+	}
+}
+
+func goldenFigure3(seed int64) (string, error) {
+	rows, err := RunFigure3(Figure3Config{
+		Sizes:    []int{2, 3, 6},
+		Messages: 150,
+		Timeout:  60 * time.Second,
+		Seed:     seed,
+	})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "n=%d opt=%d notopt=%d optdata=%d optctl=%d relaydata=%d notoptdata=%d\n",
+			r.Nodes, r.Optimized, r.NotOptimized, r.OptimizedData, r.OptimizedControl,
+			r.RelayData, r.NotOptimizedData)
+	}
+	return b.String(), nil
+}
+
+func goldenStrategies(seed int64) (string, error) {
+	rows, err := RunMulticastStrategies(StrategyConfig{
+		Sizes:    []int{8, 16},
+		Messages: 80,
+		Loss:     0.05, // exercise the loss draws and the epidemic TTL paths
+		Timeout:  30 * time.Second,
+		Seed:     seed,
+	})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "n=%d strat=%s sender=%d maxnode=%d total=%d delivery=%.6f\n",
+			r.Nodes, r.Strategy, r.SenderTx, r.MaxNodeTx, r.TotalTx, r.DeliveryRatio)
+	}
+	return b.String(), nil
+}
+
+func goldenEnergy(seed int64) (string, error) {
+	rows, err := RunEnergyLifetime(EnergyConfig{
+		Nodes:    4,
+		Capacity: 0.3,
+		Timeout:  30 * time.Second,
+		Seed:     seed,
+	})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "mode=%s casts=%d firstdead=%d reconfigs=%d\n",
+			r.Mode, r.CastsBeforeDeath, r.FirstDead, r.ReconfigurationsN)
+	}
+	return b.String(), nil
+}
+
+func goldenMultiGroup(seed int64) (string, error) {
+	rows, err := RunMultiGroup(MultiGroupConfig{
+		StressMessages: 25,
+		Messages:       60,
+		Timeout:        60 * time.Second,
+		Seed:           seed,
+	})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "group=%s config=%s epoch=%d mobiledata=%d single=%d delivered=%d leaked=%d\n",
+			r.Group, r.Config, r.Epoch, r.MobileDataTx, r.SingleRunDataTx, r.Delivered, r.Leaked)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,126 @@
+package experiment
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden-replay suite is the executable form of the virtual clock
+// plane's determinism guarantee: each experiment family runs three times at
+// the same seed and must produce byte-identical counter matrices, and the
+// matrix hashes must match the pinned values in testdata/golden.json.
+//
+// Regenerate the pins after an intentional protocol/behavior change with:
+//
+//	go test ./internal/experiment -run TestGoldenReplay -update-golden
+//
+// On failure, set GOLDEN_OUT=<dir> to dump the observed matrices (the CI
+// determinism job uploads them as artifacts).
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden.json with the observed hashes")
+
+const goldenSeed = 42
+
+// goldenReplays is how many consecutive equal-seed runs must agree.
+const goldenReplays = 3
+
+func goldenPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join("testdata", "golden.json")
+}
+
+func loadGolden(t *testing.T) map[string]string {
+	t.Helper()
+	data, err := os.ReadFile(goldenPath(t))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		t.Fatalf("read golden pins: %v", err)
+	}
+	pins := make(map[string]string)
+	if err := json.Unmarshal(data, &pins); err != nil {
+		t.Fatalf("parse golden pins: %v", err)
+	}
+	return pins
+}
+
+// dumpMatrix writes an observed matrix for artifact collection when
+// GOLDEN_OUT is set.
+func dumpMatrix(t *testing.T, name string, run int, res GoldenResult) {
+	dir := os.Getenv("GOLDEN_OUT")
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("golden dump: %v", err)
+		return
+	}
+	payload := fmt.Sprintf("hash=%s\n%s", res.Hash, res.Matrix)
+	file := filepath.Join(dir, fmt.Sprintf("%s-run%d.txt", name, run))
+	if err := os.WriteFile(file, []byte(payload), 0o644); err != nil {
+		t.Logf("golden dump: %v", err)
+	}
+}
+
+func TestGoldenReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden replay is tier-1 only (full runs under -race are slow)")
+	}
+	pins := loadGolden(t)
+	observed := make(map[string]string)
+	for _, runner := range GoldenRunners() {
+		runner := runner
+		t.Run(runner.Name, func(t *testing.T) {
+			var first GoldenResult
+			for i := 0; i < goldenReplays; i++ {
+				res, err := RunGolden(runner, goldenSeed)
+				if err != nil {
+					t.Fatalf("run %d: %v", i+1, err)
+				}
+				dumpMatrix(t, runner.Name, i+1, res)
+				if i == 0 {
+					first = res
+					continue
+				}
+				if res.Hash != first.Hash {
+					t.Fatalf("nondeterministic: run %d hash %s != run 1 hash %s\nrun 1 matrix:\n%s\nrun %d matrix:\n%s",
+						i+1, res.Hash, first.Hash, first.Matrix, i+1, res.Matrix)
+				}
+			}
+			observed[runner.Name] = first.Hash
+			if *updateGolden {
+				return // pins rewritten below
+			}
+			pin, ok := pins[runner.Name]
+			if !ok {
+				t.Fatalf("no pinned hash for %q; run with -update-golden to record it", runner.Name)
+			}
+			if first.Hash != pin {
+				t.Fatalf("matrix hash %s does not match pinned %s — a behavior change or a determinism regression; "+
+					"matrix:\n%s\nif the change is intentional, regenerate with -update-golden",
+					first.Hash, pin, first.Matrix)
+			}
+		})
+	}
+	if *updateGolden {
+		if len(observed) != len(GoldenRunners()) {
+			t.Fatalf("refusing to write partial pins (%d/%d experiments ran)", len(observed), len(GoldenRunners()))
+		}
+		data, err := json.MarshalIndent(observed, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath(t), append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("pinned %d golden hashes to %s", len(observed), goldenPath(t))
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"morpheus"
 	"morpheus/internal/appia"
+	"morpheus/internal/clock"
 	"morpheus/internal/core"
 )
 
@@ -139,7 +140,9 @@ func RunMultiGroup(cfg MultiGroupConfig) ([]MultiGroupRow, error) {
 	specs := mgSpecs()
 	members := []appia.NodeID{1, 2, 3, MobileID}
 
-	w := hybridWorld(cfg.Seed)
+	clk := clock.NewVirtual()
+	defer clk.Stop()
+	w := hybridWorld(cfg.Seed, clk)
 	defer w.Close()
 
 	nodes := make(map[appia.NodeID]*morpheus.Node, len(members))
@@ -182,14 +185,18 @@ func RunMultiGroup(cfg MultiGroupConfig) ([]MultiGroupRow, error) {
 		}
 	}
 	// Phase 1 — stress: concurrent sends in every group while alpha and
-	// beta reconfigure underneath.
-	var wg sync.WaitGroup
+	// beta reconfigure underneath. The senders are clock actors: they join
+	// the virtual clock's run-token rotation and pace themselves with
+	// virtual sleeps, so the cross-group interleaving is deterministic.
 	var sendErr error
 	var sendErrMu sync.Mutex
-	for _, spec := range specs {
-		wg.Add(1)
-		go func(name string) {
-			defer wg.Done()
+	done := make([]chan struct{}, len(specs))
+	for si, spec := range specs {
+		d := make(chan struct{})
+		done[si] = d
+		name := spec.name
+		clk.Go(func() {
+			defer close(d)
 			g := groups[MobileID][name]
 			for i := 0; i < cfg.StressMessages; i++ {
 				if err := g.Send(mgPayload(name, i)); err != nil {
@@ -200,18 +207,20 @@ func RunMultiGroup(cfg MultiGroupConfig) ([]MultiGroupRow, error) {
 					sendErrMu.Unlock()
 					return
 				}
-				time.Sleep(time.Millisecond)
+				clk.Sleep(time.Millisecond)
 			}
-		}(spec.name)
+		})
 	}
-	wg.Wait()
+	for _, d := range done {
+		clk.Wait(d)
+	}
 	if sendErr != nil {
 		return nil, sendErr
 	}
 	// Every group must settle on its expected configuration on every node.
 	for _, spec := range specs {
 		spec := spec
-		if !waitFor(cfg.Timeout, func() bool {
+		if !waitFor(clk, cfg.Timeout, func() bool {
 			for _, id := range members {
 				if groups[id][spec.name].ConfigName() != spec.settled {
 					return false
@@ -223,7 +232,7 @@ func RunMultiGroup(cfg MultiGroupConfig) ([]MultiGroupRow, error) {
 		}
 	}
 	// ... and deliver the complete stress workload at the observer.
-	if !waitFor(cfg.Timeout, func() bool {
+	if !waitFor(clk, cfg.Timeout, func() bool {
 		for _, spec := range specs {
 			if got, _ := obs[spec.name].counts(); got < cfg.StressMessages {
 				return false
@@ -249,7 +258,7 @@ func RunMultiGroup(cfg MultiGroupConfig) ([]MultiGroupRow, error) {
 			}
 		}
 	}
-	if !waitFor(cfg.Timeout, func() bool {
+	if !waitFor(clk, cfg.Timeout, func() bool {
 		for _, spec := range specs {
 			if got, _ := obs[spec.name].counts(); got < baseline[spec.name]+cfg.Messages {
 				return false
@@ -285,7 +294,11 @@ func RunMultiGroup(cfg MultiGroupConfig) ([]MultiGroupRow, error) {
 // dedicated single-group deployment at the same seed and returns the
 // mobile's data transmissions.
 func runSingleGroupEquivalent(spec mgGroupSpec, cfg MultiGroupConfig, members []appia.NodeID) (uint64, error) {
-	w := hybridWorld(cfg.Seed)
+	// A nested simulation on its own virtual clock: the outer run's clock
+	// simply does not advance while the driver is in here.
+	clk := clock.NewVirtual()
+	defer clk.Stop()
+	w := hybridWorld(cfg.Seed, clk)
 	defer w.Close()
 	var nodes []*morpheus.Node
 	defer func() {
@@ -328,7 +341,7 @@ func runSingleGroupEquivalent(spec mgGroupSpec, cfg MultiGroupConfig, members []
 	g := mobile.Group(spec.name)
 	// Same settle condition as the multi-group run. Adaptive groups need a
 	// little traffic-free time for context dissemination either way.
-	if !waitFor(cfg.Timeout, func() bool {
+	if !waitFor(clk, cfg.Timeout, func() bool {
 		for _, nd := range nodes {
 			if nd.Group(spec.name).ConfigName() != spec.settled {
 				return false
@@ -344,7 +357,7 @@ func runSingleGroupEquivalent(spec mgGroupSpec, cfg MultiGroupConfig, members []
 			return 0, err
 		}
 	}
-	if !waitFor(cfg.Timeout, func() bool {
+	if !waitFor(clk, cfg.Timeout, func() bool {
 		got, _ := obs.counts()
 		return got >= cfg.Messages
 	}) {

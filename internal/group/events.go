@@ -111,6 +111,18 @@ func (dv DeliveredVector) Clone() DeliveredVector {
 	return cp
 }
 
+// SortedOrigins returns the vector's origins in ascending order, for
+// callers whose iteration has side effects (timer arming, sends) and must
+// therefore be deterministic.
+func (dv DeliveredVector) SortedOrigins() []appia.NodeID {
+	keys := make([]appia.NodeID, 0, len(dv))
+	for k := range dv {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
 // Equal reports whether two vectors are identical (absent keys equal zero).
 func (dv DeliveredVector) Equal(other DeliveredVector) bool {
 	for k, v := range dv {

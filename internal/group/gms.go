@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"morpheus/internal/appia"
+	"morpheus/internal/clock"
 )
 
 // GMSConfig configures the group membership / view synchrony layer.
@@ -28,6 +29,12 @@ type GMSConfig struct {
 	// OnView, when set, is called (on the scheduler goroutine) after each
 	// view installation. Used by Core and by tests.
 	OnView func(v View)
+	// Clock supplies the failure detector's notion of "now" (last-seen
+	// stamps and suspicion arithmetic). Nil means wall clock; under a
+	// virtual clock the whole detector becomes deterministic. The tick
+	// timers themselves are armed on the channel's scheduler, which has its
+	// own clock — configure both from the same source.
+	Clock clock.Clock
 }
 
 func (c *GMSConfig) hbInterval() time.Duration {
@@ -103,6 +110,7 @@ func NewGMSLayer(cfg GMSConfig) *GMSLayer {
 func (l *GMSLayer) NewSession() appia.Session {
 	return &gmsSession{
 		cfg:      l.cfg,
+		clk:      clock.Or(l.cfg.Clock),
 		lastSeen: make(map[appia.NodeID]time.Time),
 	}
 }
@@ -117,6 +125,7 @@ const (
 
 type gmsSession struct {
 	cfg GMSConfig
+	clk clock.Clock
 
 	view     View
 	phase    gmsPhase
@@ -197,7 +206,7 @@ func (s *gmsSession) onOther(ch *appia.Channel, ev appia.Event) {
 func (s *gmsSession) onInit(ch *appia.Channel) {
 	s.phase = phaseNormal
 	s.view = View{ID: 1, Members: s.cfg.InitialMembers}
-	now := time.Now()
+	now := s.clk.Now()
 	for _, m := range s.view.Members {
 		s.lastSeen[m] = now
 	}
@@ -252,7 +261,7 @@ func (s *gmsSession) onHeartbeat(ch *appia.Channel, e *Heartbeat) {
 	if _, err := e.EnsureMsg().PopUvarint(); err != nil {
 		return
 	}
-	s.lastSeen[e.Source] = time.Now()
+	s.lastSeen[e.Source] = s.clk.Now()
 }
 
 // checkFailures runs at the coordinator (or at the member that becomes
@@ -262,7 +271,7 @@ func (s *gmsSession) checkFailures(ch *appia.Channel) {
 	if s.phase != phaseNormal && s.phase != phaseFlushing {
 		return
 	}
-	now := time.Now()
+	now := s.clk.Now()
 	var alive, dead []appia.NodeID
 	for _, m := range s.view.Members {
 		if m == s.cfg.Self {
@@ -560,7 +569,7 @@ func (s *gmsSession) commitView(ch *appia.Channel, v View, hold bool) {
 	s.view = v
 	s.phase = phaseNormal
 	s.memberProposed = View{}
-	now := time.Now()
+	now := s.clk.Now()
 	for _, mbr := range v.Members {
 		s.lastSeen[mbr] = now
 	}

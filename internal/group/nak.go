@@ -27,11 +27,14 @@ type NakConfig struct {
 	StableInterval time.Duration
 	// StableEvery, when positive, additionally gossips the delivered
 	// vector after every StableEvery-th delivered cast, re-arming the
-	// wall-clock timer each time. Under sustained traffic the gossip
-	// schedule then depends only on the (deterministic) delivery sequence,
-	// not on wall-clock timing — which is what keeps experiment counters
-	// reproducible at equal seeds; the timer remains as a keepalive for
-	// idle channels.
+	// keepalive timer each time. Under sustained traffic the gossip
+	// schedule then depends only on the (deterministic) delivery sequence;
+	// the timer survives only as a keepalive for idle channels. The timer
+	// runs on the channel scheduler's clock, so under the virtual clock
+	// plane (internal/clock) even the idle keepalive is deterministic —
+	// its former wall-clock ±1-tick measurement residual is gone, and
+	// StableEvery is kept purely to bound buffer growth between idle
+	// ticks under sustained load.
 	StableEvery int
 }
 
@@ -443,8 +446,9 @@ func (s *nakSession) handleNack(ch *appia.Channel, e *Nack) {
 	}
 }
 
-// armStable (re-)schedules the wall-clock stability keepalive. A negative
-// StableInterval disables stability gossip entirely.
+// armStable (re-)schedules the stability keepalive on the scheduler's
+// clock (virtual under the deterministic time plane, wall otherwise). A
+// negative StableInterval disables stability gossip entirely.
 func (s *nakSession) armStable(ch *appia.Channel) {
 	if s.cfg.StableInterval < 0 {
 		return
@@ -458,7 +462,7 @@ func (s *nakSession) armStable(ch *appia.Channel) {
 
 // countDelivery advances the delivery-driven gossip schedule: with
 // StableEvery set, every StableEvery-th delivered cast gossips immediately
-// and pushes the wall-clock keepalive back, so under load the gossip points
+// and pushes the idle keepalive back, so under load the gossip points
 // are a pure function of the delivery sequence.
 func (s *nakSession) countDelivery(ch *appia.Channel) {
 	if s.cfg.StableEvery <= 0 || s.cfg.StableInterval < 0 {
@@ -496,10 +500,14 @@ func (s *nakSession) handleStable(ch *appia.Channel, e *Stable) {
 	// delivered seq k from some origin proves k exists, so if we are
 	// behind we can request a repair — this is the only way to recover a
 	// lost *final* message, which no subsequent gap would ever reveal.
-	for origin, high := range vec {
+	// Iterate in sorted origin order: armNack registers timers, and under
+	// the virtual clock same-deadline timers fire in registration order —
+	// map-order iteration here would be the run's only nondeterminism.
+	for _, origin := range vec.SortedOrigins() {
 		if origin == s.cfg.Self {
 			continue
 		}
+		high := vec[origin]
 		st := s.origin(origin)
 		if high > st.known {
 			st.known = high

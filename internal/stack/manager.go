@@ -8,6 +8,7 @@ import (
 
 	"morpheus/internal/appia"
 	"morpheus/internal/appia/appiaxml"
+	"morpheus/internal/clock"
 	"morpheus/internal/group"
 	"morpheus/internal/netio"
 )
@@ -46,6 +47,9 @@ type ManagerConfig struct {
 	// QuiesceTimeout bounds the wait for view-synchronous quiescence
 	// before a reconfiguration force-closes the old channel.
 	QuiesceTimeout time.Duration
+	// Clock times the quiescence wait. Nil means wall clock; it must be
+	// the scheduler's clock so reconfigurations stay on one timeline.
+	Clock clock.Clock
 	// OnDeliver receives application casts from whatever channel is
 	// currently deployed. Called on the scheduler goroutine.
 	OnDeliver func(ev *group.CastEvent)
@@ -78,6 +82,8 @@ func (c *ManagerConfig) portFor(epoch uint64) string {
 	}
 	return fmt.Sprintf("%s/%s@%d", c.Group, c.basePort(), epoch)
 }
+
+func (c *ManagerConfig) clock() clock.Clock { return clock.Or(c.Clock) }
 
 func (c *ManagerConfig) quiesceTimeout() time.Duration {
 	if c.QuiesceTimeout <= 0 {
@@ -210,6 +216,7 @@ func (m *Manager) build(doc *appiaxml.Document, epoch uint64, members []appia.No
 		Scheduler: m.cfg.Scheduler,
 		Deliver:   m.deliver,
 		Logf:      m.cfg.logf,
+		Clock:     m.cfg.clock(),
 	}
 	return appiaxml.BuildChannel(spec, m.reg, env)
 }
@@ -320,9 +327,7 @@ func (m *Manager) Reconfigure(doc *appiaxml.Document, configName string, epoch u
 		if err := old.Insert(trigger, appia.Down); err != nil && !errors.Is(err, appia.ErrChannelClosed) {
 			m.cfg.logf("stack[%d]: trigger flush: %v", m.cfg.Self, err)
 		}
-		select {
-		case <-q:
-		case <-time.After(m.cfg.quiesceTimeout()):
+		if !m.cfg.clock().WaitTimeout(q, m.cfg.quiesceTimeout()) {
 			m.cfg.logf("stack[%d]: quiescence timeout at epoch %d; force-closing", m.cfg.Self, epoch)
 		}
 	}

@@ -107,6 +107,7 @@ func NewStandardRegistry() *appiaxml.LayerRegistry {
 			EnableFD:          fd,
 			HeartbeatInterval: hb,
 			SuspectAfter:      suspect,
+			Clock:             env.Clock,
 		}), nil
 	})
 

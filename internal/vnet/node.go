@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"morpheus/internal/clock"
 	"morpheus/internal/netio"
 )
 
@@ -42,6 +43,11 @@ func (n *Node) ID() NodeID { return n.id }
 
 // World returns the world this node belongs to.
 func (n *Node) World() *World { return n.world }
+
+// Clock returns the world's time plane. The morpheus facade uses it to
+// default a node's clock to its substrate's, so nodes attached to a
+// virtual-clock world virtualize their control planes automatically.
+func (n *Node) Clock() clock.Clock { return n.world.clk }
 
 // Kind returns the device kind.
 func (n *Node) Kind() Kind { return n.kind }

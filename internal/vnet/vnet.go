@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"morpheus/internal/appia"
+	"morpheus/internal/clock"
 	"morpheus/internal/netio"
 )
 
@@ -178,6 +179,14 @@ type World struct {
 
 	closed atomic.Bool
 
+	// clk is the world's time plane. With the default wall clock, delayed
+	// frames run through the world's own timer-heap engine; with a
+	// deterministic *clock.Virtual they become entries of the clock's heap
+	// instead, so frame deliveries interleave with protocol timers in one
+	// reproducible (deadline, registration) order.
+	clk  clock.Clock
+	vclk *clock.Virtual
+
 	rngMu sync.Mutex // deterministic RNG; narrow, never held with others
 	rng   *rand.Rand
 
@@ -189,15 +198,28 @@ type World struct {
 	inflight sync.WaitGroup
 }
 
-// NewWorld creates an empty world with a deterministic RNG.
-func NewWorld(seed int64) *World {
-	return &World{
+// NewWorld creates an empty world with a deterministic RNG, timed by the
+// wall clock.
+func NewWorld(seed int64) *World { return NewWorldWithClock(seed, nil) }
+
+// NewWorldWithClock creates a world timed by clk (nil means wall clock).
+// Passing a *clock.Virtual makes the whole world — frame latencies
+// included — part of that clock's deterministic timeline; nodes started on
+// the world inherit the clock, so their control planes virtualize too.
+func NewWorldWithClock(seed int64, clk clock.Clock) *World {
+	w := &World{
 		nodes:    make(map[NodeID]*Node),
 		segments: make(map[string]*Segment),
+		clk:      clock.Or(clk),
 		rng:      rand.New(rand.NewSource(seed)),
 		wake:     make(chan struct{}, 1),
 	}
+	w.vclk, _ = w.clk.(*clock.Virtual)
+	return w
 }
+
+// Clock returns the world's time plane.
+func (w *World) Clock() clock.Clock { return w.clk }
 
 // AddSegment registers a segment. Re-adding a name replaces its config but
 // keeps attachments.
@@ -357,6 +379,21 @@ func (w *World) schedule(d time.Duration, payload []byte, dl delivery) {
 		if ok && h != nil {
 			h(dl.src, dl.port, payload)
 		}
+		return
+	}
+	if w.vclk != nil {
+		// Virtual time: the clock's heap is the delivery engine. The fire
+		// runs on the clock goroutine at a quiescent point, so same-instant
+		// frames deliver in registration order — exactly the (when, seq)
+		// rule of the wall engine, now shared with every protocol timer.
+		dl.pb, dl.size = copyPayload(payload), len(payload)
+		w.vclk.AfterFunc(d, func() {
+			if w.closed.Load() {
+				recyclePayload(dl.pb)
+				return
+			}
+			w.deliver(dl)
+		})
 		return
 	}
 	dl.pb, dl.size = copyPayload(payload), len(payload)

@@ -41,6 +41,7 @@ import (
 
 	"morpheus/internal/appia"
 	"morpheus/internal/appia/appiaxml"
+	"morpheus/internal/clock"
 	"morpheus/internal/cocaditem"
 	"morpheus/internal/core"
 	"morpheus/internal/group"
@@ -80,7 +81,27 @@ type (
 	Kind = netio.Kind
 	// Counters is a snapshot of class-keyed traffic counts.
 	Counters = netio.Counters
+	// Clock is a node's time plane (internal/clock): the wall clock for
+	// live runs, or a deterministic virtual clock for bit-reproducible
+	// experiments.
+	Clock = clock.Clock
+	// VirtualClock is the deterministic discrete-event clock.
+	VirtualClock = clock.Virtual
 )
+
+// WallClock returns the process-wide wall clock.
+func WallClock() Clock { return clock.Wall() }
+
+// NewVirtualClock returns a deterministic virtual clock; see clock.Virtual
+// for the actor discipline it imposes. Pair it with NewWorldWithClock and
+// stop it once the run's results are harvested.
+func NewVirtualClock() *VirtualClock { return clock.NewVirtual() }
+
+// NewWorldWithClock creates a simulated network on an explicit time plane;
+// nodes started on it inherit the clock.
+func NewWorldWithClock(seed int64, clk Clock) *World {
+	return vnet.NewWorldWithClock(seed, clk)
+}
 
 // Device kinds.
 const (
@@ -122,6 +143,13 @@ type Config struct {
 	Segments []string
 	// Energy, when non-nil, meters the node's battery.
 	Energy *netio.EnergyConfig
+	// Clock is the node's time plane: every timer-driven layer (scheduler
+	// timeouts, heartbeats and failure detection, NAK keepalives, context
+	// sampling, policy ticks) runs on it. Nil defaults to the endpoint's
+	// clock when the substrate has one (a vnet world built with
+	// NewWorldWithClock — so nodes on a virtual-clock world virtualize
+	// automatically), and to the wall clock otherwise.
+	Clock Clock
 	// Members is the bootstrap membership of the control group and of the
 	// default data group.
 	Members []NodeID
@@ -275,6 +303,14 @@ func Start(cfg Config) (*Node, error) {
 		cfg.ID = ep.ID()
 		cfg.Kind = ep.Kind()
 	}
+	if cfg.Clock == nil {
+		// Inherit the substrate's time plane: a vnet world built on a
+		// virtual clock virtualizes the whole node.
+		if c, ok := ep.(interface{ Clock() clock.Clock }); ok {
+			cfg.Clock = c.Clock()
+		}
+	}
+	cfg.Clock = clock.Or(cfg.Clock)
 
 	stack.RegisterAllWireEvents(nil)
 	cocaditem.RegisterWireEvents(nil)
@@ -283,7 +319,7 @@ func Start(cfg Config) (*Node, error) {
 	n := &Node{
 		cfg:      cfg,
 		endpoint: ep,
-		ctlSched: appia.NewScheduler(),
+		ctlSched: appia.NewSchedulerWithClock(cfg.Clock),
 		groups:   make(map[string]*Group),
 	}
 
@@ -331,17 +367,20 @@ func Start(cfg Config) (*Node, error) {
 			EnableFD:          true,
 			HeartbeatInterval: cfg.Heartbeat,
 			SuspectAfter:      cfg.SuspectAfter,
+			Clock:             cfg.Clock,
 		}),
 		cocaditem.NewLayer(cocaditem.Config{
 			Self:            cfg.ID,
 			Interval:        cfg.ContextInterval,
 			Retrievers:      retrievers,
 			PublishOnChange: cfg.PublishOnChange,
+			Clock:           cfg.Clock,
 		}),
 		core.NewLayer(core.Config{
 			Self:         cfg.ID,
 			Groups:       []core.GroupRuntime{g.runtime()},
 			EvalInterval: cfg.EvalInterval,
+			Clock:        cfg.Clock,
 			Logf:         logf,
 		}),
 	}
@@ -399,7 +438,7 @@ func (n *Node) buildGroup(name string, gc GroupConfig) (*Group, error) {
 		name:  name,
 		node:  n,
 		ep:    &groupEndpoint{Endpoint: n.endpoint},
-		sched: appia.NewScheduler(),
+		sched: appia.NewSchedulerWithClock(n.cfg.Clock),
 	}
 	gc.Members = members
 	g.manager = stack.NewManager(stack.ManagerConfig{
@@ -408,6 +447,7 @@ func (n *Node) buildGroup(name string, gc GroupConfig) (*Group, error) {
 		Group:          name,
 		Scheduler:      g.sched,
 		QuiesceTimeout: gc.QuiesceTimeout,
+		Clock:          n.cfg.Clock,
 		OnDeliver: func(ev *group.CastEvent) {
 			if gc.OnCast != nil {
 				gc.OnCast(ev)
@@ -507,6 +547,9 @@ func (n *Node) Groups() []*Group {
 
 // ID returns the node's identifier.
 func (n *Node) ID() NodeID { return n.cfg.ID }
+
+// Clock returns the node's time plane.
+func (n *Node) Clock() Clock { return n.cfg.Clock }
 
 // Endpoint exposes the node's network attachment (identity, traffic
 // counters) on whatever substrate it runs.
