@@ -19,8 +19,8 @@ test:
 race:
 	$(GO) test -race -short ./...
 
-# golden replays the virtualized experiments (figure3, E5, E6, E9) three
-# times each and checks the counter-matrix hashes against the pins in
+# golden replays the virtualized experiments (figure3, E5, E6, E9, E10)
+# three times each and checks the counter-matrix hashes against the pins in
 # internal/experiment/testdata/golden.json. Regenerate pins after an
 # intentional behavior change with:
 #   go test ./internal/experiment -run TestGoldenReplay -update-golden

@@ -13,7 +13,10 @@ import (
 	"testing"
 	"time"
 
+	"morpheus"
 	"morpheus/internal/experiment"
+	"morpheus/internal/netio"
+	"morpheus/internal/netio/loopnet"
 )
 
 // benchMessages is the per-run message count for benchmark iterations; the
@@ -202,6 +205,49 @@ func BenchmarkFlushAblation(b *testing.B) {
 		for _, r := range rows {
 			b.ReportMetric(float64(r.Lost), r.Mode+"-lost-msgs")
 		}
+	}
+}
+
+// BenchmarkSendWindow measures the Group.Send hot path with the
+// credit-based send window enabled (the default) against the unbounded
+// fire-and-forget baseline (SendWindow: -1). The bounded path must stay
+// within ~10% of the baseline: its steady-state cost is one mutex round
+// trip per send plus the stability-driven release bookkeeping, with
+// blocking only when the sender genuinely outruns the stack.
+func BenchmarkSendWindow(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		window int
+	}{
+		{"windowed", 0},   // DefaultSendWindow
+		{"unbounded", -1}, // pre-flow-control behavior
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			nw := loopnet.New()
+			defer nw.Close()
+			ep, err := nw.Attach(netio.EndpointConfig{ID: 1, Kind: netio.Fixed, Segments: []string{"lan"}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			nd, err := morpheus.Start(morpheus.Config{
+				Endpoint:   ep,
+				Members:    []morpheus.NodeID{1},
+				SendWindow: mode.window,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer nd.Close()
+			payload := []byte("0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := nd.Send(payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+		})
 	}
 }
 

@@ -30,7 +30,7 @@ func main() {
 
 func run() int {
 	var (
-		which = flag.String("run", "all", "experiment: figure3|reconfig|strategies|energy|errorrecovery|flush|multigroup|all")
+		which = flag.String("run", "all", "experiment: figure3|reconfig|strategies|energy|errorrecovery|flush|multigroup|overload|all")
 		msgs  = flag.Int("msgs", 40000, "messages per Figure 3 run (the paper used 40000)")
 		sizes = flag.String("sizes", "2,3,6,9", "comma-separated group sizes for figure3/reconfig")
 		seed  = flag.Int64("seed", 1, "virtual network seed")
@@ -65,6 +65,9 @@ func run() int {
 	}
 	if all || *which == "multigroup" {
 		ok = multigroup(*seed) && ok
+	}
+	if all || *which == "overload" {
+		ok = overload(*msgs, *seed) && ok
 	}
 	if !ok {
 		return 1
@@ -193,6 +196,35 @@ func flush(seed int64) bool {
 		out = append(out, fmt.Sprintf("%s\t%d\t%d\t%d\t%d", r.Mode, r.Sent, r.MinGotAll, r.Lost, r.Reconfigs))
 	}
 	table("E8 — view-synchronous flush ablation (sends during reconfiguration)", "mode\tsent\tmin-delivered\tlost\treconfigs", out)
+	return true
+}
+
+// overload is E10: the bounded-memory proof at scale. The -msgs flag is
+// interpreted as the TOTAL flood size (split across the three senders),
+// so `-run overload -msgs 40000` stresses a paper-scale flood against a
+// partitioned peer with the same window-derived bounds as the golden run.
+func overload(msgs int, seed int64) bool {
+	per := msgs / 3
+	if per < 1 {
+		per = 1 // never let integer division fall back to the 500-per-sender default
+	}
+	rows, err := experiment.RunOverload(experiment.OverloadConfig{
+		Messages: per,
+		Timeout:  30 * time.Minute,
+		Seed:     seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "overload:", err)
+		return false
+	}
+	var out []string
+	for _, r := range rows {
+		out = append(out, fmt.Sprintf("%d	%d	%d	%d	%d	%d	%d/%d/%d	%d	%d	%s",
+			r.Node, r.Sent, r.Rejected, r.Delivered, r.WindowHighWater, r.MailboxHighWater,
+			r.NakSentHW, r.NakHistoryHW, r.NakBufferHW, r.NakEvicted, r.Epoch, r.Config))
+	}
+	table("E10 — bounded-memory overload (flood + mid-flood reconfig + partitioned peer)",
+		"node	sent	rejected	delivered	win-hw	mbox-hw	nak-hw s/h/b	evicted	epoch	config", out)
 	return true
 }
 

@@ -223,6 +223,20 @@ type Env struct {
 	// current time directly (the scheduler's timers have their own copy).
 	// Nil means wall clock.
 	Clock clock.Clock
+	// Window, when non-nil, is the group's send-window credit sink: the
+	// reliable layer returns one credit per windowed cast as stability
+	// gossip confirms group-wide delivery. Nil means windowing is off for
+	// this channel.
+	Window CreditReleaser
+	// SendWindow is the window's credit capacity (0 when windowing is
+	// off); factories derive retention caps from it.
+	SendWindow int
+}
+
+// CreditReleaser mirrors group.CreditReleaser without the import: the sink
+// send-window credits are released to.
+type CreditReleaser interface {
+	Release(n int)
 }
 
 // LayerFactory builds a layer instance from parameters and the local

@@ -3,6 +3,7 @@ package appia
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"morpheus/internal/clock"
@@ -25,9 +26,15 @@ type task struct {
 // sessions must share the scheduler; in this codebase every simulated node
 // owns exactly one scheduler for all its channels.
 //
-// The mailbox is unbounded: insertions never block, which is essential
-// because the scheduler goroutine itself re-queues events while forwarding
-// them.
+// The mailbox itself never blocks an insertion — that is essential, because
+// the scheduler goroutine re-queues events while forwarding them, and a
+// blocking intra-stack insertion would deadlock the stack against itself.
+// What CAN be bounded is external ingress: SetMailboxBounds arms a
+// high/low-watermark admission gate that external producers (group sends,
+// via the stack manager) consult before posting, while sessions, timers and
+// network ingress keep posting freely. The hysteresis bounds the mailbox to
+// roughly high + (intra-stack amplification of the admitted work) without
+// ever violating the no-deadlock invariant.
 //
 // A scheduler belongs to a Clock (wall by default). Timers (After/Every)
 // are armed on it, and when the clock is a deterministic *clock.Virtual the
@@ -60,6 +67,18 @@ type Scheduler struct {
 
 	timerMu sync.Mutex
 	timers  map[*schedTimer]struct{}
+
+	// Bounded-mailbox admission state. depth counts queued-but-undispatched
+	// tasks (producer queue plus the in-flight batch); hwDepth is its
+	// monotone high-water mark. admitGate is non-nil while the mailbox is
+	// saturated (depth reached boundHigh) and is closed — waking external
+	// producers — once a drain brings depth back to boundLow. boundHigh == 0
+	// means unbounded (the default). All but the atomics are guarded by mu.
+	boundHigh int
+	boundLow  int
+	admitGate chan struct{}
+	depth     atomic.Int64
+	hwDepth   atomic.Int64
 }
 
 // schedTimer tracks one outstanding After timer for cancellation at Close.
@@ -118,6 +137,11 @@ func (s *Scheduler) Close() {
 	}
 	s.closed = true
 	s.cond.Broadcast()
+	if s.admitGate != nil {
+		// Never strand an external producer on admission to a dead mailbox.
+		close(s.admitGate)
+		s.admitGate = nil
+	}
 	s.mu.Unlock()
 	close(s.closing)
 
@@ -143,6 +167,15 @@ func (s *Scheduler) post(t task) error {
 		return ErrSchedulerClosed
 	}
 	s.queue = append(s.queue, t)
+	d := s.depth.Add(1)
+	if d > s.hwDepth.Load() {
+		// Only posts raise the depth and posts hold mu, so a plain store
+		// cannot lose a concurrent maximum.
+		s.hwDepth.Store(d)
+	}
+	if s.boundHigh > 0 && s.admitGate == nil && d >= int64(s.boundHigh) {
+		s.admitGate = make(chan struct{})
+	}
 	// Signal only when the scheduler goroutine is actually parked: while it
 	// is draining a batch, posts just append. The waiting flag is only ever
 	// set under mu immediately before cond.Wait, so a true value here means
@@ -245,6 +278,11 @@ func (s *Scheduler) run() {
 	var batch []task
 	for {
 		s.mu.Lock()
+		if s.admitGate != nil && s.depth.Load() <= int64(s.boundLow) {
+			// Drained below the low watermark: readmit external producers.
+			close(s.admitGate)
+			s.admitGate = nil
+		}
 		for len(s.queue) == 0 && !s.closed {
 			s.waiting = true
 			if s.vclk != nil && s.tokenHeld {
@@ -280,9 +318,57 @@ func (s *Scheduler) run() {
 		for i := range batch {
 			s.dispatch(batch[i])
 		}
+		s.depth.Add(int64(-len(batch)))
 		clear(batch) // release the events for the GC in one bulk write
 	}
 }
+
+// SetMailboxBounds enables bounded-mailbox mode: once the mailbox depth
+// reaches high, AdmitExternal gates external producers until a drain
+// brings it back to low (hysteresis, so admission does not thrash at the
+// boundary). Passing high <= 0 disables the bound. Intra-stack insertions
+// are never gated — see the type comment for why.
+func (s *Scheduler) SetMailboxBounds(high, low int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if high <= 0 {
+		s.boundHigh, s.boundLow = 0, 0
+		if s.admitGate != nil {
+			close(s.admitGate)
+			s.admitGate = nil
+		}
+		return
+	}
+	if low < 0 {
+		low = 0
+	}
+	if low >= high {
+		low = high - 1
+	}
+	s.boundHigh, s.boundLow = high, low
+}
+
+// AdmitExternal reports whether external work may enter the mailbox: nil
+// means go ahead; a non-nil channel means the mailbox is saturated, and
+// the channel is closed when it drains below the low watermark (wait on
+// it through the scheduler's clock, then re-check). Admission is
+// advisory — an external producer that posts anyway is only ever delayed,
+// never rejected — so the depth bound is soft by the number of concurrent
+// producers.
+func (s *Scheduler) AdmitExternal() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.admitGate == nil {
+		return nil
+	}
+	return s.admitGate
+}
+
+// MailboxDepth returns the number of queued-but-undispatched tasks.
+func (s *Scheduler) MailboxDepth() int { return int(s.depth.Load()) }
+
+// MailboxHighWater returns the maximum mailbox depth ever observed.
+func (s *Scheduler) MailboxHighWater() int { return int(s.hwDepth.Load()) }
 
 // acquireToken blocks until this scheduler holds the virtual clock's run
 // token (no-op on wall clocks or when already held).

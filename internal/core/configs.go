@@ -23,6 +23,14 @@ const dataChannel = "data"
 // clock plane (internal/clock) it runs on the node's configured clock —
 // deterministic under the virtual clock the experiments use, wall time on
 // live substrates — so it no longer perturbs measured counters either way.
+//
+// Since PR 5 this gossip also drives the send-window credit plane: a
+// group's in-flight casts release their credits when the stability
+// watermarks cover them, so under sustained load credits return in
+// batches of up to stableEvery. stack.DefaultSendWindow (256) is sized as
+// a small multiple of this period; configurations that lower the window
+// below ~2× stableEvery trade throughput (senders idle between gossip
+// batches) for a tighter memory bound.
 const stableEvery = "64"
 
 // nakSession is the reliable-layer session spec shared by the standard

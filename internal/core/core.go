@@ -378,21 +378,68 @@ func (s *Session) evaluateGroup(ch *appia.Channel, gs *groupState) {
 	if len(gv.Members) == 0 || gv.Coordinator() != s.cfg.Self {
 		return
 	}
-	if gs.inFlight || s.ctx == nil || len(gs.rt.Policies) == 0 {
+	if gs.inFlight {
 		return
 	}
-	in := PolicyInput{View: gv, Context: s.ctx, Current: gs.current, Group: gs.rt.Group}
-	for _, p := range gs.rt.Policies {
-		d := p.Evaluate(in)
-		if d == nil {
-			continue
+	if s.ctx != nil {
+		in := PolicyInput{View: gv, Context: s.ctx, Current: gs.current, Group: gs.rt.Group}
+		for _, p := range gs.rt.Policies {
+			d := p.Evaluate(in)
+			if d == nil {
+				continue
+			}
+			if d.ConfigName == gs.current {
+				continue
+			}
+			s.initiate(ch, gs, gv, p, d)
+			return
 		}
-		if d.ConfigName == gs.current {
-			continue
-		}
-		s.initiate(ch, gs, gv, p, d)
+	}
+	// No policy wants a different configuration; repair runs for adaptive
+	// and non-adaptive groups alike.
+	s.repairMembership(ch, gs, gv)
+}
+
+// repairPolicy labels membership-repair redeployments in logs.
+type repairPolicy struct{}
+
+func (repairPolicy) Name() string                   { return "membership-repair" }
+func (repairPolicy) Evaluate(PolicyInput) *Decision { return nil }
+
+// repairMembership redeploys the CURRENT configuration with a narrowed
+// membership when a deployed member is no longer control-group-live. No
+// policy asks for this (the config name does not change), but without it a
+// dead or partitioned peer stays in the data channel's reliable-layer
+// member set forever: stability gossip can never cover it, retransmission
+// buffers stop pruning, and — with send windows — every sender eventually
+// blocks on credits the dead peer will never release. The repair flush
+// evicts the peer, which both re-bounds retention and releases the stalled
+// credits (see group.nak's view-install release).
+func (s *Session) repairMembership(ch *appia.Channel, gs *groupState, gv group.View) {
+	deployed := gs.rt.Manager.Members()
+	if len(deployed) == 0 || len(gv.Members) == 0 {
 		return
 	}
+	shrunk := false
+	for _, m := range deployed {
+		if !gv.Contains(m) {
+			shrunk = true
+			break
+		}
+	}
+	if !shrunk {
+		return
+	}
+	doc := gs.rt.Manager.CurrentDocument()
+	if doc == nil {
+		return
+	}
+	s.initiate(ch, gs, gv, repairPolicy{}, &Decision{
+		ConfigName: gs.current,
+		Doc:        doc,
+		Members:    append([]appia.NodeID(nil), gv.Members...),
+		Reason:     "deployed membership lost a control-live member",
+	})
 }
 
 // initiate starts a reconfiguration of one group: ship the XML to everybody

@@ -46,17 +46,18 @@ func RunGolden(r GoldenRunner, seed int64) (GoldenResult, error) {
 	return finish(r.Name, matrix), nil
 }
 
-// GoldenRunners returns the golden suite: the four experiment families the
+// GoldenRunners returns the golden suite: the experiment families the
 // virtual clock plane fully virtualizes (figure3, E5 strategies, E6 energy
-// lifetime, E9 multi-group). Scales are reduced so three consecutive
-// replays fit a tier-1 test budget; the quantities are still the ones the
-// paper plots.
+// lifetime, E9 multi-group, E10 overload). Scales are reduced so three
+// consecutive replays fit a tier-1 test budget; the quantities are still
+// the ones the paper plots (and, for E10, the bounded-memory marks).
 func GoldenRunners() []GoldenRunner {
 	return []GoldenRunner{
 		{Name: "figure3", Run: goldenFigure3},
 		{Name: "e5-strategies", Run: goldenStrategies},
 		{Name: "e6-energy", Run: goldenEnergy},
 		{Name: "e9-multigroup", Run: goldenMultiGroup},
+		{Name: "e10-overload", Run: goldenOverload},
 	}
 }
 
@@ -112,6 +113,34 @@ func goldenEnergy(seed int64) (string, error) {
 	for _, r := range rows {
 		fmt.Fprintf(&b, "mode=%s casts=%d firstdead=%d reconfigs=%d\n",
 			r.Mode, r.CastsBeforeDeath, r.FirstDead, r.ReconfigurationsN)
+	}
+	return b.String(), nil
+}
+
+// goldenOverloadConfig is the reduced E10 scale shared by the golden
+// runner and the shape test: large enough that the flood is still running
+// when Mecho settles and the victim partitions, small enough for three
+// tier-1 replays.
+func goldenOverloadConfig(seed int64) OverloadConfig {
+	return OverloadConfig{
+		Messages:   450,
+		SendWindow: 64,
+		Timeout:    120 * time.Second,
+		Seed:       seed,
+	}
+}
+
+func goldenOverload(seed int64) (string, error) {
+	rows, err := RunOverload(goldenOverloadConfig(seed))
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "node=%d sent=%d rejected=%d delivered=%d winhw=%d inuse=%d acq=%d rel=%d mbox=%d naksent=%d nakhist=%d nakbuf=%d evicted=%d epoch=%d cfg=%s\n",
+			r.Node, r.Sent, r.Rejected, r.Delivered, r.WindowHighWater, r.WindowInUse,
+			r.Acquired, r.Released, r.MailboxHighWater,
+			r.NakSentHW, r.NakHistoryHW, r.NakBufferHW, r.NakEvicted, r.Epoch, r.Config)
 	}
 	return b.String(), nil
 }

@@ -1,0 +1,76 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+// TestOverloadBounded is E10 at the golden scale: flooding senders, a
+// mid-flood reconfiguration and a mid-flood partition, with every
+// retention mark bounded by SendWindow-derived caps and credit accounting
+// exact.
+func TestOverloadBounded(t *testing.T) {
+	cfg := goldenOverloadConfig(29)
+	rows, err := RunOverload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := CapsFor(cfg.SendWindow, 3)
+	total := 3 * cfg.Messages
+	var rejected uint64
+	for _, r := range rows {
+		t.Logf("node=%d sent=%d rejected=%d delivered=%d winHW=%d mboxHW=%d nak(sent/hist/buf)=%d/%d/%d evicted=%d epoch=%d cfg=%s",
+			r.Node, r.Sent, r.Rejected, r.Delivered, r.WindowHighWater, r.MailboxHighWater,
+			r.NakSentHW, r.NakHistoryHW, r.NakBufferHW, r.NakEvicted, r.Epoch, r.Config)
+		for _, v := range caps.CheckBounded(r) {
+			t.Error(v)
+		}
+		if r.Delivered < total {
+			t.Errorf("node %d delivered %d, want >= %d", r.Node, r.Delivered, total)
+		}
+		rejected += r.Rejected
+		if r.Config != "mecho:relay=1" {
+			t.Errorf("node %d final config %q", r.Node, r.Config)
+		}
+		// The partition forces at least two epochs: plain->mecho plus the
+		// membership repair that evicts the victim.
+		if r.Epoch < 3 {
+			t.Errorf("node %d final epoch %d, want >= 3 (reconfig + membership repair)", r.Node, r.Epoch)
+		}
+	}
+	if rejected == 0 {
+		t.Error("TrySend sender saw no ErrWindowFull: the partition stall never exercised backpressure")
+	}
+}
+
+// TestOverloadSoak is the slow-consumer soak of the bounded-memory claim:
+// a ~10k-message flood against a partitioned peer. The retention marks
+// must match the SendWindow-derived caps of the short run — bounded by
+// the window, not by the flood length.
+func TestOverloadSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak is tier-1 only")
+	}
+	cfg := OverloadConfig{
+		Messages:   3400, // ~10.2k casts across the three flooding senders
+		SendWindow: 64,
+		Timeout:    300 * time.Second,
+		Seed:       31,
+	}
+	rows, err := RunOverload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := CapsFor(cfg.SendWindow, 3)
+	for _, r := range rows {
+		t.Logf("node=%d sent=%d delivered=%d winHW=%d mboxHW=%d nak(sent/hist/buf)=%d/%d/%d evicted=%d",
+			r.Node, r.Sent, r.Delivered, r.WindowHighWater, r.MailboxHighWater,
+			r.NakSentHW, r.NakHistoryHW, r.NakBufferHW, r.NakEvicted)
+		for _, v := range caps.CheckBounded(r) {
+			t.Error(v)
+		}
+		if r.Delivered < 3*cfg.Messages {
+			t.Errorf("node %d delivered %d, want >= %d", r.Node, r.Delivered, 3*cfg.Messages)
+		}
+	}
+}

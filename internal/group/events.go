@@ -187,6 +187,14 @@ type CastEvent struct {
 	Origin appia.NodeID
 	Seq    uint64
 	Group  string
+	// Windowed is local metadata (never on the wire, not copied by
+	// CloneSendable): the stack manager sets it on application casts that
+	// hold a send-window credit, and the reliable layer releases that
+	// credit back once stability gossip confirms every peer delivered the
+	// cast (or at channel teardown, when the flush has equalised
+	// deliveries). Control casts and unwindowed configurations leave it
+	// false.
+	Windowed bool
 }
 
 // CastBase implements Caster.

@@ -143,6 +143,14 @@ type gmsSession struct {
 	memberProposed View
 	memberHold     bool
 
+	// stopped marks the session past ChannelClose: late casts (posted in
+	// the Insert/Close race window, dispatched after teardown) must NOT
+	// enter the pending buffer — the stack manager has already harvested
+	// it (Pending), so a late pend would be silently lost AND leak its
+	// send-window credit. Forwarding them down instead lets the reliable
+	// layer's closed-channel path return the credit.
+	stopped bool
+
 	joiners []appia.NodeID
 
 	stopHB func()
@@ -193,7 +201,7 @@ func (s *gmsSession) onOther(ch *appia.Channel, ev appia.Event) {
 	if c, ok := ev.(Caster); ok {
 		cb := c.CastBase()
 		if cb.Dir() == appia.Down {
-			if s.blocked {
+			if s.blocked && !s.stopped {
 				s.pending = append(s.pending, ev)
 				return
 			}
@@ -219,6 +227,7 @@ func (s *gmsSession) onInit(ch *appia.Channel) {
 }
 
 func (s *gmsSession) onClose() {
+	s.stopped = true
 	if s.stopHB != nil {
 		s.stopHB()
 	}

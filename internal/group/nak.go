@@ -1,11 +1,26 @@
 package group
 
 import (
+	"errors"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"morpheus/internal/appia"
 )
+
+// ErrUnboundedNak reports a NakConfig whose negative StableInterval
+// disables stability gossip — the only mechanism bounding the
+// retransmission buffers — without the explicit UnboundedBuffers opt-in.
+var ErrUnboundedNak = errors.New(
+	"group: negative StableInterval disables stability gossip and lets retransmission buffers grow without bound; set UnboundedBuffers to opt in")
+
+// CreditReleaser receives send-window credits back as the reliable layer
+// observes stability (internal/flowctl.Window implements it; the interface
+// keeps this package substrate- and window-implementation-blind).
+type CreditReleaser interface {
+	Release(n int)
+}
 
 // NakConfig configures the reliable FIFO multicast layer.
 type NakConfig struct {
@@ -36,6 +51,37 @@ type NakConfig struct {
 	// StableEvery is kept purely to bound buffer growth between idle
 	// ticks under sustained load.
 	StableEvery int
+	// UnboundedBuffers acknowledges a negative StableInterval: without
+	// stability gossip the sent/history buffers grow without bound, which
+	// is acceptable only for short-lived test channels. Validate rejects
+	// the combination unless this is set.
+	UnboundedBuffers bool
+	// Window, when non-nil, receives one credit back for every windowed
+	// cast (CastEvent.Windowed) this session originated, once stability
+	// gossip shows every peer delivered it — and for every windowed cast
+	// still unconfirmed at channel teardown, where the view-synchronous
+	// flush has already equalised deliveries. This wires the NAK
+	// DeliveredVector watermarks into the per-group send window.
+	Window CreditReleaser
+	// MaxRetained hard-caps each retention map (own-cast retransmission
+	// buffer, per-origin history, per-origin reorder buffer) at this many
+	// entries. 0 means uncapped. With send windows active the caps are a
+	// defensive backstop — the slowest-peer stability watermark already
+	// bounds retention to the members' window sizes — so an eviction
+	// (counted in Stats) indicates an accounting bug or an unwindowed
+	// flooder. Evicted entries degrade repair (a peer that still needs
+	// them must recover via flush or rejoin, exactly as for entries
+	// garbage-collected by stability) but never FIFO correctness.
+	MaxRetained int
+}
+
+// Validate rejects configurations that silently disable the only
+// mechanism bounding retransmission-buffer growth.
+func (c *NakConfig) Validate() error {
+	if c.StableInterval < 0 && !c.UnboundedBuffers {
+		return ErrUnboundedNak
+	}
+	return nil
 }
 
 func (c *NakConfig) nackDelay() time.Duration {
@@ -95,12 +141,37 @@ func NewNakLayer(cfg NakConfig) *NakLayer {
 // NewSession implements appia.Layer.
 func (l *NakLayer) NewSession() appia.Session {
 	return &nakSession{
-		cfg:     l.cfg,
-		members: l.cfg.InitialMembers,
-		recv:    make(map[appia.NodeID]*originState),
-		sent:    make(map[uint64]appia.Sendable),
-		peerVec: make(map[appia.NodeID]DeliveredVector),
-		nextSeq: 1,
+		cfg:      l.cfg,
+		members:  l.cfg.InitialMembers,
+		recv:     make(map[appia.NodeID]*originState),
+		sent:     make(map[uint64]appia.Sendable),
+		peerVec:  make(map[appia.NodeID]DeliveredVector),
+		windowed: make(map[uint64]struct{}),
+		nextSeq:  1,
+	}
+}
+
+// NakStats are the reliable layer's retention high-water marks: the
+// maximum entries ever held in the own-cast retransmission buffer, in the
+// per-origin delivered-cast histories (summed over origins), and in the
+// per-origin reorder buffers (summed), plus how many entries MaxRetained
+// evicted. The marks are monotone and, under a virtual clock, a
+// deterministic function of the run. Safe to read from any goroutine.
+type NakStats struct {
+	SentHighWater    int
+	HistoryHighWater int
+	BufferHighWater  int
+	Evicted          int
+}
+
+// Merge returns the pointwise maximum (Evicted sums), for aggregating the
+// marks of successive configuration epochs.
+func (s NakStats) Merge(o NakStats) NakStats {
+	return NakStats{
+		SentHighWater:    max(s.SentHighWater, o.SentHighWater),
+		HistoryHighWater: max(s.HistoryHighWater, o.HistoryHighWater),
+		BufferHighWater:  max(s.BufferHighWater, o.BufferHighWater),
+		Evicted:          s.Evicted + o.Evicted,
 	}
 }
 
@@ -130,8 +201,40 @@ type nakSession struct {
 	recv    map[appia.NodeID]*originState
 	peerVec map[appia.NodeID]DeliveredVector // last stability vector per peer
 
+	// windowed tracks which of our own seqs hold a send-window credit,
+	// independently of the sent map (an evicted sent entry must still
+	// release its credit when its stability watermark arrives).
+	windowed map[uint64]struct{}
+
+	// Retention accounting: live totals (scheduler goroutine only) and
+	// atomic high-water marks readable from any goroutine.
+	cntHistory int
+	cntBuffer  int
+	hwSent     atomic.Int64
+	hwHistory  atomic.Int64
+	hwBuffer   atomic.Int64
+	evicted    atomic.Int64
+
 	stopStable  func()
 	sinceGossip int // deliveries since the last stability gossip
+}
+
+// Stats snapshots the retention high-water marks (any goroutine).
+func (s *nakSession) Stats() NakStats {
+	return NakStats{
+		SentHighWater:    int(s.hwSent.Load()),
+		HistoryHighWater: int(s.hwHistory.Load()),
+		BufferHighWater:  int(s.hwBuffer.Load()),
+		Evicted:          int(s.evicted.Load()),
+	}
+}
+
+// bumpHW raises a high-water mark to at least v. Stores race-free because
+// only the scheduler goroutine writes them.
+func bumpHW(hw *atomic.Int64, v int) {
+	if int64(v) > hw.Load() {
+		hw.Store(int64(v))
+	}
 }
 
 var _ appia.Session = (*nakSession)(nil)
@@ -157,6 +260,16 @@ func (s *nakSession) Handle(ch *appia.Channel, ev appia.Event) {
 			if st.cancel != nil {
 				st.cancel()
 			}
+		}
+		if len(s.windowed) > 0 {
+			// Teardown releases every credit this channel still holds: the
+			// view-synchronous flush that precedes a reconfiguration has
+			// equalised deliveries (and a force-closed channel's casts are
+			// gone either way — holding their credits would leak the
+			// window). Casts still buffered above in the GMS keep their
+			// credits: the stack manager rescues and resubmits them.
+			s.cfg.Window.Release(len(s.windowed))
+			s.windowed = make(map[uint64]struct{})
 		}
 		ch.Forward(ev)
 	case *Nack:
@@ -196,6 +309,17 @@ func (s *nakSession) sendCast(ch *appia.Channel, base *CastEvent, ev appia.Event
 		ch.Forward(ev)
 		return
 	}
+	if ch.State() == appia.ChannelClosed {
+		// Teardown debris: a cast that raced Close into the mailbox (the
+		// GMS forwards instead of pending these once stopped). The epoch
+		// is dead — transmitting, buffering or self-delivering it would
+		// all be wasted — so drop it here and return its credit, the one
+		// thing that must not die with the channel.
+		if base.Windowed && s.cfg.Window != nil {
+			s.cfg.Window.Release(1)
+		}
+		return
+	}
 	seq := s.nextSeq
 	s.nextSeq++
 	m := base.EnsureMsg()
@@ -210,6 +334,16 @@ func (s *nakSession) sendCast(ch *appia.Channel, base *CastEvent, ev appia.Event
 	// Retransmission buffer keeps a full clone, preserving the concrete
 	// type so a retransmitted Propose still decodes as a Propose.
 	s.sent[seq] = appia.CloneSendable(sendable)
+	if base.Windowed && s.cfg.Window != nil {
+		s.windowed[seq] = struct{}{}
+	}
+	bumpHW(&s.hwSent, len(s.sent))
+	if cap := s.cfg.MaxRetained; cap > 0 && len(s.sent) > cap {
+		// Evict the oldest entry: it is the closest to its stability
+		// watermark, and handleNack already treats a missing entry as
+		// "garbage collected — recover via flush".
+		s.evictLowest(s.sent)
+	}
 
 	// Self-delivery: our own casts are in-order by construction, so they
 	// skip the gap machinery and go straight up, looking exactly like a
@@ -278,6 +412,24 @@ func (s *nakSession) receiveCast(ch *appia.Channel, base *CastEvent, ev appia.Ev
 			// original ev, so store via map of event.
 			st.buffer[seq] = base
 			s.bufferEv(st, seq, ev)
+			s.cntBuffer++
+			bumpHW(&s.hwBuffer, s.cntBuffer)
+			if cap := s.cfg.MaxRetained; cap > 0 && len(st.buffer) > cap {
+				// Evict the HIGHEST buffered seq: the lowest entries are
+				// what closes the gap, and st.known already records the
+				// evicted seq's existence, so the NACK rotation will
+				// re-request it once the gap in front has drained.
+				var high uint64
+				for q := range st.buffer {
+					if q > high {
+						high = q
+					}
+				}
+				delete(st.buffer, high)
+				delete(st.events, high)
+				s.cntBuffer--
+				s.evicted.Add(1)
+			}
 		}
 		s.armNack(ch, origin, st)
 	}
@@ -302,6 +454,7 @@ func (s *nakSession) drain(ch *appia.Channel, origin appia.NodeID, st *originSta
 		seq := st.next
 		delete(st.events, seq)
 		delete(st.buffer, seq)
+		s.cntBuffer--
 		st.next++
 		s.storeHistory(st, origin, seq, ev)
 		ch.Forward(ev)
@@ -333,7 +486,31 @@ func (s *nakSession) storeHistory(st *originState, origin appia.NodeID, seq uint
 	if st.history == nil {
 		st.history = make(map[uint64]appia.Sendable)
 	}
+	if _, dup := st.history[seq]; !dup {
+		s.cntHistory++
+	}
 	st.history[seq] = cp
+	bumpHW(&s.hwHistory, s.cntHistory)
+	if cap := s.cfg.MaxRetained; cap > 0 && len(st.history) > cap {
+		s.evictLowest(st.history)
+		s.cntHistory--
+	}
+}
+
+// evictLowest drops the lowest-sequence entry of a retention map and
+// counts the eviction.
+func (s *nakSession) evictLowest(m map[uint64]appia.Sendable) {
+	var low uint64
+	first := true
+	for seq := range m {
+		if first || seq < low {
+			low, first = seq, false
+		}
+	}
+	if !first {
+		delete(m, low)
+		s.evicted.Add(1)
+	}
 }
 
 // armNack schedules a retransmission request for the lowest gap.
@@ -475,14 +652,28 @@ func (s *nakSession) countDelivery(ch *appia.Channel) {
 	}
 }
 
-// gossipStable multicasts our delivered vector.
+// gossipStable multicasts our delivered vector. The gossiper's identity
+// travels as a message header rather than relying on the substrate-level
+// Source: relaying bottoms (Mecho's echo, epidemic forwarding) re-stamp
+// Source with the forwarder, which used to file a relayed peer's vector
+// under the relay's key — so on relayed stacks the stability view never
+// covered every member and the retransmission buffers never pruned (the
+// silent unbounded-memory leak this PR's flow-control plane surfaced as a
+// hard credit stall).
 func (s *nakSession) gossipStable(ch *appia.Channel) {
 	s.sinceGossip = 0
 	st := &Stable{Vector: s.deliveredVector()}
 	st.Class = appia.ClassControl
-	st.Vector.push(st.EnsureMsg())
+	m := st.EnsureMsg()
+	st.Vector.push(m)
+	m.PushUvarint(uint64(uint32(s.cfg.Self)))
 	sess := appia.Session(s)
 	_ = ch.SendFrom(sess, st, appia.Down)
+	// Gossip points double as local prune points: our own vector just
+	// advanced, and for a single-member group (no peers to ever gossip
+	// back) this is the only trigger that retires sent entries and their
+	// send-window credits.
+	s.prune()
 }
 
 // handleStable records a peer vector and prunes the send buffer.
@@ -491,11 +682,17 @@ func (s *nakSession) handleStable(ch *appia.Channel, e *Stable) {
 		ch.Forward(e)
 		return
 	}
-	vec, err := popVector(e.EnsureMsg())
+	m := e.EnsureMsg()
+	o, err := m.PopUvarint()
 	if err != nil {
 		return
 	}
-	s.peerVec[e.SendableBase().Source] = vec
+	vec, err := popVector(m)
+	if err != nil {
+		return
+	}
+	gossiper := appia.NodeID(uint32(o))
+	s.peerVec[gossiper] = vec
 	// Stability gossip doubles as loss advertisement: a peer that has
 	// delivered seq k from some origin proves k exists, so if we are
 	// behind we can request a repair — this is the only way to recover a
@@ -539,12 +736,27 @@ func (s *nakSession) prune() {
 		}
 		return min, true
 	}
-	if len(s.sent) > 0 {
+	if len(s.sent) > 0 || len(s.windowed) > 0 {
 		if min, ok := stableFor(s.cfg.Self); ok {
 			for seq := range s.sent {
 				if seq <= min {
 					delete(s.sent, seq)
 				}
+			}
+			// Credits return on the same watermark that prunes the send
+			// buffer: a windowed cast every member has delivered no longer
+			// occupies the group's send window. The windowed set survives
+			// MaxRetained evictions of sent entries, so a credit is never
+			// lost to the cap.
+			released := 0
+			for seq := range s.windowed {
+				if seq <= min {
+					delete(s.windowed, seq)
+					released++
+				}
+			}
+			if released > 0 {
+				s.cfg.Window.Release(released)
 			}
 		}
 	}
@@ -559,6 +771,7 @@ func (s *nakSession) prune() {
 		for seq := range st.history {
 			if seq <= min {
 				delete(st.history, seq)
+				s.cntHistory--
 			}
 		}
 	}
@@ -578,6 +791,8 @@ func (s *nakSession) handleView(ch *appia.Channel, e *ViewInstall) {
 			if st.cancel != nil {
 				st.cancel()
 			}
+			s.cntHistory -= len(st.history)
+			s.cntBuffer -= len(st.buffer)
 			delete(s.recv, origin)
 		}
 	}
@@ -585,6 +800,20 @@ func (s *nakSession) handleView(ch *appia.Channel, e *ViewInstall) {
 		if !e.View.Contains(peer) {
 			delete(s.peerVec, peer)
 		}
+	}
+	if len(s.windowed) > 0 {
+		// A view installs only after the flush reports converged: every
+		// surviving member has delivered every cast we originated (our own
+		// report pins origin=self at nextSeq−1, and convergence makes all
+		// reports equal). Windowed application casts cannot slip in after
+		// the report snapshot — the GMS blocks them — so every held credit
+		// is provably stable and returns here wholesale. This is also what
+		// promptly unblocks senders stalled on a partitioned peer: the
+		// eviction's view change is the release. (The sent/history maps
+		// keep stability-based pruning: control casts issued mid-flush,
+		// such as the Install itself, may still need retransmitting.)
+		s.cfg.Window.Release(len(s.windowed))
+		s.windowed = make(map[uint64]struct{})
 	}
 	ch.Forward(e) // the best-effort bottom needs it too
 }

@@ -1,6 +1,7 @@
 package stack
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -9,6 +10,7 @@ import (
 	"morpheus/internal/appia"
 	"morpheus/internal/appia/appiaxml"
 	"morpheus/internal/clock"
+	"morpheus/internal/flowctl"
 	"morpheus/internal/group"
 	"morpheus/internal/netio"
 )
@@ -18,7 +20,20 @@ var (
 	ErrNotDeployed = errors.New("stack: no configuration deployed")
 	ErrStaleEpoch  = errors.New("stack: stale configuration epoch")
 	ErrClosed      = errors.New("stack: manager closed")
+	// ErrGroupClosed reports a send on a group that has been left or whose
+	// node has closed. Unlike a reconfiguration race (which buffers
+	// transparently), this is final: the payload was NOT accepted.
+	ErrGroupClosed = errors.New("stack: group closed")
+	// ErrWindowFull is the non-blocking send's backpressure signal.
+	ErrWindowFull = flowctl.ErrWindowFull
 )
+
+// DefaultSendWindow is the per-group send-window capacity used when
+// ManagerConfig.SendWindow is zero. It is a small multiple of the
+// standard configurations' delivery-driven stability period (stable-every
+// 64), so under sustained load credits return in batches well before the
+// window drains.
+const DefaultSendWindow = 256
 
 // ManagerConfig configures a StackManager.
 type ManagerConfig struct {
@@ -55,9 +70,27 @@ type ManagerConfig struct {
 	OnDeliver func(ev *group.CastEvent)
 	// OnViewChange, when set, observes data-channel views.
 	OnViewChange func(v group.View)
+	// SendWindow is the per-group send window: the maximum application
+	// casts in flight (credit consumed at Send, released when stability
+	// gossip confirms group-wide delivery). 0 means DefaultSendWindow;
+	// negative disables windowing (the pre-flow-control fire-and-forget
+	// behavior — unbounded retention under overload). The window applies
+	// to configurations carrying the reliable NAK layer; stacks without a
+	// stability plane (e.g. pure FEC) send unwindowed.
+	SendWindow int
 	// Logf receives diagnostics; nil discards them (library code never
 	// writes to the global logger).
 	Logf netio.Logf
+}
+
+func (c *ManagerConfig) sendWindow() int {
+	if c.SendWindow == 0 {
+		return DefaultSendWindow
+	}
+	if c.SendWindow < 0 {
+		return 0
+	}
+	return c.SendWindow
 }
 
 func (c *ManagerConfig) channelName() string {
@@ -103,16 +136,37 @@ func (c *ManagerConfig) logf(format string, args ...any) {
 // reconfiguration procedure — quiesce via view synchrony, tear down,
 // rebuild from XML, resume buffered traffic on the new stack.
 type Manager struct {
-	cfg   ManagerConfig
-	reg   *appiaxml.LayerRegistry
+	cfg ManagerConfig
+	reg *appiaxml.LayerRegistry
+	// win is the group's send window (nil when windowing is disabled).
+	// Credits: one per accepted application payload, held across
+	// reconfiguration buffering and released by the reliable layer on
+	// stability (or by the resubmit path when the payload lands on an
+	// unwindowed stack).
+	win   *flowctl.Window
 	state struct {
 		sync.Mutex
 		ch         *appia.Channel
 		epoch      uint64
 		configName string
 		members    []appia.NodeID
-		buffered   [][]byte // payloads held during reconfiguration
-		quiesced   chan struct{}
+		// doc is the deployed configuration document, retained so the
+		// control plane can redeploy the same configuration with a
+		// narrowed membership after a member death (membership repair).
+		doc      *appiaxml.Document
+		buffered []heldSend // payloads held during reconfiguration
+		// windowed records whether the deployed channel contains a
+		// credit-releasing reliable layer; sends on unwindowed stacks
+		// return their credit at insert.
+		windowed bool
+		// nakBase accumulates retention high-water marks of torn-down
+		// epochs; FlowStats merges it with the live channel's marks.
+		// nakMerged remembers the last channel folded in, so a Close
+		// racing a Reconfigure cannot double-count the same epoch's
+		// Evicted tally.
+		nakBase   group.NakStats
+		nakMerged *appia.Channel
+		quiesced  chan struct{}
 		// quiescentSeen remembers that the current channel already
 		// reported quiescence; the flush can complete before this node's
 		// Core even learns a reconfiguration is underway (control and
@@ -128,6 +182,13 @@ type Manager struct {
 	}
 }
 
+// heldSend is one payload buffered across a reconfiguration; credit
+// records whether it holds a send-window credit.
+type heldSend struct {
+	payload []byte
+	credit  bool
+}
+
 // NewManager returns a manager with nothing deployed yet. The standard
 // wire event kinds are registered in cfg.Events (or the process default)
 // so a freshly constructed manager can always decode its own traffic.
@@ -137,8 +198,15 @@ func NewManager(cfg ManagerConfig) *Manager {
 		reg = NewStandardRegistry()
 	}
 	RegisterAllWireEvents(cfg.Events)
-	return &Manager{cfg: cfg, reg: reg}
+	return &Manager{
+		cfg: cfg,
+		reg: reg,
+		win: flowctl.New(cfg.sendWindow(), cfg.clock()),
+	}
 }
+
+// Window exposes the group's send window (nil when disabled).
+func (m *Manager) Window() *flowctl.Window { return m.win }
 
 // Epoch returns the current configuration epoch.
 func (m *Manager) Epoch() uint64 {
@@ -196,8 +264,25 @@ func (m *Manager) Deploy(doc *appiaxml.Document, configName string, epoch uint64
 	m.state.epoch = epoch
 	m.state.configName = configName
 	m.state.members = append([]appia.NodeID(nil), members...)
+	m.state.doc = doc
+	m.state.windowed = m.channelWindowed(ch)
 	m.state.Unlock()
 	return nil
+}
+
+// channelWindowed reports whether a channel contains the credit-releasing
+// reliable layer (and windowing is on at all).
+func (m *Manager) channelWindowed(ch *appia.Channel) bool {
+	return m.win != nil && ch.SessionFor("group.nak") != nil
+}
+
+// CurrentDocument returns the deployed configuration document (nil before
+// the first Deploy). The control plane uses it for membership-repair
+// redeployments of the same configuration.
+func (m *Manager) CurrentDocument() *appiaxml.Document {
+	m.state.Lock()
+	defer m.state.Unlock()
+	return m.state.doc
 }
 
 // build instantiates the channel for an epoch.
@@ -217,6 +302,10 @@ func (m *Manager) build(doc *appiaxml.Document, epoch uint64, members []appia.No
 		Deliver:   m.deliver,
 		Logf:      m.cfg.logf,
 		Clock:     m.cfg.clock(),
+	}
+	if m.win != nil {
+		env.Window = m.win
+		env.SendWindow = m.win.Capacity()
 	}
 	return appiaxml.BuildChannel(spec, m.reg, env)
 }
@@ -254,39 +343,150 @@ func (m *Manager) deliver(ev appia.Event) {
 	}
 }
 
+// sendMode selects how submit waits for a send-window credit.
+type sendMode int
+
+const (
+	sendBlock sendMode = iota
+	sendTry
+	sendCtx
+)
+
 // Send multicasts an application payload on the data channel. During a
 // reconfiguration the payload is buffered and re-submitted on the new
-// stack, so the application keeps its fire-and-forget interface (the
-// paper's goal of adaptation "transparent to the application").
+// stack, so the application keeps its transparent-adaptation interface.
+// With windowing enabled Send blocks (through the group's clock) while
+// the send window is full or the scheduler mailbox is saturated; it must
+// therefore not be called from the group's own scheduler goroutine
+// (delivery callbacks) — use TrySend there. After Close or a group Leave
+// it returns ErrGroupClosed.
 func (m *Manager) Send(payload []byte) error {
+	return m.submit(payload, sendBlock, nil)
+}
+
+// SendContext is Send bounded by ctx: a blocked send returns ctx.Err()
+// once the context is done. (Under a virtual clock a context deadline is
+// wall time; prefer Send or TrySend in deterministic runs.)
+func (m *Manager) SendContext(ctx context.Context, payload []byte) error {
+	return m.submit(payload, sendCtx, ctx)
+}
+
+// TrySend is the non-blocking Send: it returns ErrWindowFull instead of
+// waiting when the send window is exhausted or the mailbox is saturated.
+func (m *Manager) TrySend(payload []byte) error {
+	return m.submit(payload, sendTry, nil)
+}
+
+func (m *Manager) submit(payload []byte, mode sendMode, ctx context.Context) error {
 	m.state.Lock()
+	if m.state.closed {
+		m.state.Unlock()
+		return ErrGroupClosed
+	}
 	if m.state.ch == nil {
 		m.state.Unlock()
 		return ErrNotDeployed
 	}
-	if m.state.reconfig {
-		cp := make([]byte, len(payload))
-		copy(cp, payload)
-		m.state.buffered = append(m.state.buffered, cp)
-		m.state.Unlock()
-		return nil
-	}
-	ch := m.state.ch
 	m.state.Unlock()
 
-	ev := &group.CastEvent{}
-	ev.Msg = appia.NewMessage(payload)
-	err := ch.Insert(ev, appia.Down)
-	if errors.Is(err, appia.ErrChannelClosed) {
-		// Raced with a reconfiguration: buffer instead.
+	// 1. Send-window credit. The credit is held until the reliable layer
+	// confirms group-wide delivery (or the payload provably dies with its
+	// group), bounding total in-flight retention.
+	var err error
+	switch mode {
+	case sendTry:
+		err = m.win.TryAcquire()
+	case sendCtx:
+		err = m.win.AcquireContext(ctx)
+	default:
+		err = m.win.Acquire()
+	}
+	if err != nil {
+		if errors.Is(err, flowctl.ErrWindowClosed) {
+			return ErrGroupClosed
+		}
+		return err // ErrWindowFull or the context's error
+	}
+	credit := m.win != nil
+	release := func() {
+		if credit {
+			m.win.Release(1)
+		}
+	}
+
+	// 2. Mailbox admission: the bounded-mailbox gate asserts exactly this
+	// external-ingress path; intra-stack and network insertions stay
+	// non-blocking (see appia.Scheduler.SetMailboxBounds).
+	for {
+		gate := m.cfg.Scheduler.AdmitExternal()
+		if gate == nil {
+			break
+		}
+		if mode == sendTry {
+			release()
+			return ErrWindowFull
+		}
+		if mode == sendCtx && ctx != nil {
+			// SendContext's contract holds at this gate too.
+			if err := ctx.Err(); err != nil {
+				release()
+				return err
+			}
+			flowctl.WaitGate(m.cfg.clock(), gate, ctx)
+			continue
+		}
+		m.cfg.clock().Wait(gate)
+	}
+
+	// 3. Insert, handling the teardown/reconfiguration races.
+	var prev *appia.Channel
+	for {
 		m.state.Lock()
-		cp := make([]byte, len(payload))
-		copy(cp, payload)
-		m.state.buffered = append(m.state.buffered, cp)
+		if m.state.closed {
+			m.state.Unlock()
+			release()
+			return ErrGroupClosed
+		}
+		if m.state.ch == nil {
+			m.state.Unlock()
+			release()
+			return ErrNotDeployed
+		}
+		if m.state.reconfig || m.state.ch == prev {
+			// Reconfiguring (or the channel closed under us without the
+			// state advancing yet): buffer for resubmission on the new
+			// stack. The credit rides along with the buffered payload.
+			cp := make([]byte, len(payload))
+			copy(cp, payload)
+			m.state.buffered = append(m.state.buffered, heldSend{payload: cp, credit: credit})
+			m.state.Unlock()
+			return nil
+		}
+		ch := m.state.ch
+		windowed := m.state.windowed
 		m.state.Unlock()
+
+		ev := &group.CastEvent{}
+		ev.Msg = appia.NewMessage(payload)
+		ev.Windowed = credit && windowed
+		err := ch.Insert(ev, appia.Down)
+		if errors.Is(err, appia.ErrChannelClosed) {
+			// Raced a teardown: loop to learn whether this was a
+			// reconfiguration (buffer) or a close (ErrGroupClosed).
+			prev = ch
+			continue
+		}
+		if err != nil {
+			release()
+			return err
+		}
+		if credit && !windowed {
+			// No stability plane on this stack to return the credit: the
+			// send is fire-and-forget, so the credit comes straight back.
+			release()
+		}
 		return nil
 	}
-	return err
 }
 
 // Reconfigure performs the full §3.3 procedure synchronously:
@@ -312,6 +512,7 @@ func (m *Manager) Reconfigure(doc *appiaxml.Document, configName string, epoch u
 		return ErrNotDeployed
 	}
 	old := m.state.ch
+	oldWindowed := m.state.windowed
 	m.state.reconfig = true
 	q := make(chan struct{})
 	m.state.quiesced = q
@@ -338,39 +539,52 @@ func (m *Manager) Reconfigure(doc *appiaxml.Document, configName string, epoch u
 	// raced a *remotely initiated* flush lands in the GMS pending buffer
 	// (blocked) before this node's Core has even set the manager to
 	// buffering mode, and would otherwise die with the channel. They never
-	// reached the reliable layer, so resubmitting them on the new stack is
-	// lossless and duplicate-free. Prepended: they predate everything
-	// buffered after the Prepare arrived.
+	// reached the reliable layer (so the teardown release above did not
+	// cover their credits — they keep them through the buffer), and
+	// resubmitting them on the new stack is lossless and duplicate-free.
+	// Prepended: they predate everything buffered after the Prepare
+	// arrived.
 	if rescued := pendingPayloads(old); len(rescued) > 0 {
+		held := make([]heldSend, len(rescued))
+		for i, p := range rescued {
+			held[i] = heldSend{payload: p, credit: oldWindowed}
+		}
 		m.state.Lock()
-		m.state.buffered = append(rescued, m.state.buffered...)
+		m.state.buffered = append(held, m.state.buffered...)
 		m.state.Unlock()
 	}
+	// Fold the dead epoch's retention high-water marks into the running
+	// aggregate (reading the closed channel's session is safe, as above).
+	m.mergeNakStats(old)
 
 	ch, err := m.build(doc, epoch, members)
 	if err != nil {
-		m.finishReconfig(nil, "", epoch, nil)
+		m.finishReconfig(nil, nil, "", epoch, nil)
 		return err
 	}
 	if err := ch.Start(); err != nil {
-		m.finishReconfig(nil, "", epoch, nil)
+		m.finishReconfig(nil, nil, "", epoch, nil)
 		return err
 	}
 	ch.WaitReady(m.cfg.quiesceTimeout())
-	m.finishReconfig(ch, configName, epoch, members)
+	m.finishReconfig(ch, doc, configName, epoch, members)
 	return nil
 }
 
 // finishReconfig installs the new channel and flushes buffered sends.
-func (m *Manager) finishReconfig(ch *appia.Channel, configName string, epoch uint64, members []appia.NodeID) {
+func (m *Manager) finishReconfig(ch *appia.Channel, doc *appiaxml.Document, configName string, epoch uint64, members []appia.NodeID) {
 	m.state.Lock()
 	if m.state.closed {
 		// Raced with Close: the group is gone — do not install (that would
 		// re-bind its ports); discard the freshly built channel instead.
+		// Buffered credits are surrendered with it (the window is closed,
+		// the release is bookkeeping only).
 		m.state.reconfig = false
 		m.state.quiesced = nil
+		discarded := m.state.buffered
 		m.state.buffered = nil
 		m.state.Unlock()
+		m.releaseHeld(discarded)
 		if ch != nil {
 			_ = ch.Close()
 		}
@@ -378,10 +592,11 @@ func (m *Manager) finishReconfig(ch *appia.Channel, configName string, epoch uin
 	}
 	if ch == nil {
 		// Rebuild failed with the old channel already gone. Keep the
-		// buffered sends (including any rescued GMS-pending casts) for the
-		// next epoch's attempt rather than dropping them silently, and
-		// remember the channel is trivially quiescent so that attempt does
-		// not stall on a flush of a closed channel.
+		// buffered sends (including any rescued GMS-pending casts, and
+		// their window credits) for the next epoch's attempt rather than
+		// dropping them silently, and remember the channel is trivially
+		// quiescent so that attempt does not stall on a flush of a closed
+		// channel.
 		held := len(m.state.buffered)
 		m.state.reconfig = false
 		m.state.quiesced = nil
@@ -391,10 +606,13 @@ func (m *Manager) finishReconfig(ch *appia.Channel, configName string, epoch uin
 			m.cfg.Self, epoch, held)
 		return
 	}
+	windowed := m.channelWindowed(ch)
 	m.state.ch = ch
 	m.state.configName = configName
 	m.state.epoch = epoch
 	m.state.members = append([]appia.NodeID(nil), members...)
+	m.state.doc = doc
+	m.state.windowed = windowed
 	m.state.reconfig = false
 	m.state.quiesced = nil
 	m.state.quiescentSeen = false // fresh channel, fresh lifecycle
@@ -402,13 +620,34 @@ func (m *Manager) finishReconfig(ch *appia.Channel, configName string, epoch uin
 	m.state.buffered = nil
 	m.state.Unlock()
 
-	for _, p := range buffered {
+	for _, hs := range buffered {
 		ev := &group.CastEvent{}
-		ev.Msg = appia.NewMessage(p)
+		ev.Msg = appia.NewMessage(hs.payload)
+		// A credit held through the buffer transfers to the new stack's
+		// reliable layer; on an unwindowed stack it returns here.
+		ev.Windowed = hs.credit && windowed
 		if err := ch.Insert(ev, appia.Down); err != nil {
 			m.cfg.logf("stack[%d]: resubmit buffered send: %v", m.cfg.Self, err)
+			if hs.credit {
+				m.win.Release(1)
+			}
+			continue
+		}
+		if hs.credit && !windowed {
+			m.win.Release(1)
 		}
 	}
+}
+
+// releaseHeld returns the credits of discarded buffered sends.
+func (m *Manager) releaseHeld(held []heldSend) {
+	n := 0
+	for _, hs := range held {
+		if hs.credit {
+			n++
+		}
+	}
+	m.win.Release(n)
 }
 
 // pendingPayloads extracts application casts stranded in a closed
@@ -436,15 +675,80 @@ func pendingPayloads(ch *appia.Channel) [][]byte {
 
 // Close tears down the current channel and marks the manager closed: an
 // in-flight reconfiguration that completes afterwards discards its new
-// channel instead of installing it.
+// channel instead of installing it. Sends blocked on the window or
+// submitted afterwards fail with ErrGroupClosed.
 func (m *Manager) Close() error {
 	m.state.Lock()
 	ch := m.state.ch
 	m.state.ch = nil
 	m.state.closed = true
+	discarded := m.state.buffered
+	m.state.buffered = nil
 	m.state.Unlock()
-	if ch == nil {
-		return nil
+	var err error
+	if ch != nil {
+		err = ch.Close()
+		m.mergeNakStats(ch)
 	}
-	return ch.Close()
+	m.releaseHeld(discarded)
+	m.win.Close()
+	return err
+}
+
+// nakStatser is the stats surface of the reliable layer's session.
+type nakStatser interface{ Stats() group.NakStats }
+
+// mergeNakStats folds a (closed) channel's retention marks into the
+// running aggregate, exactly once per channel.
+func (m *Manager) mergeNakStats(ch *appia.Channel) {
+	ns, ok := ch.SessionFor("group.nak").(nakStatser)
+	if !ok {
+		return
+	}
+	st := ns.Stats()
+	m.state.Lock()
+	if m.state.nakMerged != ch {
+		m.state.nakBase = m.state.nakBase.Merge(st)
+		m.state.nakMerged = ch
+	}
+	m.state.Unlock()
+}
+
+// FlowStats is the manager's flow-control observability surface: the send
+// window's credit counters, the group scheduler's mailbox depth marks,
+// and the reliable layer's retention high-water marks aggregated across
+// configuration epochs. Under a virtual clock every field is a
+// deterministic function of the run.
+type FlowStats struct {
+	Window           flowctl.Stats
+	MailboxDepth     int
+	MailboxHighWater int
+	Nak              group.NakStats
+	// BufferedSends is the resubmit buffer's current length (each entry
+	// holds a window credit on windowed stacks).
+	BufferedSends int
+}
+
+// FlowStats snapshots the group's flow-control state (any goroutine).
+func (m *Manager) FlowStats() FlowStats {
+	fs := FlowStats{
+		Window:           m.win.Stats(),
+		MailboxDepth:     m.cfg.Scheduler.MailboxDepth(),
+		MailboxHighWater: m.cfg.Scheduler.MailboxHighWater(),
+	}
+	m.state.Lock()
+	ch := m.state.ch
+	merged := m.state.nakMerged
+	fs.Nak = m.state.nakBase
+	fs.BufferedSends = len(m.state.buffered)
+	m.state.Unlock()
+	// During a reconfiguration (and after a failed rebuild) state.ch still
+	// points at the torn-down channel whose marks are already folded into
+	// nakBase — merging it again would double-count Evicted.
+	if ch != nil && ch != merged {
+		if ns, ok := ch.SessionFor("group.nak").(nakStatser); ok {
+			fs.Nak = fs.Nak.Merge(ns.Stats())
+		}
+	}
+	return fs
 }

@@ -1,0 +1,78 @@
+package stack
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"morpheus/internal/appia"
+	"morpheus/internal/appia/appiaxml"
+	"morpheus/internal/netio"
+	"morpheus/internal/netio/loopnet"
+)
+
+// TestSendContextHonoursCtxAtMailboxGate pins the SendContext contract at
+// the bounded-mailbox admission gate (not just at the window): a send
+// blocked on a saturated scheduler mailbox returns ctx.Err() when the
+// context expires, and returns its window credit.
+func TestSendContextHonoursCtxAtMailboxGate(t *testing.T) {
+	nw := loopnet.New()
+	t.Cleanup(func() { _ = nw.Close() })
+	ep, err := nw.Attach(netio.EndpointConfig{ID: 1, Kind: netio.Fixed, Segments: []string{"lan"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := appia.NewScheduler()
+	t.Cleanup(sched.Close)
+	m := NewManager(ManagerConfig{
+		Node:      ep,
+		Self:      1,
+		Scheduler: sched,
+	})
+	t.Cleanup(func() { _ = m.Close() })
+	plain := &appiaxml.Document{Channels: []appiaxml.ChannelSpec{{
+		Name: "data",
+		QoS:  "plain",
+		Sessions: []appiaxml.SessionSpec{
+			{Layer: "transport.ptp"},
+			{Layer: "group.fanout"},
+			{Layer: "group.nak"},
+			{Layer: "group.gms"},
+		},
+	}}}
+	if err := m.Deploy(plain, "plain", 1, []appia.NodeID{1}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Saturate the mailbox: wedge the scheduler goroutine on a task, then
+	// stack enough posts behind it to trip a tiny admission bound.
+	sched.SetMailboxBounds(2, 0)
+	unblock := make(chan struct{})
+	if err := sched.Do(func() { <-unblock }); err != nil {
+		t.Fatal(err)
+	}
+	defer close(unblock)
+	for i := 0; i < 3; i++ {
+		if err := sched.Do(func() {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sched.AdmitExternal() == nil {
+		t.Fatal("mailbox gate never closed at depth above the high watermark")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = m.SendContext(ctx, []byte("gated"))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("SendContext at saturated mailbox = %v, want DeadlineExceeded", err)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("SendContext honoured ctx only after %v", took)
+	}
+	if got := m.FlowStats().Window.InUse; got != 0 {
+		t.Fatalf("window credit leaked by the cancelled send: in use = %d", got)
+	}
+}

@@ -78,14 +78,32 @@ func NewStandardRegistry() *appiaxml.LayerRegistry {
 		if err != nil {
 			return nil, err
 		}
-		return group.NewNakLayer(group.NakConfig{
-			Self:           env.Self,
-			Group:          env.Group,
-			InitialMembers: env.Members,
-			NackDelay:      nackDelay,
-			StableInterval: stable,
-			StableEvery:    stableEvery,
-		}), nil
+		unbounded, err := p.Bool("unbounded-buffers", false)
+		if err != nil {
+			return nil, err
+		}
+		maxRetained, err := p.Int("max-retained", 0)
+		if err != nil {
+			return nil, err
+		}
+		if maxRetained == 0 && env.SendWindow > 0 {
+			maxRetained = RetainedCap(env.SendWindow)
+		}
+		cfg := group.NakConfig{
+			Self:             env.Self,
+			Group:            env.Group,
+			InitialMembers:   env.Members,
+			NackDelay:        nackDelay,
+			StableInterval:   stable,
+			StableEvery:      stableEvery,
+			UnboundedBuffers: unbounded,
+			Window:           env.Window,
+			MaxRetained:      maxRetained,
+		}
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		return group.NewNakLayer(cfg), nil
 	})
 
 	reg.MustRegister("group.gms", func(p appiaxml.Params, env *appiaxml.Env) (appia.Layer, error) {
@@ -211,3 +229,16 @@ func RegisterAllWireEvents(reg *appia.EventKindRegistry) {
 // defaultQuiesceTimeout bounds how long a reconfiguration waits for view
 // synchrony before force-closing the old channel.
 const defaultQuiesceTimeout = 5 * time.Second
+
+// RetainedCap derives the reliable layer's per-map retention cap from a
+// send-window size: with credits bounding each member to `window`
+// unstable casts, no retention map should exceed the window plus the
+// control casts interleaved with it — 2× is the safety margin before the
+// cap starts evicting (see group.NakConfig.MaxRetained).
+func RetainedCap(window int) int { return 2 * window }
+
+// MailboxBounds derives scheduler admission watermarks from a send-window
+// size: one cast fans into a handful of intra-stack hops, so the gate
+// closes at 8× the window and reopens (hysteresis) at 2×. The bound is on
+// external ingress only — see appia.Scheduler.SetMailboxBounds.
+func MailboxBounds(window int) (high, low int) { return 8 * window, 2 * window }

@@ -32,6 +32,7 @@
 package morpheus
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -87,7 +88,14 @@ type (
 	Clock = clock.Clock
 	// VirtualClock is the deterministic discrete-event clock.
 	VirtualClock = clock.Virtual
+	// FlowStats is a group's flow-control observability snapshot: send
+	// window credits, scheduler mailbox depth marks, reliable-layer
+	// retention high-water marks.
+	FlowStats = stack.FlowStats
 )
+
+// DefaultSendWindow is the send-window capacity used when SendWindow is 0.
+const DefaultSendWindow = stack.DefaultSendWindow
 
 // WallClock returns the process-wide wall clock.
 func WallClock() Clock { return clock.Wall() }
@@ -187,7 +195,16 @@ type Config struct {
 	// NackDelay tunes the control channel's retransmission timer.
 	NackDelay time.Duration
 	// StableInterval tunes the control channel's stability gossip period.
+	// Negative values are rejected by Start: disabling stability gossip
+	// would let the control channel's retransmission buffers grow without
+	// bound (see group.NakConfig.UnboundedBuffers for the test-only
+	// escape hatch at the layer level).
 	StableInterval time.Duration
+	// SendWindow is the default group's send window: the maximum
+	// application casts in flight before Send blocks (TrySend returns
+	// ErrWindowFull). 0 means DefaultSendWindow; negative disables
+	// windowing. See GroupConfig.SendWindow.
+	SendWindow int
 	// Logf receives diagnostics; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -220,6 +237,18 @@ type GroupConfig struct {
 	// OnReconfigured observes completed reconfigurations of this group
 	// (group coordinator only).
 	OnReconfigured func(epoch uint64, configName string, took time.Duration)
+	// SendWindow bounds this group's in-flight application casts: a
+	// credit is consumed by each accepted Send and released once the
+	// reliable layer's stability gossip confirms every member delivered
+	// the cast, which in turn bounds the scheduler mailbox, the NAK
+	// retransmission buffers and the reconfiguration resubmit buffer (the
+	// bounded-memory runtime). When the window is full, Send blocks
+	// through the group's clock, SendContext honours its context, and
+	// TrySend returns ErrWindowFull. 0 means DefaultSendWindow; negative
+	// disables windowing (unbounded retention, the pre-flow-control
+	// behavior). Configurations without the reliable NAK layer (pure FEC)
+	// send unwindowed regardless.
+	SendWindow int
 }
 
 // Node is a running Morpheus participant: the shared control plane of a
@@ -261,6 +290,14 @@ var (
 	ErrNodeClosed = errors.New("morpheus: node closed")
 	// ErrNoGroup reports an operation on a group the node does not host.
 	ErrNoGroup = errors.New("morpheus: group not joined")
+	// ErrGroupClosed reports a send on a group that was left or whose
+	// node closed: the payload was NOT accepted. Sends racing Leave/Close
+	// return it deterministically (they never buffer into a dead group).
+	ErrGroupClosed = stack.ErrGroupClosed
+	// ErrWindowFull is TrySend's backpressure signal: the group's send
+	// window has no free credit (or the group scheduler's mailbox is
+	// saturated).
+	ErrWindowFull = stack.ErrWindowFull
 )
 
 // ControlPort is the substrate port of the (never reconfigured) control
@@ -272,6 +309,13 @@ const ControlPort = "ctl"
 func Start(cfg Config) (*Node, error) {
 	if len(cfg.Members) == 0 {
 		return nil, ErrNoMembers
+	}
+	if cfg.StableInterval < 0 {
+		// A negative interval silently disables the only mechanism that
+		// bounds control-channel retransmission buffers; reject it instead
+		// of leaking by default (group.NakConfig.UnboundedBuffers is the
+		// layer-level opt-in for short-lived test channels).
+		return nil, fmt.Errorf("morpheus: %w", group.ErrUnboundedNak)
 	}
 	logf := netio.Logf(cfg.Logf).Or()
 	ep := cfg.Endpoint
@@ -335,6 +379,7 @@ func Start(cfg Config) (*Node, error) {
 		OnMessage:         cfg.OnMessage,
 		OnViewChange:      cfg.OnViewChange,
 		OnReconfigured:    cfg.OnReconfigured,
+		SendWindow:        cfg.SendWindow,
 	})
 	if err != nil {
 		n.ctlSched.Close()
@@ -447,6 +492,7 @@ func (n *Node) buildGroup(name string, gc GroupConfig) (*Group, error) {
 		Group:          name,
 		Scheduler:      g.sched,
 		QuiesceTimeout: gc.QuiesceTimeout,
+		SendWindow:     gc.SendWindow,
 		Clock:          n.cfg.Clock,
 		OnDeliver: func(ev *group.CastEvent) {
 			if gc.OnCast != nil {
@@ -459,6 +505,14 @@ func (n *Node) buildGroup(name string, gc GroupConfig) (*Group, error) {
 		OnViewChange: gc.OnViewChange,
 		Logf:         logf,
 	})
+	if win := g.manager.Window(); win != nil {
+		// Bounded-mailbox mode rides along with the send window: external
+		// ingress (this group's sends) is gated once the mailbox holds
+		// several windows' worth of hops, while intra-stack and network
+		// insertions stay non-blocking.
+		high, low := stack.MailboxBounds(win.Capacity())
+		g.sched.SetMailboxBounds(high, low)
+	}
 	initialDoc := gc.InitialConfig
 	initialName := gc.InitialConfigName
 	if initialDoc == nil {
@@ -567,10 +621,17 @@ func (n *Node) VNode() *vnet.Node {
 func (n *Node) defaultGroup() *Group { return n.Group(DefaultGroup) }
 
 // Send multicasts an application payload to the default group; during
-// reconfigurations it is buffered transparently.
+// reconfigurations it is buffered transparently. On a closed node it
+// returns ErrGroupClosed (deterministically — never a silent accept).
 func (n *Node) Send(payload []byte) error {
 	g := n.defaultGroup()
 	if g == nil {
+		n.mu.Lock()
+		closed := n.closed
+		n.mu.Unlock()
+		if closed {
+			return ErrGroupClosed
+		}
 		return fmt.Errorf("%w: %q", ErrNoGroup, DefaultGroup)
 	}
 	return g.Send(payload)
@@ -659,8 +720,29 @@ func (g *Group) runtime() core.GroupRuntime {
 func (g *Group) Name() string { return g.name }
 
 // Send multicasts an application payload to this group; during the group's
-// reconfigurations it is buffered transparently.
+// reconfigurations it is buffered transparently. With the send window
+// enabled (the default) it blocks, through the group's clock, while the
+// window is full — so it must not be called from the group's own delivery
+// callbacks (use TrySend there). After Leave or node Close it returns
+// ErrGroupClosed.
 func (g *Group) Send(payload []byte) error { return g.manager.Send(payload) }
+
+// SendContext is Send bounded by ctx: a send blocked on the window
+// returns ctx.Err() once the context is done. (A context deadline is wall
+// time — prefer Send or TrySend under a virtual clock.)
+func (g *Group) SendContext(ctx context.Context, payload []byte) error {
+	return g.manager.SendContext(ctx, payload)
+}
+
+// TrySend is the non-blocking Send: it returns ErrWindowFull instead of
+// waiting when the group's send window is exhausted or its scheduler
+// mailbox is saturated, and ErrGroupClosed after Leave or node Close.
+func (g *Group) TrySend(payload []byte) error { return g.manager.TrySend(payload) }
+
+// FlowStats snapshots the group's flow-control state: send-window credit
+// counters, scheduler mailbox depth marks, and the reliable layer's
+// retention high-water marks (aggregated across configuration epochs).
+func (g *Group) FlowStats() FlowStats { return g.manager.FlowStats() }
 
 // Manager exposes the group's stack manager (epoch, configuration name).
 func (g *Group) Manager() *stack.Manager { return g.manager }
@@ -725,7 +807,13 @@ func (g *groupEndpoint) Send(dst NodeID, port, class string, payload []byte) err
 	return err
 }
 
-// Multicast implements netio.Endpoint.
+// Multicast implements netio.Endpoint. Unlike Send, there is no self-send
+// exemption to mirror: the netio contract (pinned by the conformance
+// suite on vnet, loopnet and udpnet alike) counts a native multicast as
+// exactly one transmission regardless of the receiver set and never
+// delivers it back to the sender, so the unconditional accounting here
+// matches the substrate one-for-one — TestGroupEndpointAccountingParity
+// asserts the equality on all three backends.
 func (g *groupEndpoint) Multicast(segment, port, class string, payload []byte) error {
 	err := g.Endpoint.Multicast(segment, port, class, payload)
 	if err == nil {

@@ -53,6 +53,7 @@ func main() {
 	beforePath := flag.String("before", "", "bench output of the pre-optimization build (optional)")
 	afterPath := flag.String("after", "", "bench output of the current build (required)")
 	note := flag.String("note", "", "free-form provenance note")
+	variants := flag.String("variants", "", "compare sub-benchmark variants within the -after run: \"baseline,subject\" pairs X/baseline against X/subject per parent benchmark X")
 	flag.Parse()
 	if *afterPath == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -after is required")
@@ -91,12 +92,50 @@ func main() {
 		}
 	}
 
+	if *variants != "" {
+		parts := strings.SplitN(*variants, ",", 2)
+		if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: -variants wants \"baseline,subject\"")
+			os.Exit(2)
+		}
+		rep.Comparisons = append(rep.Comparisons, variantComparisons(after, parts[0], parts[1])...)
+	}
+
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// variantComparisons pairs sub-benchmarks X/base against X/subject inside
+// one run — the shape of A/B benchmarks like BenchmarkSendWindow's
+// windowed vs unbounded modes. Speedup is base/subject: 1.0 means the
+// subject variant matches the baseline, above 1.0 it is faster.
+func variantComparisons(results []Result, base, subject string) []Comparison {
+	byName := make(map[string]Result, len(results))
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	var out []Comparison
+	for _, r := range results {
+		parent, ok := strings.CutSuffix(r.Name, "/"+base)
+		if !ok {
+			continue
+		}
+		s, ok := byName[parent+"/"+subject]
+		if !ok || s.NsPerOp == 0 {
+			continue
+		}
+		out = append(out, Comparison{
+			Name:    parent + ":" + subject + "-vs-" + base,
+			Before:  r.NsPerOp,
+			After:   s.NsPerOp,
+			Speedup: round2(r.NsPerOp / s.NsPerOp),
+		})
+	}
+	return out
 }
 
 func round2(v float64) float64 {
