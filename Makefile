@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-json golden
+.PHONY: check build vet test race bench bench-json golden chaos
 
 # check is the CI entry point: vet, build, full test suite, bench smoke run.
 check: vet build test bench
@@ -26,6 +26,13 @@ race:
 #   go test ./internal/experiment -run TestGoldenReplay -update-golden
 golden:
 	$(GO) test ./internal/experiment -run TestGoldenReplay -count=1 -v
+
+# chaos sweeps 1000 seeded fault schedules (E12) on virtual time and checks
+# the full invariant suite per run — ~50 s wall. A failing seed is a
+# complete failure artifact; reproduce it with:
+#   go run ./cmd/morpheus-bench -replay <seed>
+chaos:
+	$(GO) run ./cmd/morpheus-bench -run chaos -seeds 1000 -seed 1
 
 # bench runs every benchmark once as a smoke test (catches bit-rot without
 # paying for stable numbers).

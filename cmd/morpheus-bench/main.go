@@ -21,6 +21,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"morpheus/internal/chaos"
 	"morpheus/internal/experiment"
 )
 
@@ -30,12 +31,18 @@ func main() {
 
 func run() int {
 	var (
-		which = flag.String("run", "all", "experiment: figure3|reconfig|strategies|energy|errorrecovery|flush|multigroup|overload|all")
-		msgs  = flag.Int("msgs", 40000, "messages per Figure 3 run (the paper used 40000)")
-		sizes = flag.String("sizes", "2,3,6,9", "comma-separated group sizes for figure3/reconfig")
-		seed  = flag.Int64("seed", 1, "virtual network seed")
+		which  = flag.String("run", "all", "experiment: figure3|reconfig|strategies|energy|errorrecovery|flush|multigroup|overload|chaos|all")
+		msgs   = flag.Int("msgs", 40000, "messages per Figure 3 run (the paper used 40000)")
+		sizes  = flag.String("sizes", "2,3,6,9", "comma-separated group sizes for figure3/reconfig")
+		seed   = flag.Int64("seed", 1, "virtual network seed (chaos: the sweep's first seed)")
+		seeds  = flag.Int("seeds", 50, "chaos: how many consecutive seeds to sweep")
+		replay = flag.Int64("replay", 0, "chaos: replay this single seed and dump its full event trace")
 	)
 	flag.Parse()
+
+	if *replay != 0 {
+		return chaosReplay(*replay)
+	}
 
 	sz, err := parseSizes(*sizes)
 	if err != nil {
@@ -68,6 +75,9 @@ func run() int {
 	}
 	if all || *which == "overload" {
 		ok = overload(*msgs, *seed) && ok
+	}
+	if *which == "chaos" { // not part of "all": the sweep has its own CI job
+		ok = chaosSweep(*seeds, *seed) && ok
 	}
 	if !ok {
 		return 1
@@ -226,6 +236,58 @@ func overload(msgs int, seed int64) bool {
 	table("E10 — bounded-memory overload (flood + mid-flood reconfig + partitioned peer)",
 		"node	sent	rejected	delivered	win-hw	mbox-hw	nak-hw s/h/b	evicted	epoch	config", out)
 	return true
+}
+
+// chaosSweep is E12: sweep n seeded fault schedules on virtual time and
+// check every runtime invariant per run. Any violating seed is a complete
+// failure artifact: replay it with -replay <seed>.
+func chaosSweep(n int, base int64) bool {
+	start := time.Now()
+	rows, err := experiment.RunChaos(experiment.ChaosConfig{Seeds: n, Base: base})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos:", err)
+		return false
+	}
+	failing := 0
+	var out []string
+	for _, r := range rows {
+		status := "ok"
+		if len(r.Violations) > 0 {
+			failing++
+			status = fmt.Sprintf("FAIL(%d)", len(r.Violations))
+		}
+		out = append(out, fmt.Sprintf("%d\t%d\t%d\t%d\t%d\t%s\t%s",
+			r.Seed, r.Events, r.Crashed, r.Delivered, r.Rejected, r.Hash, status))
+	}
+	table(fmt.Sprintf("E12 — deterministic chaos sweep (%d seeds, %v)", n, time.Since(start).Round(time.Millisecond)),
+		"seed\tevents\tcrashed\tdelivered\trejected\thash\tstatus", out)
+	if failing > 0 {
+		for _, r := range rows {
+			for _, v := range r.Violations {
+				fmt.Fprintf(os.Stderr, "chaos: seed %d: %s\n", r.Seed, v)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "chaos: %d/%d seeds violated invariants; replay with -replay <seed>\n", failing, n)
+		return false
+	}
+	return true
+}
+
+// chaosReplay re-executes one seed and dumps its canonical trace — the
+// schedule, the injection log, per-node delivery digests, flow-control
+// marks and the violation list. Exit status reflects the invariants.
+func chaosReplay(seed int64) int {
+	res, err := chaos.Run(seed, chaos.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos replay:", err)
+		return 2
+	}
+	fmt.Printf("chaos replay seed=%d hash=%s\n%s", res.Seed, res.Hash, res.Trace)
+	if len(res.Violations) > 0 {
+		fmt.Fprintf(os.Stderr, "chaos replay: seed %d: %d invariant violations\n", seed, len(res.Violations))
+		return 1
+	}
+	return 0
 }
 
 func multigroup(seed int64) bool {

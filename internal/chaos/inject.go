@@ -1,0 +1,252 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"morpheus"
+)
+
+// arm registers every schedule event as a clock-heap entry. Callbacks run
+// on the clock goroutine and must not block: fault primitives are pure
+// state flips on the vnet overlay, and the two long-running faults (burst,
+// churn) fork clock actors. Armed before any virtual time passes, so the
+// heap order — and with it the injection log — is a function of the
+// schedule alone.
+func (r *runner) arm() {
+	for i, ev := range r.sched.Events {
+		i, ev := i, ev
+		r.clk.AfterFunc(ev.At, func() { r.apply(i, ev) })
+	}
+}
+
+// apply fires one scheduled fault.
+func (r *runner) apply(idx int, ev Event) {
+	switch ev.Kind {
+	case KindCrash:
+		r.logf("crash node=%d", ev.Node)
+		r.crashed[ev.Node].Store(true)
+		_ = r.world.Detach(ev.Node)
+
+	case KindPartition:
+		majority := make([]NodeID, 0, len(r.members))
+		for _, m := range r.members {
+			inMinority := false
+			for _, p := range ev.Peers {
+				if p == m {
+					inMinority = true
+					break
+				}
+			}
+			if !inMinority {
+				majority = append(majority, m)
+			}
+		}
+		r.logf("partition cells=%v|%v", ev.Peers, majority)
+		r.world.Partition(ev.Peers, majority)
+
+	case KindHeal:
+		r.logf("heal")
+		r.world.Heal()
+
+	case KindLossSpike:
+		r.logf("loss-spike node=%d loss=%.2f", ev.Node, ev.Loss)
+		r.eachPeer(ev.Node, func(o NodeID) {
+			r.world.SetLinkLoss(ev.Node, o, ev.Loss)
+			r.world.SetLinkLoss(o, ev.Node, ev.Loss)
+		})
+
+	case KindLossClear:
+		r.logf("loss-clear node=%d", ev.Node)
+		r.eachPeer(ev.Node, func(o NodeID) {
+			r.world.SetLinkLoss(ev.Node, o, -1)
+			r.world.SetLinkLoss(o, ev.Node, -1)
+		})
+
+	case KindLatencySpike:
+		r.logf("latency-spike node=%d delay=%s", ev.Node, ev.Delay)
+		r.eachPeer(ev.Node, func(o NodeID) {
+			r.world.SetLinkLatency(ev.Node, o, ev.Delay)
+			r.world.SetLinkLatency(o, ev.Node, ev.Delay)
+		})
+
+	case KindLatencyClear:
+		r.logf("latency-clear node=%d", ev.Node)
+		r.eachPeer(ev.Node, func(o NodeID) {
+			r.world.SetLinkLatency(ev.Node, o, -1)
+			r.world.SetLinkLatency(o, ev.Node, -1)
+		})
+
+	case KindBurst:
+		if r.isCrashed(ev.Node) {
+			r.logf("burst node=%d skipped (crashed)", ev.Node)
+			return
+		}
+		r.logf("burst node=%d n=%d", ev.Node, ev.N)
+		r.fork(func() { r.burst(idx, ev) })
+
+	case KindChurn:
+		r.logf("churn wave n=%d", ev.N)
+		r.fork(func() { r.churn(idx, ev) })
+
+	case KindReconfig:
+		r.logf("reconfig target=%s", ev.Config)
+		r.desired.Store(ev.Config)
+	}
+}
+
+// eachPeer visits every member other than id.
+func (r *runner) eachPeer(id NodeID, fn func(NodeID)) {
+	for _, m := range r.members {
+		if m != id {
+			fn(m)
+		}
+	}
+}
+
+// fork spawns a clock actor whose completion the harvest barrier awaits
+// (traces must be frozen before they are hashed).
+func (r *runner) fork(fn func()) {
+	done := make(chan struct{})
+	r.mu.Lock()
+	r.injDone = append(r.injDone, done)
+	r.mu.Unlock()
+	r.clk.Go(func() {
+		defer close(done)
+		fn()
+	})
+}
+
+// snapshotInjDone returns the completion channels of every forked fault.
+func (r *runner) snapshotInjDone() []<-chan struct{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]<-chan struct{}(nil), r.injDone...)
+}
+
+// burst floods N extra casts from one node through the data group as fast
+// as the window admits them, riding out ErrWindowFull — the overload
+// fault. Stream identity is the event's schedule position, so replays name
+// streams identically.
+func (r *runner) burst(idx int, ev Event) {
+	stream := fmt.Sprintf("b%d", idx)
+	g := r.nodes[ev.Node].Group(morpheus.DefaultGroup)
+	if g == nil {
+		return
+	}
+	deadline := r.clk.Now().Add(15 * time.Second)
+	for i := 0; i < ev.N; i++ {
+		if r.isCrashed(ev.Node) {
+			return
+		}
+		payload := encodePayload(morpheus.DefaultGroup, stream, i)
+		for {
+			err := g.TrySend(payload)
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, morpheus.ErrWindowFull) {
+				return
+			}
+			r.rejected.Add(1)
+			if r.isCrashed(ev.Node) || !r.clk.Now().Before(deadline) {
+				return
+			}
+			r.clk.Sleep(2 * time.Millisecond)
+		}
+		r.accept(morpheus.DefaultGroup, ev.Node, stream)
+		r.clk.Sleep(time.Millisecond)
+	}
+}
+
+// churn runs one join/leave wave: every live node joins a fresh group,
+// floods it, the wave waits for the casts to land everywhere, and every
+// member leaves again. A node that crashes mid-wave simply drops out of
+// the rounds; its accepted prefix is checked like any crashed origin's.
+func (r *runner) churn(idx int, ev Event) {
+	name := fmt.Sprintf("churn%d", idx)
+	live := make([]NodeID, 0, len(r.members))
+	for _, m := range r.members {
+		if !r.isCrashed(m) {
+			live = append(live, m)
+		}
+	}
+	if len(live) < 2 {
+		r.logf("churn %s skipped (%d live)", name, len(live))
+		return
+	}
+
+	groups := make(map[NodeID]*morpheus.Group, len(live))
+	joined := make([]NodeID, 0, len(live))
+	for _, id := range live {
+		g, err := r.nodes[id].Join(name, morpheus.GroupConfig{
+			Members:    live,
+			OnCast:     r.recorder(id, name),
+			SendWindow: r.opts.SendWindow,
+		})
+		if err != nil {
+			r.logf("churn %s: node %d join failed: %v", name, id, err)
+			continue
+		}
+		groups[id], joined = g, append(joined, id)
+	}
+	r.logf("churn %s joined members=%v", name, joined)
+
+	// Flood round-robin. A member whose send fails terminally is dropped
+	// from later rounds so its accepted stream stays a contiguous prefix.
+	dropped := make(map[NodeID]bool)
+	deadline := r.clk.Now().Add(10 * time.Second)
+	for i := 0; i < ev.N; i++ {
+		for _, id := range joined {
+			if dropped[id] || r.isCrashed(id) {
+				dropped[id] = true
+				continue
+			}
+			payload := encodePayload(name, "m", i)
+			for {
+				err := groups[id].TrySend(payload)
+				if err == nil {
+					r.accept(name, id, "m")
+					break
+				}
+				if !errors.Is(err, morpheus.ErrWindowFull) {
+					dropped[id] = true
+					break
+				}
+				r.rejected.Add(1)
+				if r.isCrashed(id) || !r.clk.Now().Before(deadline) {
+					dropped[id] = true
+					break
+				}
+				r.clk.Sleep(2 * time.Millisecond)
+			}
+			r.clk.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Wait for the wave to land on every live member, then leave
+	// everywhere (a partial leave would wedge stability for the rest).
+	r.waitFor(10*time.Second, func() bool {
+		for _, id := range joined {
+			if r.isCrashed(id) {
+				continue
+			}
+			for k, n := range r.acceptedFor(id, name) {
+				if r.isCrashed(k.Origin) {
+					continue
+				}
+				if r.deliveredCount(traceKey{node: id, group: name}, k) < n {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	for _, id := range joined {
+		if err := groups[id].Leave(); err != nil {
+			r.logf("churn %s: node %d leave failed: %v", name, id, err)
+		}
+	}
+	r.logf("churn %s left", name)
+}

@@ -1,0 +1,234 @@
+// Package invariants is the shared runtime-invariant checker of the chaos
+// plane. It collects, in one place, the standing guarantees the runtime
+// claims across adverse conditions — guarantees that were previously
+// asserted ad hoc inside the E9/E10 experiment tests:
+//
+//   - bounded memory: every retention high-water mark (send window,
+//     scheduler mailbox, NAK retransmission/history/reorder buffers) stays
+//     under its SendWindow-derived cap, with zero cap evictions;
+//   - exact credit accounting: acquired == released and zero credits in
+//     use at quiescence;
+//   - exactly-once, per-stream FIFO, gap-free delivery; completeness
+//     against the accepted-send counts of surviving senders;
+//   - view convergence to the control-live membership;
+//   - zero goroutine leaks after teardown.
+//
+// Every checker returns a list of violation strings (empty means the
+// invariant holds) and is a pure function of its inputs, so under a
+// virtual clock the violations of a run are as bit-reproducible as its
+// counter matrices — which is what lets a failing chaos seed replay its
+// exact violation list.
+package invariants
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"morpheus/internal/appia"
+	"morpheus/internal/stack"
+)
+
+// Caps are the SendWindow-derived bounds of the bounded-memory runtime:
+// retention and occupancy must scale with the window, never with the flood
+// length (E10's claim, asserted by the chaos plane on every schedule).
+type Caps struct {
+	Window  int // window occupancy: the window size itself
+	NakSent int // own-cast retention: the per-map cap
+	NakPeer int // summed per-origin retention: cap × flooding peers
+	Mailbox int // mailbox depth: admission high watermark + in-flight amplification
+
+	// RepairEvictions permits cap evictions (and the one-past-cap
+	// high-water excursion the eviction instant records). A crash-stop's
+	// membership-repair flush can retry view proposals against the dead
+	// member until the quiesce timeout — unwindowed control casts whose
+	// stability is stalled by the very member being flushed out, so they
+	// are bounded by eviction AT the cap (the designed degradation path)
+	// rather than below it by stability. Set it when the scenario
+	// crash-stopped a group member; leave it unset for partition-only
+	// scenarios like E10, where zero evictions is the quality bar.
+	RepairEvictions bool
+}
+
+// CapsFor derives the bounds from a window size and the number of
+// concurrently flooding senders.
+func CapsFor(window, senders int) Caps {
+	high, _ := stack.MailboxBounds(window)
+	return Caps{
+		Window:  window,
+		NakSent: stack.RetainedCap(window),
+		NakPeer: stack.RetainedCap(window) * senders,
+		Mailbox: high + stack.RetainedCap(window)*senders,
+	}
+}
+
+// FlowRow is one group's flow-control snapshot at quiescence, labelled for
+// violation messages ("node 3" or "node 3/aux").
+type FlowRow struct {
+	Label              string
+	WindowHighWater    int
+	WindowInUse        int
+	Acquired, Released uint64
+	MailboxHighWater   int
+	NakSentHW          int
+	NakHistoryHW       int
+	NakBufferHW        int
+	NakEvicted         int
+	BufferedSends      int
+}
+
+// CheckBounded verifies one flow snapshot against the caps — the
+// high-water marks under their bounds, zero cap evictions, and exact
+// credit accounting — returning the violations (empty means bounded).
+func (c Caps) CheckBounded(r FlowRow) []string {
+	var bad []string
+	chk := func(name string, got, cap int) {
+		if got > cap {
+			bad = append(bad, fmt.Sprintf("%s: %s=%d exceeds cap %d", r.Label, name, got, cap))
+		}
+	}
+	slack := 0
+	if c.RepairEvictions {
+		// The eviction instant is recorded before the entry leaves the
+		// map, so a map bounded by eviction marks cap+1.
+		slack = 1
+	}
+	chk("window-high-water", r.WindowHighWater, c.Window)
+	chk("nak-sent-high-water", r.NakSentHW, c.NakSent+slack)
+	chk("nak-history-high-water", r.NakHistoryHW, c.NakPeer+slack)
+	chk("nak-buffer-high-water", r.NakBufferHW, c.NakPeer+slack)
+	chk("mailbox-high-water", r.MailboxHighWater, c.Mailbox)
+	if r.NakEvicted != 0 && !c.RepairEvictions {
+		bad = append(bad, fmt.Sprintf("%s: %d cap evictions (caps must be slack, windows do the bounding)", r.Label, r.NakEvicted))
+	}
+	if r.WindowInUse != 0 {
+		bad = append(bad, fmt.Sprintf("%s: %d credits still in use at quiescence", r.Label, r.WindowInUse))
+	}
+	if r.Acquired != r.Released {
+		bad = append(bad, fmt.Sprintf("%s: credit accounting off: acquired %d != released %d", r.Label, r.Acquired, r.Released))
+	}
+	if r.BufferedSends != 0 {
+		bad = append(bad, fmt.Sprintf("%s: %d sends still buffered at quiescence", r.Label, r.BufferedSends))
+	}
+	return bad
+}
+
+// StreamKey identifies one sender stream: casts from Origin tagged with
+// Stream carry indexes 0,1,2,… in send order.
+type StreamKey struct {
+	Origin appia.NodeID
+	Stream string
+}
+
+func (k StreamKey) String() string { return fmt.Sprintf("%d/%s", k.Origin, k.Stream) }
+
+// Delivery is one delivered application cast as a node observed it, in
+// delivery order.
+type Delivery struct {
+	Origin appia.NodeID
+	Stream string
+	Index  int
+}
+
+// CheckDeliveries verifies one node's delivery sequence for a group:
+//
+//   - exactly-once: no (origin, stream, index) delivered twice;
+//   - FIFO, gap-free: per stream, indexes appear in increasing order and
+//     form the contiguous prefix 0..k — the reliable layer may truncate a
+//     crashed origin's tail but never reorders or skips within it;
+//   - completeness (survivors only): when accepted is non-nil, every
+//     stream listed must have been delivered exactly through index
+//     accepted[stream]−1, no more and no less.
+//
+// Streams not listed in accepted (a crashed sender's casts, a group the
+// checker has no ground truth for) still get the exactly-once and prefix
+// checks.
+func CheckDeliveries(label string, seq []Delivery, accepted map[StreamKey]int) []string {
+	var bad []string
+	next := make(map[StreamKey]int)
+	for _, d := range seq {
+		k := StreamKey{Origin: d.Origin, Stream: d.Stream}
+		want := next[k]
+		switch {
+		case d.Index < want:
+			bad = append(bad, fmt.Sprintf("%s: stream %s: duplicate delivery of index %d", label, k, d.Index))
+			continue
+		case d.Index > want:
+			bad = append(bad, fmt.Sprintf("%s: stream %s: gap: delivered index %d, expected %d", label, k, d.Index, want))
+		}
+		next[k] = d.Index + 1
+	}
+	if accepted != nil {
+		keys := make([]StreamKey, 0, len(accepted))
+		for k := range accepted {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].Origin != keys[j].Origin {
+				return keys[i].Origin < keys[j].Origin
+			}
+			return keys[i].Stream < keys[j].Stream
+		})
+		for _, k := range keys {
+			if got, want := next[k], accepted[k]; got != want {
+				bad = append(bad, fmt.Sprintf("%s: stream %s: delivered %d casts, accepted %d", label, k, got, want))
+			}
+		}
+		for k, got := range next {
+			if _, ok := accepted[k]; !ok && got > 0 {
+				bad = append(bad, fmt.Sprintf("%s: stream %s: %d deliveries from a stream that accepted nothing", label, k, got))
+			}
+		}
+	}
+	return bad
+}
+
+// CheckView verifies that a node's converged membership equals the
+// expected control-live set.
+func CheckView(label string, got, want []appia.NodeID) []string {
+	g := append([]appia.NodeID(nil), got...)
+	w := append([]appia.NodeID(nil), want...)
+	sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+	sort.Slice(w, func(i, j int) bool { return w[i] < w[j] })
+	equal := len(g) == len(w)
+	if equal {
+		for i := range g {
+			if g[i] != w[i] {
+				equal = false
+				break
+			}
+		}
+	}
+	if !equal {
+		return []string{fmt.Sprintf("%s: view %v did not converge to control-live members %v", label, g, w)}
+	}
+	return nil
+}
+
+// CheckNoLeak reports cross-group (or cross-run) leaked deliveries — the
+// E9 isolation invariant: traffic never crosses group boundaries.
+func CheckNoLeak(label string, leaked int) []string {
+	if leaked != 0 {
+		return []string{fmt.Sprintf("%s: %d leaked deliveries crossed a group boundary", label, leaked)}
+	}
+	return nil
+}
+
+// NoLeakedGoroutines polls (in wall time) until the process goroutine
+// count returns to at most baseline+slack, or grace expires. Call it after
+// full teardown, from a sequential test — the count is process-global, so
+// it is meaningless while parallel runs are in flight; it is deliberately
+// NOT part of a chaos run's deterministic violation list.
+func NoLeakedGoroutines(baseline, slack int, grace time.Duration) []string {
+	deadline := time.Now().Add(grace)
+	n := runtime.NumGoroutine()
+	for n > baseline+slack && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	if n > baseline+slack {
+		return []string{fmt.Sprintf("goroutine leak: %d alive after teardown, baseline %d (+%d slack)", n, baseline, slack)}
+	}
+	return nil
+}

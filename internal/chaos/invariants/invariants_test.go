@@ -1,0 +1,102 @@
+package invariants
+
+import (
+	"strings"
+	"testing"
+
+	"morpheus/internal/appia"
+)
+
+func TestCheckBounded(t *testing.T) {
+	caps := CapsFor(64, 3)
+	good := FlowRow{
+		Label:            "node 1",
+		WindowHighWater:  64,
+		Acquired:         100,
+		Released:         100,
+		NakSentHW:        caps.NakSent,
+		NakHistoryHW:     caps.NakPeer,
+		NakBufferHW:      caps.NakPeer,
+		MailboxHighWater: caps.Mailbox,
+	}
+	if bad := caps.CheckBounded(good); len(bad) != 0 {
+		t.Fatalf("bounded row flagged: %v", bad)
+	}
+	worst := FlowRow{
+		Label:           "node 2",
+		WindowHighWater: 65,
+		WindowInUse:     1,
+		Acquired:        100,
+		Released:        99,
+		NakEvicted:      1,
+		BufferedSends:   2,
+	}
+	bad := caps.CheckBounded(worst)
+	for _, want := range []string{"window-high-water", "credits still in use", "accounting off", "cap evictions", "still buffered"} {
+		found := false
+		for _, v := range bad {
+			if strings.Contains(v, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("violation %q not reported in %v", want, bad)
+		}
+	}
+}
+
+func TestCheckDeliveries(t *testing.T) {
+	seq := []Delivery{
+		{Origin: 1, Stream: "m", Index: 0},
+		{Origin: 1, Stream: "m", Index: 1},
+		{Origin: 2, Stream: "m", Index: 0},
+	}
+	accepted := map[StreamKey]int{
+		{Origin: 1, Stream: "m"}: 2,
+		{Origin: 2, Stream: "m"}: 1,
+	}
+	if bad := CheckDeliveries("n", seq, accepted); len(bad) != 0 {
+		t.Fatalf("clean sequence flagged: %v", bad)
+	}
+
+	dup := append(append([]Delivery(nil), seq...), Delivery{Origin: 1, Stream: "m", Index: 1})
+	if bad := CheckDeliveries("n", dup, nil); len(bad) != 1 || !strings.Contains(bad[0], "duplicate") {
+		t.Fatalf("duplicate not caught: %v", bad)
+	}
+
+	gap := []Delivery{{Origin: 1, Stream: "m", Index: 0}, {Origin: 1, Stream: "m", Index: 2}}
+	if bad := CheckDeliveries("n", gap, nil); len(bad) != 1 || !strings.Contains(bad[0], "gap") {
+		t.Fatalf("gap not caught: %v", bad)
+	}
+
+	short := seq[:2] // origin 2's accepted cast never delivered
+	if bad := CheckDeliveries("n", short, accepted); len(bad) != 1 || !strings.Contains(bad[0], "delivered 0 casts, accepted 1") {
+		t.Fatalf("incompleteness not caught: %v", bad)
+	}
+
+	ghost := append(append([]Delivery(nil), seq...), Delivery{Origin: 9, Stream: "m", Index: 0})
+	if bad := CheckDeliveries("n", ghost, accepted); len(bad) != 1 || !strings.Contains(bad[0], "accepted nothing") {
+		t.Fatalf("ghost stream not caught: %v", bad)
+	}
+}
+
+func TestCheckView(t *testing.T) {
+	if bad := CheckView("n", int64ID{3, 1, 2}.ids(), int64ID{1, 2, 3}.ids()); len(bad) != 0 {
+		t.Fatalf("order must not matter: %v", bad)
+	}
+	if bad := CheckView("n", int64ID{1, 2}.ids(), int64ID{1, 2, 3}.ids()); len(bad) != 1 {
+		t.Fatalf("divergent view not caught: %v", bad)
+	}
+}
+
+// int64ID keeps the test table terse.
+type int64ID []int
+
+func (s int64ID) ids() []appia.NodeID {
+	out := make([]appia.NodeID, len(s))
+	for i, v := range s {
+		out[i] = appia.NodeID(v)
+	}
+	return out
+}

@@ -1,0 +1,331 @@
+// Package chaos is the deterministic fault-schedule plane (E12). A seeded
+// generator emits a Schedule — virtual-time instants paired with faults
+// drawn from the vocabulary the paper's adversity model implies (crash-stop,
+// transient partition, loss and latency spikes on links, churn waves,
+// overload bursts, forced reconfigurations) — and an injector arms each
+// event as a clock-heap entry against a running multi-group topology.
+// Because the schedule, the virtual network and every driver action are
+// functions of the seed alone, a failing seed IS the failure artifact: the
+// same seed replays the same schedule, the same execution and the same
+// invariant violations bit-for-bit.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"morpheus/internal/appia"
+)
+
+// NodeID aliases the kernel's node identifier.
+type NodeID = appia.NodeID
+
+// Kind enumerates the fault vocabulary.
+type Kind int
+
+// Fault kinds. Partition/Heal, LossSpike/LossClear and LatencySpike/
+// LatencyClear are generated as pairs so every schedule is self-healing:
+// after the last event drains, only crash-stops remain in effect.
+const (
+	// KindCrash crash-stops a node (vnet Detach): sends fail like a closed
+	// socket, inbound frames vanish, the failure detector evicts it.
+	KindCrash Kind = iota
+	// KindPartition splits the membership into two cells; held shorter
+	// than the failure-detection threshold, so it models a transient
+	// network blip the NAK layer must repair (the GMS has no
+	// primary-partition rejoin path — see ROADMAP).
+	KindPartition
+	// KindHeal removes the active partition.
+	KindHeal
+	// KindLossSpike raises the loss of every link touching a node.
+	KindLossSpike
+	// KindLossClear restores the segment loss on those links.
+	KindLossClear
+	// KindLatencySpike pins the latency of every link touching a node.
+	KindLatencySpike
+	// KindLatencyClear restores the segment latency on those links.
+	KindLatencyClear
+	// KindBurst floods N extra casts from a node through the data group
+	// as fast as the send window admits them (TrySend backpressure).
+	KindBurst
+	// KindChurn joins every live node to a fresh group, floods it, waits
+	// for delivery and leaves it on every member — a join/leave wave.
+	KindChurn
+	// KindReconfig forces the data group to the named configuration
+	// (plain↔mecho) through the normal policy/Prepare/Ack path.
+	KindReconfig
+)
+
+var kindNames = map[Kind]string{
+	KindCrash:        "crash",
+	KindPartition:    "partition",
+	KindHeal:         "heal",
+	KindLossSpike:    "loss-spike",
+	KindLossClear:    "loss-clear",
+	KindLatencySpike: "latency-spike",
+	KindLatencyClear: "latency-clear",
+	KindBurst:        "burst",
+	KindChurn:        "churn",
+	KindReconfig:     "reconfig",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	// At is the virtual instant, as an offset from the scenario start.
+	At   time.Duration
+	Kind Kind
+	// Node is the fault target (crash, spikes, burst).
+	Node NodeID
+	// Peers is the partition's minority cell.
+	Peers []NodeID
+	// Loss is the spike's per-transmission drop probability.
+	Loss float64
+	// Delay is the latency spike's pinned one-way delay.
+	Delay time.Duration
+	// N is the burst size or the churn wave's casts per sender.
+	N int
+	// Config is the reconfiguration target ("plain", "mecho:relay=1").
+	Config string
+}
+
+// String renders the event for schedule dumps and injection logs.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "+%-8s %s", e.At.Round(time.Millisecond), e.Kind)
+	switch e.Kind {
+	case KindCrash:
+		fmt.Fprintf(&b, " node=%d", e.Node)
+	case KindPartition:
+		fmt.Fprintf(&b, " peers=%v", e.Peers)
+	case KindLossSpike:
+		fmt.Fprintf(&b, " node=%d loss=%.2f", e.Node, e.Loss)
+	case KindLossClear, KindLatencyClear:
+		fmt.Fprintf(&b, " node=%d", e.Node)
+	case KindLatencySpike:
+		fmt.Fprintf(&b, " node=%d delay=%s", e.Node, e.Delay)
+	case KindBurst:
+		fmt.Fprintf(&b, " node=%d n=%d", e.Node, e.N)
+	case KindChurn:
+		fmt.Fprintf(&b, " n=%d", e.N)
+	case KindReconfig:
+		fmt.Fprintf(&b, " config=%s", e.Config)
+	}
+	return b.String()
+}
+
+// Schedule is a seeded fault schedule: the complete, explicit event list
+// Generate derived from the seed.
+type Schedule struct {
+	Seed   int64
+	Events []Event
+}
+
+// String renders the full schedule, one event per line.
+func (s Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d events=%d\n", s.Seed, len(s.Events))
+	for _, e := range s.Events {
+		fmt.Fprintf(&b, "  %s\n", e)
+	}
+	return b.String()
+}
+
+// Profile bounds the generator. The defaults describe the standard chaos
+// topology (four fixed nodes and the mobile PDA) and keep every transient
+// fault short enough that the failure detector never evicts a live node:
+// partitions and spikes are network weather the reliable layers must ride
+// out, crash-stops are the only permanent failures.
+type Profile struct {
+	// Members is the full membership; Anchor must be among them.
+	Members []NodeID
+	// Anchor is never crashed and never in a partition minority: it hosts
+	// the coordinator role and anchors the survivor set.
+	Anchor NodeID
+	// Mobile identifies the PDA (informational; spikes may target it).
+	Mobile NodeID
+	// Faults is how many faults to draw (paired heal/clear events come on
+	// top). Default 6.
+	Faults int
+	// Start..Horizon is the window fault instants are drawn from.
+	// Defaults 500ms..8s.
+	Start, Horizon time.Duration
+	// MaxCrashes bounds crash-stops per schedule (default 1; never more
+	// than len(Members)-2, so at least two members survive).
+	MaxCrashes int
+	// MaxHold bounds partition hold times (default 700ms). Keep it,
+	// together with spike durations, well under the failure-detection
+	// threshold the runner configures, or transient faults turn into
+	// spurious evictions.
+	MaxHold time.Duration
+}
+
+func (p *Profile) defaults() {
+	if len(p.Members) == 0 {
+		p.Members = []NodeID{1, 2, 3, 4, 100}
+		p.Anchor = 1
+		p.Mobile = 100
+	}
+	if p.Anchor == 0 {
+		p.Anchor = p.Members[0]
+	}
+	if p.Faults == 0 {
+		p.Faults = 6
+	}
+	if p.Start == 0 {
+		p.Start = 500 * time.Millisecond
+	}
+	if p.Horizon == 0 {
+		p.Horizon = 8 * time.Second
+	}
+	if p.MaxCrashes == 0 {
+		p.MaxCrashes = 1
+	}
+	if max := len(p.Members) - 2; p.MaxCrashes > max {
+		p.MaxCrashes = max
+	}
+	if p.MaxHold == 0 {
+		p.MaxHold = 700 * time.Millisecond
+	}
+}
+
+// Generate derives a schedule from the seed. The draw sequence is a pure
+// function of (seed, profile): equal inputs yield equal schedules, which
+// is half of the replay guarantee (the runner supplies the other half by
+// executing on a virtual clock seeded with the same value).
+func Generate(seed int64, p Profile) Schedule {
+	p.defaults()
+	rng := rand.New(rand.NewSource(seed))
+
+	nonAnchor := make([]NodeID, 0, len(p.Members)-1)
+	for _, m := range p.Members {
+		if m != p.Anchor {
+			nonAnchor = append(nonAnchor, m)
+		}
+	}
+
+	at := func() time.Duration {
+		return p.Start + time.Duration(rng.Int63n(int64(p.Horizon-p.Start)))
+	}
+	dur := func(min, max time.Duration) time.Duration {
+		return min + time.Duration(rng.Int63n(int64(max-min)))
+	}
+
+	var events []Event
+	crashes, churns := 0, 0
+
+	// Partition windows already placed, padded so two holds can never run
+	// back to back and accumulate silence past the detection threshold.
+	type window struct{ from, to time.Duration }
+	var partitions []window
+	const partitionPad = 500 * time.Millisecond
+
+	for i := 0; i < p.Faults; i++ {
+		roll := rng.Intn(100)
+		switch {
+		case roll < 14 && crashes < p.MaxCrashes:
+			victim := nonAnchor[rng.Intn(len(nonAnchor))]
+			crashes++
+			events = append(events, Event{At: at(), Kind: KindCrash, Node: victim})
+
+		case roll < 32:
+			// Transient partition: a minority of non-anchor nodes is cut
+			// off and healed before the failure detector reacts.
+			size := 1 + rng.Intn(2)
+			if size > len(nonAnchor)-1 {
+				size = len(nonAnchor) - 1
+			}
+			idx := rng.Perm(len(nonAnchor))[:size]
+			minority := make([]NodeID, 0, size)
+			for _, j := range idx {
+				minority = append(minority, nonAnchor[j])
+			}
+			sort.Slice(minority, func(a, b int) bool { return minority[a] < minority[b] })
+			hold := dur(150*time.Millisecond, p.MaxHold)
+			var t time.Duration
+			placed := false
+			for attempt := 0; attempt < 10; attempt++ {
+				t = at()
+				clash := false
+				for _, w := range partitions {
+					if t < w.to+partitionPad && t+hold+partitionPad > w.from {
+						clash = true
+						break
+					}
+				}
+				if !clash {
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				continue // schedule already saturated with partitions
+			}
+			partitions = append(partitions, window{from: t, to: t + hold})
+			events = append(events,
+				Event{At: t, Kind: KindPartition, Peers: minority},
+				Event{At: t + hold, Kind: KindHeal})
+
+		case roll < 50:
+			// Loss spike, capped at 0.45 so a heartbeat stream cannot
+			// plausibly stay silent past the detection threshold.
+			target := p.Members[rng.Intn(len(p.Members))]
+			loss := 0.15 + 0.30*rng.Float64()
+			t := at()
+			hold := dur(300*time.Millisecond, time.Second)
+			events = append(events,
+				Event{At: t, Kind: KindLossSpike, Node: target, Loss: loss},
+				Event{At: t + hold, Kind: KindLossClear, Node: target})
+
+		case roll < 62:
+			target := p.Members[rng.Intn(len(p.Members))]
+			delay := dur(10*time.Millisecond, 120*time.Millisecond)
+			t := at()
+			hold := dur(300*time.Millisecond, time.Second)
+			events = append(events,
+				Event{At: t, Kind: KindLatencySpike, Node: target, Delay: delay},
+				Event{At: t + hold, Kind: KindLatencyClear, Node: target})
+
+		case roll < 78:
+			target := p.Members[rng.Intn(len(p.Members))]
+			events = append(events, Event{At: at(), Kind: KindBurst, Node: target, N: 20 + rng.Intn(41)})
+
+		case roll < 90 && churns < 2:
+			churns++
+			events = append(events, Event{At: at(), Kind: KindChurn, N: 4 + rng.Intn(5)})
+
+		default:
+			// Toggle the data group's configuration; generation tracks the
+			// flip parity so the schedule records explicit targets.
+			target := "mecho:relay=" + fmt.Sprint(p.Anchor)
+			if flips := countReconfigs(events); flips%2 == 1 {
+				target = "plain"
+			}
+			events = append(events, Event{At: at(), Kind: KindReconfig, Config: target})
+		}
+	}
+
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	return Schedule{Seed: seed, Events: events}
+}
+
+// countReconfigs counts reconfig events already drawn (flip parity).
+func countReconfigs(events []Event) int {
+	n := 0
+	for _, e := range events {
+		if e.Kind == KindReconfig {
+			n++
+		}
+	}
+	return n
+}

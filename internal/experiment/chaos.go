@@ -1,0 +1,108 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"morpheus/internal/chaos"
+)
+
+// --- E12: deterministic chaos sweep -----------------------------------------
+//
+// E12 is the robustness experiment: N seeded fault schedules (crash-stop,
+// transient partitions, loss/latency spikes, churn waves, overload bursts,
+// forced reconfigurations) executed against the multi-group runtime on
+// virtual time, each checked against the full invariant suite
+// (internal/chaos/invariants). Schedules and executions are functions of
+// the seed alone, so a failing row is reproduced bit-identically with
+//
+//	go run ./cmd/morpheus-bench -run chaos -replay <seed>
+
+// ChaosRow summarises one seed's run.
+type ChaosRow struct {
+	Seed      int64
+	Events    int
+	Crashed   int
+	Delivered int
+	Rejected  uint64
+	// Hash is the run's canonical trace hash (the replay artifact).
+	Hash string
+	// Violations is empty when every invariant held.
+	Violations []string
+}
+
+// ChaosConfig parameterises E12.
+type ChaosConfig struct {
+	// Seeds is how many consecutive seeds to sweep (default 50).
+	Seeds int
+	// Base is the first seed (default 1).
+	Base int64
+	// Workers bounds the parallel runs; each run owns its virtual clock
+	// and world, so runs are independent (default NumCPU).
+	Workers int
+	// Logf receives per-node diagnostics of failing runs; nil discards.
+	Logf func(format string, args ...any)
+}
+
+func (c *ChaosConfig) defaults() {
+	if c.Seeds == 0 {
+		c.Seeds = 50
+	}
+	if c.Base == 0 {
+		c.Base = 1
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.Workers > c.Seeds {
+		c.Workers = c.Seeds
+	}
+}
+
+// RunChaos is E12: sweep cfg.Seeds seeded fault schedules and report one
+// row per seed, in seed order. The error reports harness failures only;
+// invariant failures land in the rows.
+func RunChaos(cfg ChaosConfig) ([]ChaosRow, error) {
+	cfg.defaults()
+	rows := make([]ChaosRow, cfg.Seeds)
+	errs := make([]error, cfg.Seeds)
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				seed := cfg.Base + int64(i)
+				res, err := chaos.Run(seed, chaos.Options{Logf: cfg.Logf})
+				if err != nil {
+					errs[i] = fmt.Errorf("seed %d: %w", seed, err)
+					continue
+				}
+				rows[i] = ChaosRow{
+					Seed:       seed,
+					Events:     len(res.Schedule.Events),
+					Crashed:    len(res.Crashed),
+					Delivered:  res.Delivered,
+					Rejected:   res.Rejected,
+					Hash:       res.Hash,
+					Violations: res.Violations,
+				}
+			}
+		}()
+	}
+	for i := 0; i < cfg.Seeds; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}

@@ -54,6 +54,7 @@ func RunGolden(r GoldenRunner, seed int64) (GoldenResult, error) {
 func GoldenRunners() []GoldenRunner {
 	return []GoldenRunner{
 		{Name: "figure3", Run: goldenFigure3},
+		{Name: "figure3-paper", Run: goldenFigure3Paper},
 		{Name: "e5-strategies", Run: goldenStrategies},
 		{Name: "e6-energy", Run: goldenEnergy},
 		{Name: "e9-multigroup", Run: goldenMultiGroup},
@@ -66,6 +67,29 @@ func goldenFigure3(seed int64) (string, error) {
 		Sizes:    []int{2, 3, 6},
 		Messages: 150,
 		Timeout:  60 * time.Second,
+		Seed:     seed,
+	})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "n=%d opt=%d notopt=%d optdata=%d optctl=%d relaydata=%d notoptdata=%d\n",
+			r.Nodes, r.Optimized, r.NotOptimized, r.OptimizedData, r.OptimizedControl,
+			r.RelayData, r.NotOptimizedData)
+	}
+	return b.String(), nil
+}
+
+// goldenFigure3Paper pins Figure 3 at the paper's full scale — 40 000
+// messages across all four published group sizes. Under the virtual clock
+// the whole sweep runs in seconds, so the exact matrix the paper plots is
+// cheap enough to hold as a tier-1 golden rather than a reduced proxy.
+func goldenFigure3Paper(seed int64) (string, error) {
+	rows, err := RunFigure3(Figure3Config{
+		Sizes:    []int{2, 3, 6, 9},
+		Messages: 40000,
+		Timeout:  10 * time.Minute,
 		Seed:     seed,
 	})
 	if err != nil {

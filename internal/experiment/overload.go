@@ -10,9 +10,9 @@ import (
 
 	"morpheus"
 	"morpheus/internal/appia"
+	"morpheus/internal/chaos/invariants"
 	"morpheus/internal/clock"
 	"morpheus/internal/core"
-	"morpheus/internal/stack"
 )
 
 // --- E10: bounded-memory overload ------------------------------------------
@@ -326,46 +326,31 @@ func flowDebug(nodes map[appia.NodeID]*morpheus.Node, senders []appia.NodeID, se
 
 // OverloadCaps are the SendWindow-derived bounds E10 asserts: retention
 // and occupancy must scale with the window, never with the flood length.
-type OverloadCaps struct {
-	Window  int // window occupancy: the window size itself
-	NakSent int // own-cast retention: the per-map cap
-	NakPeer int // summed per-origin retention: cap × flooding peers
-	Mailbox int // mailbox depth: admission high watermark + in-flight amplification
-}
+// They are the chaos plane's shared invariant checker — E10 was the first
+// consumer; the fault-schedule fuzzer (internal/chaos) applies the same
+// bounds to every generated schedule.
+type OverloadCaps = invariants.Caps
 
-// CapsFor derives the E10 bounds from a window size.
+// CapsFor derives the E10 bounds from a window size and the number of
+// concurrently flooding senders.
 func CapsFor(window, senders int) OverloadCaps {
-	high, _ := stack.MailboxBounds(window)
-	return OverloadCaps{
-		Window:  window,
-		NakSent: stack.RetainedCap(window),
-		NakPeer: stack.RetainedCap(window) * senders,
-		Mailbox: high + stack.RetainedCap(window)*senders,
-	}
+	return invariants.CapsFor(window, senders)
 }
 
-// CheckBounded verifies one row against the caps, returning a list of
-// violations (empty means bounded).
-func (c OverloadCaps) CheckBounded(r OverloadRow) []string {
-	var bad []string
-	chk := func(name string, got, cap int) {
-		if got > cap {
-			bad = append(bad, fmt.Sprintf("node %d: %s=%d exceeds cap %d", r.Node, name, got, cap))
-		}
+// Flow projects the row's flow-control columns into the shared invariant
+// checker's shape. BufferedSends is not part of OverloadRow (E10's harvest
+// barrier drains them before snapshotting), so it reports zero.
+func (r OverloadRow) Flow() invariants.FlowRow {
+	return invariants.FlowRow{
+		Label:            fmt.Sprintf("node %d", r.Node),
+		WindowHighWater:  r.WindowHighWater,
+		WindowInUse:      r.WindowInUse,
+		Acquired:         r.Acquired,
+		Released:         r.Released,
+		MailboxHighWater: r.MailboxHighWater,
+		NakSentHW:        r.NakSentHW,
+		NakHistoryHW:     r.NakHistoryHW,
+		NakBufferHW:      r.NakBufferHW,
+		NakEvicted:       r.NakEvicted,
 	}
-	chk("window-high-water", r.WindowHighWater, c.Window)
-	chk("nak-sent-high-water", r.NakSentHW, c.NakSent)
-	chk("nak-history-high-water", r.NakHistoryHW, c.NakPeer)
-	chk("nak-buffer-high-water", r.NakBufferHW, c.NakPeer)
-	chk("mailbox-high-water", r.MailboxHighWater, c.Mailbox)
-	if r.NakEvicted != 0 {
-		bad = append(bad, fmt.Sprintf("node %d: %d cap evictions (caps must be slack, windows do the bounding)", r.Node, r.NakEvicted))
-	}
-	if r.WindowInUse != 0 {
-		bad = append(bad, fmt.Sprintf("node %d: %d credits still in use at quiescence", r.Node, r.WindowInUse))
-	}
-	if r.Acquired != r.Released {
-		bad = append(bad, fmt.Sprintf("node %d: credit accounting off: acquired %d != released %d", r.Node, r.Acquired, r.Released))
-	}
-	return bad
 }

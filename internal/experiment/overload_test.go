@@ -22,7 +22,7 @@ func TestOverloadBounded(t *testing.T) {
 		t.Logf("node=%d sent=%d rejected=%d delivered=%d winHW=%d mboxHW=%d nak(sent/hist/buf)=%d/%d/%d evicted=%d epoch=%d cfg=%s",
 			r.Node, r.Sent, r.Rejected, r.Delivered, r.WindowHighWater, r.MailboxHighWater,
 			r.NakSentHW, r.NakHistoryHW, r.NakBufferHW, r.NakEvicted, r.Epoch, r.Config)
-		for _, v := range caps.CheckBounded(r) {
+		for _, v := range caps.CheckBounded(r.Flow()) {
 			t.Error(v)
 		}
 		if r.Delivered < total {
@@ -66,7 +66,7 @@ func TestOverloadSoak(t *testing.T) {
 		t.Logf("node=%d sent=%d delivered=%d winHW=%d mboxHW=%d nak(sent/hist/buf)=%d/%d/%d evicted=%d",
 			r.Node, r.Sent, r.Delivered, r.WindowHighWater, r.MailboxHighWater,
 			r.NakSentHW, r.NakHistoryHW, r.NakBufferHW, r.NakEvicted)
-		for _, v := range caps.CheckBounded(r) {
+		for _, v := range caps.CheckBounded(r.Flow()) {
 			t.Error(v)
 		}
 		if r.Delivered < 3*cfg.Messages {

@@ -223,6 +223,9 @@ type Propose struct {
 	CastEvent
 	Proposed View
 	Hold     bool
+	// Round numbers the coordinator's proposal sends (initial, restarts,
+	// retries) so FlushReports are only compared within one round.
+	Round uint64
 }
 
 // FlushReport carries a member's delivered vector to the flush coordinator,
@@ -232,6 +235,8 @@ type FlushReport struct {
 	appia.SendableEvent
 	ViewID uint64
 	Vector DeliveredVector
+	// Round echoes the Propose round this vector was snapshot for.
+	Round uint64
 }
 
 // Install commits a proposed view. Reliable (embeds CastEvent).
@@ -333,6 +338,13 @@ type TriggerFlush struct {
 type VectorQuery struct {
 	appia.EventBase
 	Vector DeliveredVector
+	// Round is the proposal round this snapshot answers. It rides in the
+	// event so the FlushReport's round is bound when the query is issued:
+	// stamping the report from session state at bounce time instead let a
+	// backlogged member (draining several repaired Proposes in one
+	// cascade) attach a fresh round to a stale vector, which then poisons
+	// the coordinator's same-round comparison every retry.
+	Round uint64
 }
 
 // nackTimeout is the reliable layer's private retransmission timer event.

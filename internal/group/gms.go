@@ -135,6 +135,7 @@ type gmsSession struct {
 
 	// Flush coordination state (coordinator only).
 	proposed    View
+	curRound    uint64
 	hold        bool
 	reports     map[appia.NodeID]DeliveredVector
 	retryCancel func()
@@ -367,15 +368,34 @@ func (s *gmsSession) restartFlush(ch *appia.Channel, alive []appia.NodeID) {
 		return // nothing changed
 	}
 	s.proposed.Members = members
-	s.reports = make(map[appia.NodeID]DeliveredVector)
-	s.sendPropose(ch)
+	s.sendPropose(ch) // opens a new round, voiding collected reports
 }
 
-// sendPropose multicasts the current proposal (reliably).
+// sendPropose multicasts the current proposal (reliably). Every send —
+// initial, narrowed restart, or convergence retry — gets a fresh round
+// number, echoed back in the members' FlushReports so the coordinator only
+// ever compares vectors snapshot at the same proposal round. Each Propose
+// is itself a reliable cast that bumps the coordinator's own delivered
+// vector, so comparing reports across rounds can chase that moving target
+// forever: a transient latency skew once phase-shifted the coordinator's
+// report one round ahead of its peers', and each mismatch then discarded
+// the freshest report and re-proposed, sustaining the skew as a livelock
+// (chaos seed 278).
 func (s *gmsSession) sendPropose(ch *appia.Channel) {
-	p := &Propose{Proposed: s.proposed.Clone(), Hold: s.hold}
+	s.curRound++
+	if s.reports != nil {
+		// A new round voids any reports collected for the previous one:
+		// a leftover stale report would otherwise sit in the set until
+		// the next comparison and fail it against the fresh vectors —
+		// and since each retry re-creates the same skew, fail every
+		// following comparison too. Clear before the propose goes out:
+		// our own report arrives via immediate self-delivery.
+		s.reports = make(map[appia.NodeID]DeliveredVector)
+	}
+	p := &Propose{Proposed: s.proposed.Clone(), Hold: s.hold, Round: s.curRound}
 	p.Class = appia.ClassControl
 	m := p.EnsureMsg()
+	m.PushUvarint(p.Round)
 	m.PushBool(p.Hold)
 	pushView(m, p.Proposed)
 	sess := appia.Session(s)
@@ -417,9 +437,13 @@ func (s *gmsSession) onPropose(ch *appia.Channel, e *Propose) {
 	if err != nil {
 		return
 	}
-	e.Proposed, e.Hold = v, hold
+	round, err := m.PopUvarint()
+	if err != nil {
+		return
+	}
+	e.Proposed, e.Hold, e.Round = v, hold, round
 	if v.ID <= s.view.ID {
-		return // stale proposal from a previous round
+		return // stale proposal from a superseded view change
 	}
 	s.phase = phaseFlushing
 	s.memberProposed = v
@@ -430,9 +454,9 @@ func (s *gmsSession) onPropose(ch *appia.Channel, e *Propose) {
 		_ = ch.SendFrom(sess, &BlockOk{ViewID: v.ID}, appia.Up)
 	}
 	// Snapshot the reliable layer's delivered vector; the answer bounces
-	// back as an upward VectorQuery.
+	// back as an upward VectorQuery carrying this proposal round.
 	sess := appia.Session(s)
-	_ = ch.SendFrom(sess, &VectorQuery{}, appia.Down)
+	_ = ch.SendFrom(sess, &VectorQuery{Round: round}, appia.Down)
 }
 
 // onVector completes the member-side report.
@@ -444,10 +468,11 @@ func (s *gmsSession) onVector(ch *appia.Channel, e *VectorQuery) {
 	if s.phase != phaseFlushing {
 		return
 	}
-	fr := &FlushReport{ViewID: s.memberProposed.ID, Vector: e.Vector}
+	fr := &FlushReport{ViewID: s.memberProposed.ID, Vector: e.Vector, Round: e.Round}
 	fr.Dest = s.memberProposed.Coordinator()
 	fr.Class = appia.ClassControl
 	m := fr.EnsureMsg()
+	m.PushUvarint(fr.Round)
 	fr.Vector.push(m)
 	m.PushUvarint(fr.ViewID)
 	sess := appia.Session(s)
@@ -473,8 +498,15 @@ func (s *gmsSession) onFlushReport(ch *appia.Channel, e *FlushReport) {
 	if err != nil {
 		return
 	}
+	round, err := m.PopUvarint()
+	if err != nil {
+		return
+	}
 	if id != s.proposed.ID {
 		return
+	}
+	if round != s.curRound {
+		return // report for a superseded proposal round
 	}
 	s.reports[e.Source] = vec
 

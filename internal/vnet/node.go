@@ -245,12 +245,19 @@ func (n *Node) Send(dst NodeID, port, class string, payload []byte) error {
 		return fmt.Errorf("node %d: %w", n.id, ErrNodeDown)
 	}
 
+	fs := w.faults.Load()
+	if fs != nil && fs.cut(n.id, dst) {
+		return nil // partitioned: transmitted into a medium that cannot reach dst
+	}
 	dseg := dn.primary()
 	loss := sseg.cfg.Loss
 	lat := sseg.cfg.Latency + w.drawJitter(sseg.cfg.Jitter)
 	if dseg != nil && dseg != sseg {
 		loss = 1 - (1-loss)*(1-dseg.cfg.Loss)
 		lat += dseg.cfg.Latency + w.drawJitter(dseg.cfg.Jitter)
+	}
+	if fs != nil {
+		loss, lat = fs.override(n.id, dst, loss, lat)
 	}
 	if loss > 0 && w.draw() < loss {
 		return nil // lost in transit; sender cannot tell
@@ -292,14 +299,22 @@ func (n *Node) Multicast(segment, port, class string, payload []byte) error {
 	if !n.accountTx(class, len(payload), cfg.Wireless) {
 		return fmt.Errorf("node %d: %w", n.id, ErrNodeDown)
 	}
+	fs := w.faults.Load()
 	for _, rn := range receivers {
 		if rn.id == n.id {
 			continue // one's own multicast is not received
 		}
-		if cfg.Loss > 0 && w.draw() < cfg.Loss {
+		loss, base := cfg.Loss, cfg.Latency
+		if fs != nil {
+			if fs.cut(n.id, rn.id) {
+				continue // partitioned receiver: the frame never reaches it
+			}
+			loss, base = fs.override(n.id, rn.id, loss, base)
+		}
+		if loss > 0 && w.draw() < loss {
 			continue
 		}
-		lat := cfg.Latency + w.drawJitter(cfg.Jitter)
+		lat := base + w.drawJitter(cfg.Jitter)
 		n.deliverCopy(n.id, rn, port, class, payload, lat)
 	}
 	return nil

@@ -179,6 +179,13 @@ type World struct {
 
 	closed atomic.Bool
 
+	// faults is the chaos overlay (chaos.go): per-link loss/latency
+	// overrides and partition cells. nil — the overwhelmingly common case —
+	// means no fault is installed and the data plane takes the exact
+	// pre-overlay path, RNG draw sequence included.
+	faults  atomic.Pointer[faultState]
+	faultMu sync.Mutex // serializes overlay copy-on-write mutations
+
 	// clk is the world's time plane. With the default wall clock, delayed
 	// frames run through the world's own timer-heap engine; with a
 	// deterministic *clock.Virtual they become entries of the clock's heap
