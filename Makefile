@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-json golden chaos
+.PHONY: check build vet test race bench bench-json golden chaos chaos-scale
 
 # check is the CI entry point: vet, build, full test suite, bench smoke run.
 check: vet build test bench
@@ -33,6 +33,13 @@ golden:
 #   go run ./cmd/morpheus-bench -replay <seed>
 chaos:
 	$(GO) run ./cmd/morpheus-bench -run chaos -seeds 1000 -seed 1
+
+# chaos-scale is the scheduler-pool population smoke: the same fault
+# schedules while every node additionally hosts 1000 quiet groups on the
+# shared worker pool. Invariants must hold exactly as without them, and
+# crash-stops exercise pooled teardown at population scale.
+chaos-scale:
+	$(GO) run ./cmd/morpheus-bench -run chaos -seeds 50 -seed 2001 -groups 1000
 
 # bench runs every benchmark once as a smoke test (catches bit-rot without
 # paying for stable numbers).

@@ -31,8 +31,9 @@ func main() {
 
 func run() int {
 	var (
-		which  = flag.String("run", "all", "experiment: figure3|reconfig|strategies|energy|errorrecovery|flush|multigroup|overload|chaos|all")
+		which  = flag.String("run", "all", "experiment: figure3|reconfig|strategies|energy|errorrecovery|flush|multigroup|manygroups|overload|chaos|all")
 		msgs   = flag.Int("msgs", 40000, "messages per Figure 3 run (the paper used 40000)")
+		ngroup = flag.Int("groups", 0, "manygroups: how many groups to host (default 256); chaos: extra hosted groups per run (default 0)")
 		sizes  = flag.String("sizes", "2,3,6,9", "comma-separated group sizes for figure3/reconfig")
 		seed   = flag.Int64("seed", 1, "virtual network seed (chaos: the sweep's first seed)")
 		seeds  = flag.Int("seeds", 50, "chaos: how many consecutive seeds to sweep")
@@ -73,11 +74,14 @@ func run() int {
 	if all || *which == "multigroup" {
 		ok = multigroup(*seed) && ok
 	}
+	if all || *which == "manygroups" {
+		ok = manygroups(*ngroup, *seed) && ok
+	}
 	if all || *which == "overload" {
 		ok = overload(*msgs, *seed) && ok
 	}
 	if *which == "chaos" { // not part of "all": the sweep has its own CI job
-		ok = chaosSweep(*seeds, *seed) && ok
+		ok = chaosSweep(*seeds, *seed, *ngroup) && ok
 	}
 	if !ok {
 		return 1
@@ -241,9 +245,9 @@ func overload(msgs int, seed int64) bool {
 // chaosSweep is E12: sweep n seeded fault schedules on virtual time and
 // check every runtime invariant per run. Any violating seed is a complete
 // failure artifact: replay it with -replay <seed>.
-func chaosSweep(n int, base int64) bool {
+func chaosSweep(n int, base int64, extraGroups int) bool {
 	start := time.Now()
-	rows, err := experiment.RunChaos(experiment.ChaosConfig{Seeds: n, Base: base})
+	rows, err := experiment.RunChaos(experiment.ChaosConfig{Seeds: n, Base: base, ExtraGroups: extraGroups})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chaos:", err)
 		return false
@@ -303,5 +307,50 @@ func multigroup(seed int64) bool {
 	}
 	table("E9 — multi-group hosting (four groups, one node set, two adapting under load)",
 		"group\tconfig\tepoch\tmobile-data-tx\tsingle-run-tx\tdelivered\tleaked", out)
+	return true
+}
+
+// manygroups is E11: the scheduler pool's scale proof — hundreds (or with
+// -groups 1000, thousands) of groups on one node set, a quarter of them
+// reconfiguring plain→Mecho while the mobile floods every group, with the
+// full invariant suite checked per group. The table summarizes per
+// configuration class; any invariant violation fails the run.
+func manygroups(groups int, seed int64) bool {
+	start := time.Now()
+	rows, err := experiment.RunManyGroups(experiment.ManyGroupsConfig{Groups: groups, Seed: seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "manygroups:", err)
+		return false
+	}
+	type agg struct {
+		n, fixed, mobile, leaked, winhw int
+		acq                             uint64
+	}
+	byCfg := map[string]*agg{}
+	var order []string
+	for _, r := range rows {
+		a := byCfg[r.Config]
+		if a == nil {
+			a = &agg{}
+			byCfg[r.Config] = a
+			order = append(order, r.Config)
+		}
+		a.n++
+		a.fixed += r.DeliveredFixed
+		a.mobile += r.DeliveredMobile
+		a.leaked += r.Leaked
+		if r.WindowHighWater > a.winhw {
+			a.winhw = r.WindowHighWater
+		}
+		a.acq += r.Acquired
+	}
+	var out []string
+	for _, cfg := range order {
+		a := byCfg[cfg]
+		out = append(out, fmt.Sprintf("%s\t%d\t%d\t%d\t%d\t%d\t%d",
+			cfg, a.n, a.fixed, a.mobile, a.leaked, a.winhw, a.acq))
+	}
+	table(fmt.Sprintf("E11 — many-group hosting on the scheduler pool (%d groups, %v)", groups, time.Since(start).Round(time.Millisecond)),
+		"config\tgroups\tfixed-delivered\tmobile-delivered\tleaked\twin-hw(max)\tacquired", out)
 	return true
 }

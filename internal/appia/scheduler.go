@@ -65,6 +65,18 @@ type Scheduler struct {
 	closing   chan struct{}
 	tokenHeld bool
 
+	// Pooled mode. When pool is non-nil the scheduler has no goroutine of
+	// its own: posts enqueue it on the pool, whose workers run drain() while
+	// owning it exclusively (see Pool). affinity is the preferred worker,
+	// guarded by pool.mu; spare is the recycled batch buffer, touched only
+	// by the owning worker; drained (closed once, via drainOnce) lets Close
+	// wait for the final drain without a goroutine to join.
+	pool      *Pool
+	affinity  int
+	spare     []task
+	drained   chan struct{}
+	drainOnce sync.Once
+
 	timerMu sync.Mutex
 	timers  map[*schedTimer]struct{}
 
@@ -96,6 +108,7 @@ func NewSchedulerWithClock(clk clock.Clock) *Scheduler {
 		timers:  make(map[*schedTimer]struct{}),
 		grant:   make(chan struct{}, 1),
 		closing: make(chan struct{}),
+		drained: make(chan struct{}),
 		// A scheduler is born parked: the first post must behave like a
 		// wake-up (in particular it must queue the scheduler for a virtual
 		// clock's run token), even when it lands before run() first parks.
@@ -109,7 +122,9 @@ func NewSchedulerWithClock(clk clock.Clock) *Scheduler {
 // Clock returns the clock driving this scheduler's timers.
 func (s *Scheduler) Clock() clock.Clock { return s.clk }
 
-// Start launches the scheduler goroutine. It is a no-op if already started.
+// Start launches the scheduler goroutine. It is a no-op if already started,
+// and for a pooled scheduler (whose executors — the pool workers — already
+// run; posts work from construction).
 func (s *Scheduler) Start() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -117,6 +132,9 @@ func (s *Scheduler) Start() {
 		return
 	}
 	s.started = true
+	if s.pool != nil {
+		return
+	}
 	s.wg.Add(1)
 	go s.run()
 }
@@ -132,6 +150,10 @@ func (s *Scheduler) Close() {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		if s.pool != nil {
+			<-s.drained
+			return
+		}
 		s.wg.Wait()
 		return
 	}
@@ -142,6 +164,12 @@ func (s *Scheduler) Close() {
 		close(s.admitGate)
 		s.admitGate = nil
 	}
+	// Pooled: waiting==true means parked — not owned by any worker and not
+	// in any pool queue (enqueue happens only on the post that clears
+	// waiting, and closed now blocks further posts) — so there is nothing
+	// left to drain. Otherwise a worker owns it or will pop it, and its
+	// park-on-closed signals drained.
+	parked := s.waiting
 	s.mu.Unlock()
 	close(s.closing)
 
@@ -153,10 +181,37 @@ func (s *Scheduler) Close() {
 	s.timerMu.Unlock()
 
 	if s.vclk != nil {
-		// Reclaim a token grant the goroutine will no longer collect.
+		// Reclaim a token grant no executor will collect anymore: pending
+		// in the clock's run queue, already granted, or never issued — all
+		// three are handled by CancelRunnable. A pooled worker mid-drain
+		// skips token acquisition once closed, exactly like the dedicated
+		// goroutine's final drain.
 		s.vclk.CancelRunnable(s.grant)
 	}
+	if s.pool != nil {
+		switch {
+		case parked:
+			s.signalDrained()
+		case s.pool.detach(s):
+			// Still queued, owned by no worker: drain the residue inline on
+			// the closer's goroutine. This cannot wait for a pool worker —
+			// under a virtual clock the closer may hold the run token the
+			// workers are queued behind — and it cannot race an owner: the
+			// detach under pool.mu removed the only pending claim.
+			s.drain()
+		}
+		// Otherwise a worker owns the scheduler right now; its park-on-
+		// closed signals drained (token acquisition is skipped once closed,
+		// so it cannot block on a token the closer holds).
+		<-s.drained
+		return
+	}
 	s.wg.Wait()
+}
+
+// signalDrained marks the pooled scheduler fully drained (idempotent).
+func (s *Scheduler) signalDrained() {
+	s.drainOnce.Do(func() { close(s.drained) })
 }
 
 // post enqueues a task. Returns ErrSchedulerClosed after Close.
@@ -178,11 +233,23 @@ func (s *Scheduler) post(t task) error {
 	}
 	// Signal only when the scheduler goroutine is actually parked: while it
 	// is draining a batch, posts just append. The waiting flag is only ever
-	// set under mu immediately before cond.Wait, so a true value here means
-	// the goroutine is (or is about to be, atomically with unlocking mu)
-	// asleep and the signal cannot be lost.
+	// set under mu immediately before cond.Wait (or, pooled, at a worker's
+	// park), so a true value here means the executor is asleep and the
+	// wake-up cannot be lost.
 	wake := s.waiting
 	s.waiting = false
+	if s.pool != nil {
+		// Hand the scheduler to the pool while still holding mu (lock order
+		// s.mu -> pool.mu): once Close observes closed under mu, every
+		// wake-up is either already in a pool queue — where Close's detach
+		// can find it — or owned by a worker. In virtual mode the pool also
+		// orders the token enqueue, atomically with the queue append.
+		if wake {
+			s.pool.enqueue(s)
+		}
+		s.mu.Unlock()
+		return nil
+	}
 	s.mu.Unlock()
 	if wake {
 		if s.vclk != nil {
@@ -320,6 +387,59 @@ func (s *Scheduler) run() {
 		}
 		s.depth.Add(int64(-len(batch)))
 		clear(batch) // release the events for the GC in one bulk write
+	}
+}
+
+// drain is the pooled-mode counterpart of run: the owning pool worker (or,
+// during Close, the closer) drains the mailbox to empty and parks the
+// scheduler. Ownership is exclusive from pop to park, so the loop body is
+// the same double-buffered batch dequeue as run — including holding the
+// virtual clock's run token across batches — with one difference at the
+// park: releasing the token, re-setting waiting and (when closed)
+// signalling the final drain happen under a single mu hold, so the next
+// post observes a fully-parked scheduler and re-enqueues it exactly once.
+func (s *Scheduler) drain() {
+	var batch []task
+	for {
+		s.mu.Lock()
+		if batch != nil {
+			s.spare = batch[:0]
+			batch = nil
+		}
+		if s.admitGate != nil && s.depth.Load() <= int64(s.boundLow) {
+			close(s.admitGate)
+			s.admitGate = nil
+		}
+		if len(s.queue) == 0 {
+			s.releaseToken()
+			s.waiting = true
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				s.signalDrained()
+			}
+			return
+		}
+		closed := s.closed
+		s.mu.Unlock()
+		if !closed {
+			s.acquireToken()
+		}
+		s.mu.Lock()
+		batch = s.queue
+		if s.spare != nil {
+			s.queue = s.spare[:0]
+			s.spare = nil
+		} else {
+			s.queue = nil
+		}
+		s.mu.Unlock()
+
+		for i := range batch {
+			s.dispatch(batch[i])
+		}
+		s.depth.Add(int64(-len(batch)))
+		clear(batch)
 	}
 }
 

@@ -33,6 +33,12 @@ type Options struct {
 	// way to prove the failure path: the run reports deterministic
 	// violations, bit-identical on replay.
 	Caps *invariants.Caps
+	// ExtraGroups additionally hosts that many quiet groups on every node
+	// (default 0 — the standard E12 traces are unchanged). The pool-scale
+	// smoke: a large hosted population must not perturb the checked
+	// groups' invariants, and crash-stop teardown then exercises pooled
+	// scheduler Close at population scale.
+	ExtraGroups int
 	// Logf receives control-plane diagnostics; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -336,6 +342,21 @@ func (r *runner) execute() (Result, error) {
 			SendWindow: opts.SendWindow,
 		}); err != nil {
 			return Result{}, fmt.Errorf("chaos: node %d join %s: %w", id, auxGroup, err)
+		}
+	}
+
+	// The extra hosted population (pool-scale smoke): joined everywhere,
+	// never sent to. Joined before the schedule arms so the added joins —
+	// like everything else — are a deterministic function of the seed.
+	for i := 0; i < opts.ExtraGroups; i++ {
+		name := fmt.Sprintf("x%04d", i)
+		for _, id := range r.members {
+			if _, err := r.nodes[id].Join(name, morpheus.GroupConfig{
+				Members:    r.members,
+				SendWindow: opts.SendWindow,
+			}); err != nil {
+				return Result{}, fmt.Errorf("chaos: node %d join %s: %w", id, name, err)
+			}
 		}
 	}
 

@@ -41,6 +41,9 @@ type ChaosConfig struct {
 	// Workers bounds the parallel runs; each run owns its virtual clock
 	// and world, so runs are independent (default NumCPU).
 	Workers int
+	// ExtraGroups hosts that many additional quiet groups per node in
+	// every run — the scheduler-pool scale smoke (default 0).
+	ExtraGroups int
 	// Logf receives per-node diagnostics of failing runs; nil discards.
 	Logf func(format string, args ...any)
 }
@@ -76,7 +79,7 @@ func RunChaos(cfg ChaosConfig) ([]ChaosRow, error) {
 			defer wg.Done()
 			for i := range next {
 				seed := cfg.Base + int64(i)
-				res, err := chaos.Run(seed, chaos.Options{Logf: cfg.Logf})
+				res, err := chaos.Run(seed, chaos.Options{Logf: cfg.Logf, ExtraGroups: cfg.ExtraGroups})
 				if err != nil {
 					errs[i] = fmt.Errorf("seed %d: %w", seed, err)
 					continue

@@ -59,6 +59,7 @@ func GoldenRunners() []GoldenRunner {
 		{Name: "e6-energy", Run: goldenEnergy},
 		{Name: "e9-multigroup", Run: goldenMultiGroup},
 		{Name: "e10-overload", Run: goldenOverload},
+		{Name: "e11-manygroups", Run: goldenManyGroups},
 	}
 }
 
@@ -165,6 +166,23 @@ func goldenOverload(seed int64) (string, error) {
 			r.Node, r.Sent, r.Rejected, r.Delivered, r.WindowHighWater, r.WindowInUse,
 			r.Acquired, r.Released, r.MailboxHighWater,
 			r.NakSentHW, r.NakHistoryHW, r.NakBufferHW, r.NakEvicted, r.Epoch, r.Config)
+	}
+	return b.String(), nil
+}
+
+// goldenManyGroups pins E11 at its full 256-group scale: the hash is the
+// statement that pooled dispatch at any worker count reproduces dedicated
+// mode byte-for-byte across hundreds of concurrently hosted stacks.
+func goldenManyGroups(seed int64) (string, error) {
+	rows, err := RunManyGroups(ManyGroupsConfig{Seed: seed})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "group=%s config=%s epoch=%d fixed=%d mobile=%d leaked=%d winhw=%d acq=%d violations=%d\n",
+			r.Group, r.Config, r.Epoch, r.DeliveredFixed, r.DeliveredMobile,
+			r.Leaked, r.WindowHighWater, r.Acquired, r.Violations)
 	}
 	return b.String(), nil
 }

@@ -1,0 +1,164 @@
+package stack
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"morpheus/internal/appia"
+	"morpheus/internal/appia/appiaxml"
+	"morpheus/internal/netio"
+	"morpheus/internal/netio/loopnet"
+)
+
+// plainSingleDoc is the one-member plain stack used by the pool stats test.
+func plainSingleDoc() *appiaxml.Document {
+	return &appiaxml.Document{Channels: []appiaxml.ChannelSpec{{
+		Name: "data",
+		QoS:  "plain",
+		Sessions: []appiaxml.SessionSpec{
+			{Layer: "transport.ptp"},
+			{Layer: "group.fanout"},
+			{Layer: "group.nak"},
+			{Layer: "group.gms"},
+		},
+	}}}
+}
+
+// TestPooledManagerFlowStatsPerGroup pins the observability contract of
+// FlowStats under the shared scheduler pool: MailboxDepth/MailboxHighWater
+// are per-group (the group's own scheduler), never per-worker aggregates —
+// and a group whose drain migrates to a stealing worker is counted exactly
+// once, not once per worker that touched it.
+func TestPooledManagerFlowStatsPerGroup(t *testing.T) {
+	nw := loopnet.New()
+	t.Cleanup(func() { _ = nw.Close() })
+	pool := appia.NewPool(2, nil)
+	t.Cleanup(pool.Close)
+
+	// Two hog schedulers to wedge both workers, then one scheduler per
+	// manager. Cleanups run LIFO, so schedulers close before the pool.
+	hog1 := pool.NewScheduler()
+	t.Cleanup(hog1.Close)
+	hog2 := pool.NewScheduler()
+	t.Cleanup(hog2.Close)
+
+	newMgr := func(id appia.NodeID) (*Manager, *appia.Scheduler) {
+		ep, err := nw.Attach(netio.EndpointConfig{ID: netio.NodeID(id), Kind: netio.Fixed, Segments: []string{"lan"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := pool.NewScheduler()
+		t.Cleanup(sched.Close)
+		m := NewManager(ManagerConfig{Node: ep, Self: id, Scheduler: sched})
+		t.Cleanup(func() { _ = m.Close() })
+		if err := m.Deploy(plainSingleDoc(), "plain", 1, []appia.NodeID{id}); err != nil {
+			t.Fatal(err)
+		}
+		return m, sched
+	}
+	mA, schedA := newMgr(1)
+	mB, schedB := newMgr(2)
+
+	// Let the deploys drain completely so the backlogs below are exact.
+	waitZero := func(m *Manager, label string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for m.FlowStats().MailboxDepth != 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s mailbox never drained after deploy", label)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitZero(mA, "A")
+	waitZero(mB, "B")
+	hwA0 := mA.FlowStats().MailboxHighWater
+	hwB0 := mB.FlowStats().MailboxHighWater
+
+	// wedge posts a blocking task on h and waits until a worker is stuck
+	// in it; the returned channel releases that worker.
+	wedge := func(h *appia.Scheduler) chan struct{} {
+		t.Helper()
+		started, unblock := make(chan struct{}), make(chan struct{})
+		if err := h.Do(func() { close(started); <-unblock }); err != nil {
+			t.Fatal(err)
+		}
+		<-started
+		return unblock
+	}
+
+	// round stacks asymmetric backlogs (wantA on A's group, wantB on B's)
+	// while both workers are wedged, asserts each manager reports exactly
+	// its own backlog, then releases one worker and reports whether the
+	// lone free worker had to steal a group to finish both drains.
+	const wantA, wantB = 32, 2
+	var ranA, ranB atomic.Int64
+	round := func(release chan struct{}) bool {
+		t.Helper()
+		baseA, baseB := ranA.Load(), ranB.Load()
+		for i := 0; i < wantA; i++ {
+			if err := schedA.Do(func() { ranA.Add(1) }); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < wantB; i++ {
+			if err := schedB.Do(func() { ranB.Add(1) }); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Per-group, not per-worker: each manager reports exactly its own
+		// backlog even though the schedulers share the pool's two workers.
+		if d := mA.FlowStats().MailboxDepth; d != wantA {
+			t.Fatalf("A MailboxDepth = %d, want its own backlog %d", d, wantA)
+		}
+		if d := mB.FlowStats().MailboxDepth; d != wantB {
+			t.Fatalf("B MailboxDepth = %d, want its own backlog %d", d, wantB)
+		}
+		steals0 := pool.Stats().Steals
+		close(release)
+		deadline := time.Now().Add(10 * time.Second)
+		for ranA.Load() != baseA+wantA || ranB.Load() != baseB+wantB {
+			if time.Now().After(deadline) {
+				t.Fatalf("backlogs incomplete: A %d/%d, B %d/%d",
+					ranA.Load()-baseA, wantA, ranB.Load()-baseB, wantB)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return pool.Stats().Steals > steals0
+	}
+
+	// Wedge both workers, then free exactly one. If it drained both groups
+	// without stealing, both schedulers happened to share its affinity — so
+	// wedge IT (the only free worker necessarily takes the new hog task),
+	// free the other, and re-run: now the backlogs provably sit on the
+	// wedged worker's queue and the free one must migrate them via steals.
+	unblock1 := wedge(hog1)
+	unblock2 := wedge(hog2)
+	migrated := round(unblock1)
+	if !migrated {
+		unblock3 := wedge(hog1)
+		migrated = round(unblock2) // closes unblock2
+		unblock2 = unblock3
+	}
+	defer close(unblock2)
+	if !migrated {
+		t.Fatal("no steal observed: the groups never migrated between workers")
+	}
+
+	// Exactly-once across the migration: every task ran once (checked
+	// above), the drained depths return to zero, and each group's high
+	// water reflects only its own backlog — B's must not have absorbed A's.
+	waitZero(mA, "A")
+	waitZero(mB, "B")
+	if hw := mA.FlowStats().MailboxHighWater; hw < wantA {
+		t.Fatalf("A MailboxHighWater = %d, want >= %d (its own backlog)", hw, wantA)
+	}
+	if hw := mB.FlowStats().MailboxHighWater; hw >= wantA && hw > hwB0+wantB {
+		t.Fatalf("B MailboxHighWater = %d (baseline %d, own backlog %d): counted another group's tasks",
+			hw, hwB0, wantB)
+	}
+	if hwA0 > mA.FlowStats().MailboxHighWater {
+		t.Fatalf("A MailboxHighWater regressed below its deploy baseline %d", hwA0)
+	}
+}

@@ -35,6 +35,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -205,6 +207,19 @@ type Config struct {
 	// ErrWindowFull). 0 means DefaultSendWindow; negative disables
 	// windowing. See GroupConfig.SendWindow.
 	SendWindow int
+	// SchedulerWorkers sizes the node's shared scheduler pool: the fixed
+	// set of worker goroutines that execute every hosted group's protocol
+	// stack (the control plane keeps its own dedicated scheduler, so
+	// heartbeats and adaptation never queue behind data traffic). Group
+	// count and worker count are decoupled — a node hosting 1,000 groups
+	// runs the same few goroutines as one hosting 10, and idle groups cost
+	// nothing. 0 means GOMAXPROCS, overridable by the MORPHEUS_POOL
+	// environment variable ("dedicated" or a worker count — the CI
+	// determinism matrix uses it); DedicatedSchedulers (-1) restores the
+	// scheduler-goroutine-per-group model. Under a virtual clock the pool
+	// dispatches deterministically, so experiment results are identical at
+	// every setting.
+	SchedulerWorkers int
 	// Logf receives diagnostics; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -256,6 +271,7 @@ type GroupConfig struct {
 type Node struct {
 	cfg      Config
 	endpoint Endpoint
+	pool     *appia.Pool      // shared executor for every group's stack (nil in dedicated mode)
 	ctlSched *appia.Scheduler // control-plane scheduler (heartbeats, adaptation)
 	ctl      *appia.Channel
 	ctx      *cocaditem.Session
@@ -303,6 +319,33 @@ var (
 // ControlPort is the substrate port of the (never reconfigured) control
 // channel.
 const ControlPort = "ctl"
+
+// DedicatedSchedulers, as Config.SchedulerWorkers, gives every hosted
+// group its own scheduler goroutine instead of the shared worker pool.
+const DedicatedSchedulers = -1
+
+// PoolStats is a snapshot of the node scheduler pool's dispatch counters.
+type PoolStats = appia.PoolStats
+
+// resolveWorkers maps Config.SchedulerWorkers (and the MORPHEUS_POOL
+// environment override used by the CI determinism matrix) to a pool size,
+// or DedicatedSchedulers.
+func resolveWorkers(n int) int {
+	if n != 0 {
+		return n
+	}
+	switch v := os.Getenv("MORPHEUS_POOL"); v {
+	case "", "0":
+		return 0 // NewPool defaults to GOMAXPROCS
+	case "dedicated":
+		return DedicatedSchedulers
+	default:
+		if k, err := strconv.Atoi(v); err == nil && k > 0 {
+			return k
+		}
+		return 0
+	}
+}
 
 // Start builds, deploys and starts a node: the shared control plane plus
 // the default group.
@@ -366,6 +409,9 @@ func Start(cfg Config) (*Node, error) {
 		ctlSched: appia.NewSchedulerWithClock(cfg.Clock),
 		groups:   make(map[string]*Group),
 	}
+	if w := resolveWorkers(cfg.SchedulerWorkers); w != DedicatedSchedulers {
+		n.pool = appia.NewPool(w, cfg.Clock)
+	}
 
 	// The default group rides on Config for backwards compatibility: a
 	// single-group node keeps the original Start(Members, Policies,
@@ -383,6 +429,9 @@ func Start(cfg Config) (*Node, error) {
 	})
 	if err != nil {
 		n.ctlSched.Close()
+		if n.pool != nil {
+			n.pool.Close()
+		}
 		return nil, fmt.Errorf("morpheus: deploy initial config: %w", err)
 	}
 	n.groups[DefaultGroup] = g
@@ -460,6 +509,9 @@ func (n *Node) teardownEarly() {
 		}
 	}
 	n.ctlSched.Close()
+	if n.pool != nil {
+		n.pool.Close()
+	}
 }
 
 // buildGroup constructs and deploys one hosted group: its own scheduler
@@ -480,10 +532,14 @@ func (n *Node) buildGroup(name string, gc GroupConfig) (*Group, error) {
 	members = group.NormalizeMembers(append([]NodeID(nil), members...))
 	logf := netio.Logf(n.cfg.Logf).Or()
 	g := &Group{
-		name:  name,
-		node:  n,
-		ep:    &groupEndpoint{Endpoint: n.endpoint},
-		sched: appia.NewSchedulerWithClock(n.cfg.Clock),
+		name: name,
+		node: n,
+		ep:   &groupEndpoint{Endpoint: n.endpoint},
+	}
+	if n.pool != nil {
+		g.sched = n.pool.NewScheduler()
+	} else {
+		g.sched = appia.NewSchedulerWithClock(n.cfg.Clock)
 	}
 	gc.Members = members
 	g.manager = stack.NewManager(stack.ManagerConfig{
@@ -609,6 +665,16 @@ func (n *Node) Clock() Clock { return n.cfg.Clock }
 // counters) on whatever substrate it runs.
 func (n *Node) Endpoint() Endpoint { return n.endpoint }
 
+// PoolStats snapshots the node scheduler pool's dispatch counters (worker
+// batches, wake-ups, steals). The zero value is returned in dedicated mode
+// (Config.SchedulerWorkers == DedicatedSchedulers).
+func (n *Node) PoolStats() PoolStats {
+	if n.pool == nil {
+		return PoolStats{}
+	}
+	return n.pool.Stats()
+}
+
 // VNode exposes the virtual network attachment (counters, battery, crash
 // injection) when the node runs on the vnet convenience path; it returns
 // nil for nodes started on another substrate via Config.Endpoint.
@@ -700,6 +766,11 @@ func (n *Node) Close() error {
 		}
 	}
 	n.ctlSched.Close()
+	if n.pool != nil {
+		// Last: every group scheduler has fully drained by now, so the
+		// workers are idle.
+		n.pool.Close()
+	}
 	return firstErr
 }
 
