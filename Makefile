@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-json golden chaos chaos-scale
+.PHONY: check build vet test race bench bench-json golden chaos chaos-scale soak
 
 # check is the CI entry point: vet, build, full test suite, bench smoke run.
 check: vet build test bench
@@ -40,6 +40,21 @@ chaos:
 # crash-stops exercise pooled teardown at population scale.
 chaos-scale:
 	$(GO) run ./cmd/morpheus-bench -run chaos -seeds 50 -seed 2001 -groups 1000
+
+# soak exercises the real-socket wire plane end to end: the three-process
+# live demo (UDP on localhost, batched coalescer + vectored syscalls on by
+# default) runs repeatedly — reliable multicast in two groups plus a live
+# plain->mecho reconfiguration per round, so frames cross real sockets
+# through the v2 container, the flush timer and the sendmmsg/recvmmsg
+# paths under process churn. IP-multicast is not required (the demo is
+# unicast on 127.0.0.1); rounds with `make soak SOAK_ROUNDS=20`.
+SOAK_ROUNDS ?= 5
+soak:
+	@i=1; while [ $$i -le $(SOAK_ROUNDS) ]; do \
+		echo "soak: round $$i/$(SOAK_ROUNDS)"; \
+		$(GO) run ./examples/live || exit 1; \
+		i=$$((i+1)); \
+	done
 
 # bench runs every benchmark once as a smoke test (catches bit-rot without
 # paying for stable numbers).

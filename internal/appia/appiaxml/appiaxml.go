@@ -231,6 +231,14 @@ type Env struct {
 	// SendWindow is the window's credit capacity (0 when windowing is
 	// off); factories derive retention caps from it.
 	SendWindow int
+	// BytesWindow, when non-nil, is the byte-denominated credit sink: the
+	// reliable layer returns a windowed cast's WindowBytes credits on the
+	// same stability watermark that returns its message credit. Nil means
+	// byte windowing is off for this channel.
+	BytesWindow CreditReleaser
+	// SendWindowBytes is the byte window's credit capacity (0 when byte
+	// windowing is off).
+	SendWindowBytes int
 }
 
 // CreditReleaser mirrors group.CreditReleaser without the import: the sink

@@ -1,0 +1,119 @@
+package flowctl
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestTryAcquireNBackpressure pins the N-credit variant used by the byte
+// window: credits are taken and released in arbitrary denominations and
+// the capacity bound holds for the sum, not the count.
+func TestTryAcquireNBackpressure(t *testing.T) {
+	w := New(100, nil)
+	if err := w.TryAcquireN(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.TryAcquireN(40); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.TryAcquireN(1); !errors.Is(err, ErrWindowFull) {
+		t.Fatalf("err = %v, want ErrWindowFull at exact capacity", err)
+	}
+	w.Release(60)
+	if err := w.TryAcquireN(60); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	st := w.Stats()
+	if st.InUse != 100 || st.HighWater != 100 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestAcquireNBlocksUntilBytesFree pins that a large request waits for
+// enough bytes, not merely for any release.
+func TestAcquireNBlocksUntilBytesFree(t *testing.T) {
+	w := New(100, nil)
+	if err := w.AcquireN(80); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- w.AcquireN(50) }()
+	// 20 bytes free, 50 wanted: releasing 10 (30 free) must not wake it.
+	w.Release(10)
+	select {
+	case err := <-got:
+		t.Fatalf("AcquireN(50) returned with only 30 bytes free: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	w.Release(30)
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("AcquireN never woke once enough bytes freed")
+	}
+}
+
+// TestAcquireContextN pins cancellation and close on the N-credit path.
+func TestAcquireContextN(t *testing.T) {
+	w := New(10, nil)
+	if err := w.AcquireContextN(context.Background(), 10); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := w.AcquireContextN(ctx, 5); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	w.Close()
+	if err := w.AcquireContextN(context.Background(), 5); !errors.Is(err, ErrWindowClosed) {
+		t.Fatalf("err after close = %v, want ErrWindowClosed", err)
+	}
+}
+
+// TestClamp pins the cost clamp that keeps a single oversized message
+// admissible: costs are floored at one credit and capped at the window
+// capacity so acquire(N) can always eventually succeed.
+func TestClamp(t *testing.T) {
+	w := New(100, nil)
+	for _, tc := range []struct{ in, want int }{
+		{-5, 1}, {0, 1}, {1, 1}, {50, 50}, {100, 100}, {101, 100}, {1 << 20, 100},
+	} {
+		if got := w.Clamp(tc.in); got != tc.want {
+			t.Errorf("Clamp(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	var nilW *Window
+	if got := nilW.Clamp(42); got != 42 {
+		t.Errorf("nil Clamp(42) = %d, want passthrough 42", got)
+	}
+	// An over-capacity message must be admissible on an empty window.
+	if err := w.TryAcquireN(w.Clamp(1 << 20)); err != nil {
+		t.Fatalf("clamped oversize acquire: %v", err)
+	}
+}
+
+// TestCostModel pins the per-class wire-cost function.
+func TestCostModel(t *testing.T) {
+	var nilModel *CostModel
+	if got := nilModel.Cost("data", 100); got != 100 {
+		t.Errorf("nil model Cost = %d, want size passthrough 100", got)
+	}
+	if got := nilModel.Cost("data", 0); got != 1 {
+		t.Errorf("nil model Cost(0) = %d, want floor 1", got)
+	}
+	m := &CostModel{PerByte: 2, ClassWeights: map[string]int{"control": 4}}
+	if got := m.Cost("data", 10); got != 20 {
+		t.Errorf("Cost(data,10) = %d, want 20 (2/byte, weight 1)", got)
+	}
+	if got := m.Cost("control", 10); got != 80 {
+		t.Errorf("Cost(control,10) = %d, want 80 (2/byte × weight 4)", got)
+	}
+	if got := m.Cost("control", 0); got != 1 {
+		t.Errorf("Cost(control,0) = %d, want floor 1", got)
+	}
+}

@@ -1,6 +1,10 @@
 // Package flowctl is the credit plane of the bounded-memory runtime: a
 // clock-aware counting semaphore (Window) that puts a protocol-enforced
 // bound on the number of application casts a group may have in flight.
+// Credits are denominated by the caller: the runtime's message window
+// charges one credit per cast, and its byte window charges credits per
+// payload byte (priced by CostModel, clamped by Clamp), so backpressure
+// can bound retained bytes as well as retained messages.
 //
 // The paper's habitat is resource-constrained (mobile nodes, radio-cost
 // budgets), yet a fire-and-forget Send gives the runtime three unbounded
@@ -72,17 +76,41 @@ func New(capacity int, clk clock.Clock) *Window {
 	return &Window{clk: clock.Or(clk), cap: capacity}
 }
 
-// tryAcquire takes one credit if available. Must hold w.mu.
-func (w *Window) tryAcquireLocked() bool {
-	if w.used >= w.cap {
+// tryAcquireNLocked takes n credits atomically if available. Must hold
+// w.mu; n must already be clamped to the capacity.
+func (w *Window) tryAcquireNLocked(n int) bool {
+	if w.used+n > w.cap {
 		return false
 	}
-	w.used++
-	w.acquired++
+	w.used += n
+	w.acquired += uint64(n)
 	if w.used > w.highWater {
 		w.highWater = w.used
 	}
 	return true
+}
+
+// tryAcquire takes one credit if available. Must hold w.mu.
+func (w *Window) tryAcquireLocked() bool {
+	return w.tryAcquireNLocked(1)
+}
+
+// Clamp bounds an acquisition cost to the window capacity, so a single
+// item costing more than the whole window charges exactly the whole
+// window instead of deadlocking forever; it also floors the cost at one
+// credit, since anything metered occupies at least a slot. Returns n
+// unchanged on the disabled window.
+func (w *Window) Clamp(n int) int {
+	if w == nil {
+		return n
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > w.cap { // cap is immutable after New: no lock needed
+		n = w.cap
+	}
+	return n
 }
 
 // waitChLocked returns the channel the next release will close. Must hold
@@ -104,16 +132,22 @@ func (w *Window) wakeLocked() {
 
 // TryAcquire takes one credit without blocking; it returns ErrWindowFull
 // when none is free and ErrWindowClosed after Close.
-func (w *Window) TryAcquire() error {
+func (w *Window) TryAcquire() error { return w.TryAcquireN(1) }
+
+// TryAcquireN takes n credits atomically without blocking (n is clamped
+// as by Clamp); it returns ErrWindowFull when they are not all free and
+// ErrWindowClosed after Close.
+func (w *Window) TryAcquireN(n int) error {
 	if w == nil {
 		return nil
 	}
+	n = w.Clamp(n)
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
 		return ErrWindowClosed
 	}
-	if !w.tryAcquireLocked() {
+	if !w.tryAcquireNLocked(n) {
 		w.rejected++
 		return ErrWindowFull
 	}
@@ -123,17 +157,22 @@ func (w *Window) TryAcquire() error {
 // Acquire takes one credit, blocking through the clock until one frees.
 // Under a virtual clock the caller must be an actor (the clock's creator,
 // a scheduler, or a clock.Go goroutine).
-func (w *Window) Acquire() error {
+func (w *Window) Acquire() error { return w.AcquireN(1) }
+
+// AcquireN takes n credits atomically (clamped as by Clamp), blocking
+// through the clock until they are all free.
+func (w *Window) AcquireN(n int) error {
 	if w == nil {
 		return nil
 	}
+	n = w.Clamp(n)
 	for {
 		w.mu.Lock()
 		if w.closed {
 			w.mu.Unlock()
 			return ErrWindowClosed
 		}
-		if w.tryAcquireLocked() {
+		if w.tryAcquireNLocked(n) {
 			w.mu.Unlock()
 			return nil
 		}
@@ -149,12 +188,18 @@ func (w *Window) Acquire() error {
 // clock a context deadline is wall time and therefore foreign to the
 // deterministic timeline: prefer Acquire or TryAcquire there.)
 func (w *Window) AcquireContext(ctx context.Context) error {
+	return w.AcquireContextN(ctx, 1)
+}
+
+// AcquireContextN is AcquireN bounded by ctx.
+func (w *Window) AcquireContextN(ctx context.Context, n int) error {
 	if w == nil {
 		return nil
 	}
 	if ctx == nil {
-		return w.Acquire()
+		return w.AcquireN(n)
 	}
+	n = w.Clamp(n)
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -164,7 +209,7 @@ func (w *Window) AcquireContext(ctx context.Context) error {
 			w.mu.Unlock()
 			return ErrWindowClosed
 		}
-		if w.tryAcquireLocked() {
+		if w.tryAcquireNLocked(n) {
 			w.mu.Unlock()
 			return nil
 		}
@@ -268,6 +313,37 @@ type Stats struct {
 	Acquired, Released uint64
 	// Rejected counts TryAcquire calls that returned ErrWindowFull.
 	Rejected uint64
+}
+
+// CostModel prices a payload in byte-window credits. The zero value (and
+// a nil model) charges one credit per payload byte, floored at one credit
+// so empty payloads still occupy a slot. Weights let deployments price
+// traffic classes asymmetrically — control gossip cheaper than bulk data,
+// say — without a second window.
+type CostModel struct {
+	// PerByte is the credits charged per payload byte; 0 means 1.
+	PerByte int
+	// ClassWeights multiplies the cost for specific accounting classes;
+	// absent or non-positive entries mean weight 1.
+	ClassWeights map[string]int
+}
+
+// Cost prices size payload bytes of the given class. Always >= 1.
+func (m *CostModel) Cost(class string, size int) int {
+	per, wt := 1, 1
+	if m != nil {
+		if m.PerByte > 0 {
+			per = m.PerByte
+		}
+		if w, ok := m.ClassWeights[class]; ok && w > 0 {
+			wt = w
+		}
+	}
+	c := size * per * wt
+	if c < 1 {
+		c = 1
+	}
+	return c
 }
 
 // Stats snapshots the window counters.

@@ -195,6 +195,13 @@ type CastEvent struct {
 	// deliveries). Control casts and unwindowed configurations leave it
 	// false.
 	Windowed bool
+	// WindowBytes is the byte-window cost this cast holds (local metadata,
+	// like Windowed): the stack manager charges it against the group's
+	// byte-denominated send window on submission, and the reliable layer
+	// releases exactly this many byte credits on the same stability
+	// watermark that returns the message credit. Zero when byte windowing
+	// is disabled.
+	WindowBytes int
 }
 
 // CastBase implements Caster.

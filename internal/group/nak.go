@@ -63,6 +63,12 @@ type NakConfig struct {
 	// flush has already equalised deliveries. This wires the NAK
 	// DeliveredVector watermarks into the per-group send window.
 	Window CreditReleaser
+	// BytesWindow, when non-nil, receives CastEvent.WindowBytes byte
+	// credits back on exactly the same watermarks as Window: stability
+	// confirmation, view install, and channel teardown. It wires the
+	// byte-denominated send window (flowctl credits per payload byte)
+	// through the reliable layer.
+	BytesWindow CreditReleaser
 	// MaxRetained hard-caps each retention map (own-cast retransmission
 	// buffer, per-origin history, per-origin reorder buffer) at this many
 	// entries. 0 means uncapped. With send windows active the caps are a
@@ -146,7 +152,7 @@ func (l *NakLayer) NewSession() appia.Session {
 		recv:     make(map[appia.NodeID]*originState),
 		sent:     make(map[uint64]appia.Sendable),
 		peerVec:  make(map[appia.NodeID]DeliveredVector),
-		windowed: make(map[uint64]struct{}),
+		windowed: make(map[uint64]int),
 		nextSeq:  1,
 	}
 }
@@ -201,10 +207,12 @@ type nakSession struct {
 	recv    map[appia.NodeID]*originState
 	peerVec map[appia.NodeID]DeliveredVector // last stability vector per peer
 
-	// windowed tracks which of our own seqs hold a send-window credit,
+	// windowed tracks which of our own seqs hold send-window credits,
 	// independently of the sent map (an evicted sent entry must still
-	// release its credit when its stability watermark arrives).
-	windowed map[uint64]struct{}
+	// release its credits when its stability watermark arrives). The value
+	// is the cast's byte-window cost (0 with byte windowing disabled);
+	// membership alone marks the message credit.
+	windowed map[uint64]int
 
 	// Retention accounting: live totals (scheduler goroutine only) and
 	// atomic high-water marks readable from any goroutine.
@@ -261,16 +269,13 @@ func (s *nakSession) Handle(ch *appia.Channel, ev appia.Event) {
 				st.cancel()
 			}
 		}
-		if len(s.windowed) > 0 {
-			// Teardown releases every credit this channel still holds: the
-			// view-synchronous flush that precedes a reconfiguration has
-			// equalised deliveries (and a force-closed channel's casts are
-			// gone either way — holding their credits would leak the
-			// window). Casts still buffered above in the GMS keep their
-			// credits: the stack manager rescues and resubmits them.
-			s.cfg.Window.Release(len(s.windowed))
-			s.windowed = make(map[uint64]struct{})
-		}
+		// Teardown releases every credit this channel still holds: the
+		// view-synchronous flush that precedes a reconfiguration has
+		// equalised deliveries (and a force-closed channel's casts are
+		// gone either way — holding their credits would leak the
+		// window). Casts still buffered above in the GMS keep their
+		// credits: the stack manager rescues and resubmits them.
+		s.releaseAllWindowed()
 		ch.Forward(ev)
 	case *Nack:
 		s.handleNack(ch, e)
@@ -313,10 +318,10 @@ func (s *nakSession) sendCast(ch *appia.Channel, base *CastEvent, ev appia.Event
 		// Teardown debris: a cast that raced Close into the mailbox (the
 		// GMS forwards instead of pending these once stopped). The epoch
 		// is dead — transmitting, buffering or self-delivering it would
-		// all be wasted — so drop it here and return its credit, the one
+		// all be wasted — so drop it here and return its credits, the one
 		// thing that must not die with the channel.
-		if base.Windowed && s.cfg.Window != nil {
-			s.cfg.Window.Release(1)
+		if base.Windowed {
+			s.releaseCredits(1, base.WindowBytes)
 		}
 		return
 	}
@@ -334,8 +339,8 @@ func (s *nakSession) sendCast(ch *appia.Channel, base *CastEvent, ev appia.Event
 	// Retransmission buffer keeps a full clone, preserving the concrete
 	// type so a retransmitted Propose still decodes as a Propose.
 	s.sent[seq] = appia.CloneSendable(sendable)
-	if base.Windowed && s.cfg.Window != nil {
-		s.windowed[seq] = struct{}{}
+	if base.Windowed && (s.cfg.Window != nil || s.cfg.BytesWindow != nil) {
+		s.windowed[seq] = base.WindowBytes
 	}
 	bumpHW(&s.hwSent, len(s.sent))
 	if cap := s.cfg.MaxRetained; cap > 0 && len(s.sent) > cap {
@@ -716,6 +721,31 @@ func (s *nakSession) handleStable(ch *appia.Channel, e *Stable) {
 	s.prune()
 }
 
+// releaseCredits returns n message credits and b byte credits to their
+// respective windows (either may be absent).
+func (s *nakSession) releaseCredits(n, b int) {
+	if n > 0 && s.cfg.Window != nil {
+		s.cfg.Window.Release(n)
+	}
+	if b > 0 && s.cfg.BytesWindow != nil {
+		s.cfg.BytesWindow.Release(b)
+	}
+}
+
+// releaseAllWindowed returns every credit the session still holds (channel
+// teardown, view install).
+func (s *nakSession) releaseAllWindowed() {
+	if len(s.windowed) == 0 {
+		return
+	}
+	bytes := 0
+	for _, b := range s.windowed {
+		bytes += b
+	}
+	s.releaseCredits(len(s.windowed), bytes)
+	s.windowed = make(map[uint64]int)
+}
+
 // prune drops send-buffer and history entries that every member has
 // delivered.
 func (s *nakSession) prune() {
@@ -748,15 +778,16 @@ func (s *nakSession) prune() {
 			// occupies the group's send window. The windowed set survives
 			// MaxRetained evictions of sent entries, so a credit is never
 			// lost to the cap.
-			released := 0
-			for seq := range s.windowed {
+			released, releasedBytes := 0, 0
+			for seq, bytes := range s.windowed {
 				if seq <= min {
 					delete(s.windowed, seq)
 					released++
+					releasedBytes += bytes
 				}
 			}
 			if released > 0 {
-				s.cfg.Window.Release(released)
+				s.releaseCredits(released, releasedBytes)
 			}
 		}
 	}
@@ -801,20 +832,17 @@ func (s *nakSession) handleView(ch *appia.Channel, e *ViewInstall) {
 			delete(s.peerVec, peer)
 		}
 	}
-	if len(s.windowed) > 0 {
-		// A view installs only after the flush reports converged: every
-		// surviving member has delivered every cast we originated (our own
-		// report pins origin=self at nextSeq−1, and convergence makes all
-		// reports equal). Windowed application casts cannot slip in after
-		// the report snapshot — the GMS blocks them — so every held credit
-		// is provably stable and returns here wholesale. This is also what
-		// promptly unblocks senders stalled on a partitioned peer: the
-		// eviction's view change is the release. (The sent/history maps
-		// keep stability-based pruning: control casts issued mid-flush,
-		// such as the Install itself, may still need retransmitting.)
-		s.cfg.Window.Release(len(s.windowed))
-		s.windowed = make(map[uint64]struct{})
-	}
+	// A view installs only after the flush reports converged: every
+	// surviving member has delivered every cast we originated (our own
+	// report pins origin=self at nextSeq−1, and convergence makes all
+	// reports equal). Windowed application casts cannot slip in after
+	// the report snapshot — the GMS blocks them — so every held credit
+	// is provably stable and returns here wholesale. This is also what
+	// promptly unblocks senders stalled on a partitioned peer: the
+	// eviction's view change is the release. (The sent/history maps
+	// keep stability-based pruning: control casts issued mid-flush,
+	// such as the Install itself, may still need retransmitting.)
+	s.releaseAllWindowed()
 	ch.Forward(e) // the best-effort bottom needs it too
 }
 

@@ -111,6 +111,9 @@ func Run(t *testing.T, h Harness) {
 	t.Run("PortIsolationAcrossEpochs", func(t *testing.T) { testPortIsolation(t, h) })
 	t.Run("CrossGroupIsolation", func(t *testing.T) { testCrossGroupIsolation(t, h) })
 	t.Run("CountersReset", func(t *testing.T) { testCountersReset(t, h) })
+	t.Run("FrameTooLarge", func(t *testing.T) { testFrameTooLarge(t, h) })
+	t.Run("OrderedBurst", func(t *testing.T) { testOrderedBurst(t, h) })
+	t.Run("WireAccounting", func(t *testing.T) { testWireAccounting(t, h) })
 	t.Run("ConcurrentClose", func(t *testing.T) { testConcurrentClose(t, h) })
 	t.Run("AttachAfterNetworkClose", func(t *testing.T) { testAttachAfterClose(t, h) })
 }
@@ -349,6 +352,117 @@ func testCountersReset(t *testing.T, h Harness) {
 	}
 	if c := b.Counters(); c.TotalRx() != 0 {
 		t.Fatalf("reset left rx counters %+v", c.Rx)
+	}
+}
+
+// testFrameTooLarge pins the payload ceiling as part of the substrate
+// contract: every backend accepts exactly netio.MaxPayload bytes and
+// rejects one byte more with the typed sentinel, so layers can size
+// fragmentation against a single constant.
+func testFrameTooLarge(t *testing.T, h Harness) {
+	nw := h.New(t)
+	defer nw.Close()
+	a, b := attach(t, nw, h, 1), attach(t, nw, h, 2)
+	rec := newRecorder()
+	b.Handle("p", rec.handler)
+
+	if err := a.Send(2, "p", "data", make([]byte, netio.MaxPayload+1)); !errors.Is(err, netio.ErrFrameTooLarge) {
+		t.Fatalf("send over MaxPayload: err = %v, want netio.ErrFrameTooLarge", err)
+	}
+	if err := a.Multicast(h.Segment, "m", "data", make([]byte, netio.MaxPayload+1)); !errors.Is(err, netio.ErrFrameTooLarge) {
+		t.Fatalf("multicast over MaxPayload: err = %v, want netio.ErrFrameTooLarge", err)
+	}
+	// The rejected frames must not have been accounted or delivered.
+	if tx := a.Counters().TotalTx(); tx != 0 {
+		t.Fatalf("rejected frames were accounted: TotalTx = %d", tx)
+	}
+	if err := a.Send(2, "p", "data", make([]byte, netio.MaxPayload)); err != nil {
+		t.Fatalf("send at exactly MaxPayload: %v", err)
+	}
+	got := rec.waitCount(t, 1)
+	if len(got[0].payload) != netio.MaxPayload {
+		t.Fatalf("delivered %d bytes, want %d", len(got[0].payload), netio.MaxPayload)
+	}
+}
+
+// flusher is implemented by endpoints that coalesce frames (udpnet with
+// batching enabled); backends without a wire plane deliver eagerly and
+// need no flush.
+type flusher interface{ Flush() }
+
+// testOrderedBurst pins per-destination FIFO through whatever batching
+// the backend applies: a burst of frames to one peer — small enough to
+// share a coalesced datagram and numerous enough to span several — must
+// surface at the receiver in send order, within and across datagrams.
+func testOrderedBurst(t *testing.T, h Harness) {
+	nw := h.New(t)
+	defer nw.Close()
+	a, b := attach(t, nw, h, 1), attach(t, nw, h, 2)
+	rec := newRecorder()
+	b.Handle("p", rec.handler)
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := a.Send(2, "p", "data", []byte(fmt.Sprintf("seq-%04d", i))); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if f, ok := a.(flusher); ok {
+		f.Flush()
+	}
+	got := rec.waitCount(t, n)
+	for i := 0; i < n; i++ {
+		if want := fmt.Sprintf("seq-%04d", i); got[i].payload != want {
+			t.Fatalf("delivery %d = %q, want %q (order broken across coalesced datagrams)", i, got[i].payload, want)
+		}
+	}
+}
+
+// testWireAccounting pins the datagram/syscall counter contract: frame
+// accounting (Tx/Rx) is packing-independent, while TxDatagrams,
+// TxWireBytes and TxSyscalls describe what actually hit the wire —
+// never more datagrams than frames, never more syscalls than datagrams,
+// and wire bytes at least the payload bytes carried.
+func testWireAccounting(t *testing.T, h Harness) {
+	nw := h.New(t)
+	defer nw.Close()
+	a, b := attach(t, nw, h, 1), attach(t, nw, h, 2)
+	rec := newRecorder()
+	b.Handle("p", rec.handler)
+
+	const n, size = 32, 64
+	for i := 0; i < n; i++ {
+		if err := a.Send(2, "p", "data", make([]byte, size)); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if f, ok := a.(flusher); ok {
+		f.Flush()
+	}
+	rec.waitCount(t, n)
+
+	ac, bc := a.Counters(), b.Counters()
+	if got := ac.Tx["data"]; got.Msgs != n || got.Bytes != n*size {
+		t.Fatalf("frame accounting = %+v, want %d msgs / %d bytes regardless of packing", got, n, n*size)
+	}
+	if ac.TxDatagrams < 1 || ac.TxDatagrams > n {
+		t.Fatalf("TxDatagrams = %d, want 1..%d", ac.TxDatagrams, n)
+	}
+	if ac.TxSyscalls < 1 || ac.TxSyscalls > ac.TxDatagrams {
+		t.Fatalf("TxSyscalls = %d, want 1..%d (one vectored syscall may cover several datagrams)", ac.TxSyscalls, ac.TxDatagrams)
+	}
+	if ac.TxWireBytes < n*size {
+		t.Fatalf("TxWireBytes = %d, want >= %d (payload cannot exceed wire bytes)", ac.TxWireBytes, n*size)
+	}
+	if bc.RxDatagrams < 1 || bc.RxDatagrams > n {
+		t.Fatalf("RxDatagrams = %d, want 1..%d", bc.RxDatagrams, n)
+	}
+	if bc.RxSyscalls < 1 || bc.RxSyscalls > bc.RxDatagrams {
+		t.Fatalf("RxSyscalls = %d, want 1..%d", bc.RxSyscalls, bc.RxDatagrams)
+	}
+	a.ResetCounters()
+	if c := a.Counters(); c.TxDatagrams != 0 || c.TxWireBytes != 0 || c.TxSyscalls != 0 {
+		t.Fatalf("ResetCounters left wire counters: %+v", c)
 	}
 }
 

@@ -47,9 +47,28 @@ type ClassCount struct {
 
 // Counters is a snapshot of an endpoint's traffic, keyed by class ("data",
 // "control", or "other" for anything else).
+//
+// Tx/Rx count frames and payload bytes — the protocol-level quantities the
+// paper's Figure 3 measures, independent of how the substrate packs them.
+// The Wire fields count what actually crossed the substrate boundary:
+// datagrams, on-wire bytes (headers included) and syscalls. On a batching
+// substrate (udpnet with coalescing) TxDatagrams < Tx frame count and the
+// ratio is the packing efficiency; simulated substrates report one
+// datagram (and one nominal syscall) per frame so the fields stay
+// comparable across backends.
 type Counters struct {
 	Tx map[string]ClassCount
 	Rx map[string]ClassCount
+	// TxDatagrams / RxDatagrams count substrate transmission units
+	// (datagrams on udpnet, frames elsewhere).
+	TxDatagrams, RxDatagrams uint64
+	// TxWireBytes / RxWireBytes count on-wire bytes including frame and
+	// container headers (payload bytes only, on substrates with no wire
+	// encoding).
+	TxWireBytes, RxWireBytes uint64
+	// TxSyscalls / RxSyscalls count kernel crossings; with vectored I/O
+	// one syscall covers many datagrams.
+	TxSyscalls, RxSyscalls uint64
 }
 
 // TotalTx sums transmitted messages across classes.
@@ -85,6 +104,10 @@ type classCounter struct {
 // them at phase boundaries, as the experiments do, for exact values.
 type CounterSet struct {
 	tx, rx [numClasses]classCounter
+
+	txDatagrams, rxDatagrams atomic.Uint64
+	txWireBytes, rxWireBytes atomic.Uint64
+	txSyscalls, rxSyscalls   atomic.Uint64
 }
 
 // AddTx counts one transmission of size bytes under class.
@@ -101,12 +124,38 @@ func (s *CounterSet) AddRx(class string, size int) {
 	c.bytes.Add(uint64(size))
 }
 
+// AddTxDatagram counts one transmitted datagram of wireBytes on-wire
+// bytes (headers included).
+func (s *CounterSet) AddTxDatagram(wireBytes int) {
+	s.txDatagrams.Add(1)
+	s.txWireBytes.Add(uint64(wireBytes))
+}
+
+// AddRxDatagram counts one received datagram of wireBytes on-wire bytes.
+func (s *CounterSet) AddRxDatagram(wireBytes int) {
+	s.rxDatagrams.Add(1)
+	s.rxWireBytes.Add(uint64(wireBytes))
+}
+
+// AddTxSyscall counts one send-side kernel crossing (covering any number
+// of datagrams under vectored I/O).
+func (s *CounterSet) AddTxSyscall() { s.txSyscalls.Add(1) }
+
+// AddRxSyscall counts one receive-side kernel crossing.
+func (s *CounterSet) AddRxSyscall() { s.rxSyscalls.Add(1) }
+
 // Snapshot returns the current counts. Classes with no traffic are
 // omitted.
 func (s *CounterSet) Snapshot() Counters {
 	c := Counters{
-		Tx: make(map[string]ClassCount, int(numClasses)),
-		Rx: make(map[string]ClassCount, int(numClasses)),
+		Tx:          make(map[string]ClassCount, int(numClasses)),
+		Rx:          make(map[string]ClassCount, int(numClasses)),
+		TxDatagrams: s.txDatagrams.Load(),
+		RxDatagrams: s.rxDatagrams.Load(),
+		TxWireBytes: s.txWireBytes.Load(),
+		RxWireBytes: s.rxWireBytes.Load(),
+		TxSyscalls:  s.txSyscalls.Load(),
+		RxSyscalls:  s.rxSyscalls.Load(),
 	}
 	for cl := Class(0); cl < numClasses; cl++ {
 		if m := s.tx[cl].msgs.Load(); m != 0 {
@@ -127,4 +176,10 @@ func (s *CounterSet) Reset() {
 		s.rx[cl].msgs.Store(0)
 		s.rx[cl].bytes.Store(0)
 	}
+	s.txDatagrams.Store(0)
+	s.rxDatagrams.Store(0)
+	s.txWireBytes.Store(0)
+	s.rxWireBytes.Store(0)
+	s.txSyscalls.Store(0)
+	s.rxSyscalls.Store(0)
 }

@@ -154,6 +154,9 @@ func (e *Endpoint) Send(dst netio.NodeID, port, class string, payload []byte) er
 	if e.closed.Load() {
 		return fmt.Errorf("loopnet: endpoint %d %w", e.id, netio.ErrClosed)
 	}
+	if len(payload) > netio.MaxPayload {
+		return fmt.Errorf("loopnet: %w: %d > %d bytes", netio.ErrFrameTooLarge, len(payload), netio.MaxPayload)
+	}
 	if dst == e.id {
 		// Loopback to self: delivered but never counted, like vnet.
 		e.deliverLocal(e.id, port, payload)
@@ -166,6 +169,8 @@ func (e *Endpoint) Send(dst netio.NodeID, port, class string, payload []byte) er
 		return fmt.Errorf("loopnet: %w: %d", netio.ErrUnknownNode, dst)
 	}
 	e.counters.AddTx(class, len(payload))
+	e.counters.AddTxDatagram(len(payload))
+	e.counters.AddTxSyscall()
 	dn.receive(e.id, port, class, payload)
 	return nil
 }
@@ -175,6 +180,9 @@ func (e *Endpoint) Send(dst netio.NodeID, port, class string, payload []byte) er
 func (e *Endpoint) Multicast(segName, port, class string, payload []byte) error {
 	if e.closed.Load() {
 		return fmt.Errorf("loopnet: endpoint %d %w", e.id, netio.ErrClosed)
+	}
+	if len(payload) > netio.MaxPayload {
+		return fmt.Errorf("loopnet: %w: %d > %d bytes", netio.ErrFrameTooLarge, len(payload), netio.MaxPayload)
 	}
 	e.net.mu.RLock()
 	s := e.net.segments[segName]
@@ -197,6 +205,8 @@ func (e *Endpoint) Multicast(segName, port, class string, payload []byte) error 
 		return fmt.Errorf("loopnet: node %d %w %q", e.id, netio.ErrNotAttached, segName)
 	}
 	e.counters.AddTx(class, len(payload))
+	e.counters.AddTxDatagram(len(payload))
+	e.counters.AddTxSyscall()
 	for _, m := range receivers {
 		if m == e {
 			continue // one's own multicast is not received
@@ -212,6 +222,8 @@ func (e *Endpoint) receive(src netio.NodeID, port, class string, payload []byte)
 		return
 	}
 	e.counters.AddRx(class, len(payload))
+	e.counters.AddRxDatagram(len(payload))
+	e.counters.AddRxSyscall()
 	e.deliverLocal(src, port, payload)
 }
 

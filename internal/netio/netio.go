@@ -72,7 +72,20 @@ var (
 	// ErrNoMulticast reports a native multicast on a segment that does not
 	// support one-transmission fan-out.
 	ErrNoMulticast = errors.New("segment does not support native multicast")
+	// ErrFrameTooLarge reports a Send or Multicast whose payload exceeds
+	// MaxPayload, the substrate-independent frame budget. Every backend
+	// rejects such payloads at the call site (pinned by the conformance
+	// suite) instead of failing later at marshal time — or, worse,
+	// accepting on one substrate what another would drop.
+	ErrFrameTooLarge = errors.New("payload exceeds frame budget")
 )
+
+// MaxPayload is the largest payload Send/Multicast accepts on any
+// substrate: the 64 KiB UDP datagram ceiling minus generous room for the
+// wire header (source, port, class, container framing). Simulated
+// substrates enforce the same budget so a protocol stack that works on
+// vnet cannot silently exceed what the live wire can carry.
+const MaxPayload = 63 << 10
 
 // Endpoint is one node's attachment to a network substrate. All methods
 // are safe for concurrent use.

@@ -1,0 +1,234 @@
+//go:build linux && (amd64 || arm64) && !morpheus_portable
+
+// Vectored wire I/O: sealed datagrams leave through sendmmsg (one kernel
+// crossing for a whole drain sweep) and the receive loops pull bursts
+// with recvmmsg into a ring of pooled buffers. Anything the raw path
+// cannot express — an address family the socket rejects, a failed
+// SyscallConn — falls back to the portable per-datagram code in
+// mmsg_portable_impl.go, so batching degrades, never breaks.
+package udpnet
+
+import (
+	"net"
+	"syscall"
+	"unsafe"
+)
+
+// batchMax bounds one sendmmsg call; a drain sweep larger than this is
+// split into several syscalls.
+const batchMax = 32
+
+// recvRing is the number of datagrams one recvmmsg can return. Each slot
+// holds a full maxFrame buffer so no datagram is ever truncated.
+const recvRing = 8
+
+// mmsghdr mirrors the kernel's struct mmsghdr (msg_hdr + msg_len, padded
+// to 8-byte alignment on 64-bit).
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	len uint32
+	_   [4]byte
+}
+
+// rawSock caches a socket's RawConn and address family.
+type rawSock struct {
+	rc  syscall.RawConn
+	is6 bool
+}
+
+// batchState is the per-endpoint vectored-send scratch: cached raw
+// connections and preallocated header/iovec/sockaddr arrays. Only the
+// single active drainer touches it (the coalescer's draining flag is the
+// mutual exclusion), so nothing here is locked.
+type batchState struct {
+	raw  map[*net.UDPConn]rawSock
+	hdrs [batchMax]mmsghdr
+	iovs [batchMax]syscall.Iovec
+	sa4  [batchMax]syscall.RawSockaddrInet4
+	sa6  [batchMax]syscall.RawSockaddrInet6
+}
+
+// rawFor resolves (and caches) the raw connection for a send socket.
+func (e *Endpoint) rawFor(conn *net.UDPConn) (syscall.RawConn, bool, bool) {
+	bs := &e.batch
+	if bs.raw == nil {
+		bs.raw = make(map[*net.UDPConn]rawSock, 2)
+	}
+	if rs, ok := bs.raw[conn]; ok {
+		return rs.rc, rs.is6, rs.rc != nil
+	}
+	rs := rawSock{}
+	if rc, err := conn.SyscallConn(); err == nil {
+		rs.rc = rc
+	}
+	if la, ok := conn.LocalAddr().(*net.UDPAddr); ok {
+		// A socket bound to an address with no 4-byte form (including the
+		// "::" dual-stack wildcard) takes 16-byte sockaddrs; v4 peers are
+		// reached through their v4-mapped form.
+		rs.is6 = la.IP.To4() == nil
+	}
+	bs.raw[conn] = rs
+	return rs.rc, rs.is6, rs.rc != nil
+}
+
+// htons converts a port to network byte order for the raw sockaddr
+// structs (linux/amd64 and linux/arm64 are both little-endian).
+func htons(p uint16) uint16 { return p<<8 | p>>8 }
+
+// sockaddr fills slot k's scratch sockaddr for addr and returns the
+// kernel pointer/length pair; ok is false when the address does not fit
+// the socket's family.
+func (bs *batchState) sockaddr(k int, addr *net.UDPAddr, is6 bool) (*byte, uint32, bool) {
+	if is6 {
+		ip := addr.IP.To16()
+		if ip == nil {
+			return nil, 0, false
+		}
+		sa := &bs.sa6[k]
+		*sa = syscall.RawSockaddrInet6{Family: syscall.AF_INET6, Port: htons(uint16(addr.Port))}
+		copy(sa.Addr[:], ip)
+		return (*byte)(unsafe.Pointer(sa)), syscall.SizeofSockaddrInet6, true
+	}
+	ip4 := addr.IP.To4()
+	if ip4 == nil {
+		return nil, 0, false
+	}
+	sa := &bs.sa4[k]
+	*sa = syscall.RawSockaddrInet4{Family: syscall.AF_INET, Port: htons(uint16(addr.Port))}
+	copy(sa.Addr[:], ip4)
+	return (*byte)(unsafe.Pointer(sa)), syscall.SizeofSockaddrInet4, true
+}
+
+// sendBatch transmits a drain sweep: consecutive datagrams on the same
+// socket become one sendmmsg run (destination addresses may differ — the
+// kernel takes one per message).
+func (e *Endpoint) sendBatch(batch []*dgram) {
+	for i := 0; i < len(batch); {
+		j := i + 1
+		for j < len(batch) && batch[j].dest.conn == batch[i].dest.conn && j-i < batchMax {
+			j++
+		}
+		e.sendRun(batch[i].dest.conn, batch[i:j])
+		i = j
+	}
+}
+
+// sendRun pushes one same-socket run through sendmmsg, retrying partial
+// sends from the first unsent message.
+func (e *Endpoint) sendRun(conn *net.UDPConn, run []*dgram) {
+	rc, is6, ok := e.rawFor(conn)
+	if !ok {
+		e.sendSlow(run)
+		return
+	}
+	bs := &e.batch
+	n := len(run)
+	for k, d := range run {
+		buf := *d.bp
+		bs.iovs[k] = syscall.Iovec{Base: &buf[0], Len: uint64(len(buf))}
+		name, nlen, ok := bs.sockaddr(k, d.dest.addr, is6)
+		if !ok {
+			e.sendSlow(run)
+			return
+		}
+		bs.hdrs[k].hdr = syscall.Msghdr{Name: name, Namelen: nlen, Iov: &bs.iovs[k], Iovlen: 1}
+		bs.hdrs[k].len = 0
+	}
+	sent := 0
+	for sent < n {
+		var nsent int
+		var errno syscall.Errno
+		werr := rc.Write(func(fd uintptr) bool {
+			r1, _, en := syscall.Syscall6(sysSENDMMSG, fd,
+				uintptr(unsafe.Pointer(&bs.hdrs[sent])), uintptr(n-sent), 0, 0, 0)
+			nsent, errno = int(r1), en
+			return en != syscall.EAGAIN // false parks until writable
+		})
+		if werr != nil {
+			// Socket closed under us (endpoint shutdown); remaining
+			// datagrams are dropped like any unacknowledged UDP write.
+			if !e.closed.Load() {
+				e.logf("udpnet[%d]: sendmmsg: %v", e.id, werr)
+			}
+			return
+		}
+		if errno == syscall.EINTR {
+			continue
+		}
+		if errno != 0 {
+			// The raw path cannot express this send (family mismatch,
+			// odd socket state): degrade to per-datagram writes.
+			e.sendSlow(run[sent:])
+			return
+		}
+		e.counters.AddTxSyscall()
+		for k := sent; k < sent+nsent; k++ {
+			e.counters.AddTxDatagram(len(*run[k].bp))
+		}
+		if nsent <= 0 {
+			e.sendSlow(run[sent:])
+			return
+		}
+		sent += nsent
+	}
+}
+
+// readLoop drains one socket with recvmmsg bursts; datagram sources are
+// identified by the frame header, so no msg_name storage is needed.
+func (e *Endpoint) readLoop(conn *net.UDPConn) {
+	defer e.wg.Done()
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		e.readLoopPortable(conn)
+		return
+	}
+	var (
+		bufs [recvRing][]byte
+		hdrs [recvRing]mmsghdr
+		iovs [recvRing]syscall.Iovec
+	)
+	for i := range bufs {
+		bufs[i] = make([]byte, maxFrame)
+	}
+	for {
+		// Re-prime every slot: the kernel clobbers len (and may scribble
+		// on header fields) on each call.
+		for i := range hdrs {
+			iovs[i] = syscall.Iovec{Base: &bufs[i][0], Len: maxFrame}
+			hdrs[i].hdr = syscall.Msghdr{Iov: &iovs[i], Iovlen: 1}
+			hdrs[i].len = 0
+		}
+		var n int
+		var errno syscall.Errno
+		rerr := rc.Read(func(fd uintptr) bool {
+			r1, _, en := syscall.Syscall6(sysRECVMMSG, fd,
+				uintptr(unsafe.Pointer(&hdrs[0])), recvRing, 0, 0, 0)
+			n, errno = int(r1), en
+			return en != syscall.EAGAIN // false parks until readable
+		})
+		if rerr != nil {
+			return // socket closed
+		}
+		if errno == syscall.EINTR {
+			continue
+		}
+		if errno != 0 {
+			if e.closed.Load() {
+				return
+			}
+			e.logf("udpnet[%d]: recvmmsg: %v (portable reads from here)", e.id, errno)
+			e.readLoopPortable(conn)
+			return
+		}
+		if n <= 0 {
+			continue
+		}
+		e.counters.AddRxSyscall()
+		for i := 0; i < n; i++ {
+			if e.closed.Load() {
+				return
+			}
+			e.handleDatagram(bufs[i][:hdrs[i].len])
+		}
+	}
+}

@@ -1,0 +1,22 @@
+//go:build !linux || (!amd64 && !arm64) || morpheus_portable
+
+// Portable wire I/O: every datagram is its own sendto/recvfrom. Frame
+// coalescing still happens — many frames per datagram — only the
+// syscall-per-datagram amortization of the vectored path is lost. The
+// morpheus_portable build tag forces this path on Linux too, which is how
+// CI proves fallback parity.
+package udpnet
+
+import "net"
+
+// batchState carries no platform scratch on the portable path.
+type batchState struct{}
+
+// sendBatch transmits a drain sweep one datagram at a time.
+func (e *Endpoint) sendBatch(batch []*dgram) { e.sendSlow(batch) }
+
+// readLoop drains one socket with per-datagram reads.
+func (e *Endpoint) readLoop(conn *net.UDPConn) {
+	defer e.wg.Done()
+	e.readLoopPortable(conn)
+}

@@ -1,0 +1,10 @@
+//go:build linux && amd64 && !morpheus_portable
+
+package udpnet
+
+// Vectored UDP syscall numbers. linux/amd64's syscall package predates
+// sendmmsg, so its number is pinned here; both values are ABI-frozen.
+const (
+	sysSENDMMSG = 307
+	sysRECVMMSG = 299
+)

@@ -1,0 +1,9 @@
+//go:build linux && arm64 && !morpheus_portable
+
+package udpnet
+
+// Vectored UDP syscall numbers for linux/arm64 (ABI-frozen).
+const (
+	sysSENDMMSG = 269
+	sysRECVMMSG = 243
+)

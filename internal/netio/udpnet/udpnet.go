@@ -10,10 +10,21 @@
 // network's table on Attach, which is what lets in-process tests run on
 // ephemeral ports.
 //
-// The wire format per datagram is
+// The wire plane batches: frames bound for the same destination (peer or
+// multicast group) are coalesced into container datagrams under an MTU
+// budget (Config.WireMTU) and flushed by size, by an explicit Flush, or by
+// a clock-armed delay bound (Config.WireFlushDelay); sealed datagrams are
+// drained with vectored sendmmsg/recvmmsg syscalls where the platform has
+// them (see wire.go and the mmsg_* files). Two wire formats coexist:
 //
-//	magic 'M' | version 1 | src NodeID (int32, big endian) |
-//	uvarint len + port | uvarint len + class | payload
+//	v1 single frame (legacy, and the oversize bypass):
+//	  magic 'M' | version 1 | src NodeID (int32, big endian) |
+//	  uvarint len + port | uvarint len + class | payload
+//
+//	v2 container (the coalesced path):
+//	  magic 'M' | version 2 | src NodeID (int32, big endian) |
+//	  count (uint16, big endian) | count × { uvarint body len |
+//	  uvarint len + port | uvarint len + class | payload }
 //
 // Frames whose header does not parse — or whose source is the receiving
 // endpoint itself, which is how multicast loopback copies of one's own
@@ -27,16 +38,32 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"morpheus/internal/clock"
 	"morpheus/internal/netio"
 )
 
 // Frame header constants.
 const (
-	frameMagic   = 'M'
-	frameVersion = 1
+	frameMagic       = 'M'
+	frameVersion     = 1
+	containerVersion = 2
+	// containerHdrLen is magic + version + src (4) + count (2).
+	containerHdrLen = 8
 	// maxFrame bounds a datagram: 64 KiB covers the largest UDP payload.
 	maxFrame = 64 << 10
+)
+
+// Wire-plane defaults.
+const (
+	// DefaultWireMTU is the datagram payload budget coalescing packs
+	// under: conservatively below the common 1500-byte Ethernet MTU so a
+	// container datagram never fragments on a LAN.
+	DefaultWireMTU = 1400
+	// DefaultWireFlushDelay bounds how long a coalesced frame may wait
+	// for companions before the clock flushes it.
+	DefaultWireFlushDelay = 200 * time.Microsecond
 )
 
 // Config describes a UDP substrate deployment.
@@ -49,14 +76,33 @@ type Config struct {
 	// ("239.77.7.1:9700"). Segments without an entry are unicast-only:
 	// Multicast on them fails with netio.ErrNoMulticast.
 	Groups map[string]string
-	// Logf receives diagnostics (undecodable frames, read errors); nil
-	// discards them.
+	// WireMTU is the coalescing budget: frames bound for one destination
+	// are packed into container datagrams of at most this many bytes.
+	// 0 means DefaultWireMTU; negative disables coalescing entirely and
+	// restores the one-frame-per-datagram, one-syscall-per-frame legacy
+	// path (the benchmark baseline). Positive values below 128 are
+	// rejected — no frame would fit.
+	WireMTU int
+	// WireFlushDelay bounds the latency coalescing may add: the first
+	// frame into an empty coalescer arms a timer, and whatever has packed
+	// by the time it fires is flushed. 0 means DefaultWireFlushDelay;
+	// negative flushes every Send immediately (no added latency, packing
+	// only across the frames already queued by concurrent senders).
+	WireFlushDelay time.Duration
+	// Clock arms the flush-delay timer. Nil means wall clock; tests drive
+	// a virtual clock through it so delay-bound flushes are deterministic.
+	Clock clock.Clock
+	// Logf receives diagnostics (undecodable frames, read and batched
+	// write errors); nil discards them.
 	Logf netio.Logf
 }
 
 // Network is a UDP substrate instance; it implements netio.Network.
 type Network struct {
-	logf netio.Logf
+	logf  netio.Logf
+	mtu   int
+	delay time.Duration
+	clk   clock.Clock
 
 	// basePeers and groupAddrs are the resolved configuration, immutable
 	// after New.
@@ -72,8 +118,26 @@ type Network struct {
 // New validates the configuration and resolves the peer directory and
 // group addresses once.
 func New(cfg Config) (*Network, error) {
+	mtu := cfg.WireMTU
+	switch {
+	case mtu == 0:
+		mtu = DefaultWireMTU
+	case mtu < 0:
+		mtu = 0 // coalescing disabled
+	case mtu < 128:
+		return nil, fmt.Errorf("udpnet: WireMTU %d below the 128-byte minimum", cfg.WireMTU)
+	case mtu > maxFrame:
+		return nil, fmt.Errorf("udpnet: WireMTU %d exceeds the %d-byte datagram ceiling", cfg.WireMTU, maxFrame)
+	}
+	delay := cfg.WireFlushDelay
+	if delay == 0 {
+		delay = DefaultWireFlushDelay
+	}
 	nw := &Network{
 		logf:       cfg.Logf.Or(),
+		mtu:        mtu,
+		delay:      delay,
+		clk:        clock.Or(cfg.Clock),
 		basePeers:  make(map[netio.NodeID]*net.UDPAddr, len(cfg.Peers)),
 		groupAddrs: make(map[string]*net.UDPAddr, len(cfg.Groups)),
 		peers:      make(map[netio.NodeID]*net.UDPAddr, len(cfg.Peers)),
@@ -137,6 +201,12 @@ func (nw *Network) Attach(cfg netio.EndpointConfig) (netio.Endpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("udpnet: node %d listen %v: %w", cfg.ID, laddr, err)
 	}
+	// Generous socket buffers: a vectored drain can put dozens of
+	// datagrams on the wire between two receiver wakeups, and on loopback
+	// the default buffers overrun long before the receiver is actually
+	// slow. Best effort — some environments cap the values.
+	_ = conn.SetReadBuffer(1 << 21)
+	_ = conn.SetWriteBuffer(1 << 21)
 	ep := &Endpoint{
 		net:      nw,
 		id:       cfg.ID,
@@ -159,6 +229,7 @@ func (nw *Network) Attach(cfg netio.EndpointConfig) (netio.Endpoint, error) {
 			_ = ep.closeSockets()
 			return nil, fmt.Errorf("udpnet: node %d join %q (%v): %w", cfg.ID, seg, gaddr, err)
 		}
+		_ = gconn.SetReadBuffer(1 << 21)
 		ep.groups[seg] = gaddr
 		ep.gconns = append(ep.gconns, gconn)
 	}
@@ -173,7 +244,11 @@ func (nw *Network) Attach(cfg netio.EndpointConfig) (netio.Endpoint, error) {
 			_ = ep.closeSockets()
 			return nil, fmt.Errorf("udpnet: node %d multicast send socket: %w", cfg.ID, err)
 		}
+		_ = mconn.SetWriteBuffer(1 << 21)
 		ep.mconn = mconn
+	}
+	if nw.mtu > 0 {
+		ep.wire = newCoalescer(ep, nw.mtu, nw.delay, nw.clk)
 	}
 
 	nw.eps[cfg.ID] = ep
@@ -240,6 +315,13 @@ type Endpoint struct {
 	groups map[string]*net.UDPAddr // segment -> group address
 	gconns []*net.UDPConn          // joined group listening sockets
 
+	// wire is the coalescing send plane; nil when WireMTU is negative
+	// (the legacy one-frame-per-datagram path).
+	wire *coalescer
+	// batch is the platform send state (cached raw connections, scratch
+	// iovec arrays); only the single active drainer touches it.
+	batch batchState
+
 	closed   atomic.Bool
 	wg       sync.WaitGroup
 	ports    netio.PortMux
@@ -270,11 +352,24 @@ func (e *Endpoint) LocalAddr() *net.UDPAddr {
 	return la
 }
 
-// Close implements netio.Endpoint: graceful shutdown — the sockets close,
-// the receive loops drain, and only then does Close return.
+// Flush seals and transmits every coalesced frame still waiting for the
+// delay-bound timer. A nil error only means the datagrams were handed to
+// the kernel. No-op on an unbatched endpoint.
+func (e *Endpoint) Flush() {
+	if e.wire != nil {
+		e.wire.Flush()
+	}
+}
+
+// Close implements netio.Endpoint: graceful shutdown — pending coalesced
+// frames flush, the sockets close, the receive loops drain, and only then
+// does Close return.
 func (e *Endpoint) Close() error {
 	if e.closed.Swap(true) {
 		return nil
+	}
+	if e.wire != nil {
+		e.wire.close()
 	}
 	err := e.closeSockets()
 	e.wg.Wait()
@@ -299,27 +394,50 @@ func (e *Endpoint) closeSockets() error {
 	return err
 }
 
-// frame pool: marshal scratch buffers shared across endpoints.
+// frame pool: marshal and container buffers shared across endpoints.
 var framePool = sync.Pool{New: func() any {
 	b := make([]byte, 0, 2048)
 	return &b
 }}
 
-// marshalFrame encodes the header and payload into a pooled buffer.
-func marshalFrame(src netio.NodeID, port, class string, payload []byte) (*[]byte, error) {
-	need := 2 + 4 + 2*binary.MaxVarintLen64 + len(port) + len(class) + len(payload)
-	if need > maxFrame {
-		return nil, fmt.Errorf("udpnet: frame of %d bytes exceeds %d", need, maxFrame)
-	}
-	bp := framePool.Get().(*[]byte)
-	b := (*bp)[:0]
-	b = append(b, frameMagic, frameVersion)
-	b = binary.BigEndian.AppendUint32(b, uint32(src))
+// appendFrameBody appends the port/class/payload body shared by the v1
+// frame format and the v2 container entries.
+func appendFrameBody(b []byte, port, class string, payload []byte) []byte {
 	b = binary.AppendUvarint(b, uint64(len(port)))
 	b = append(b, port...)
 	b = binary.AppendUvarint(b, uint64(len(class)))
 	b = append(b, class...)
 	b = append(b, payload...)
+	return b
+}
+
+// frameBodyLen sizes appendFrameBody's output.
+func frameBodyLen(port, class string, payload []byte) int {
+	return uvarintLen(uint64(len(port))) + len(port) +
+		uvarintLen(uint64(len(class))) + len(class) + len(payload)
+}
+
+// uvarintLen is the encoded size of v as a uvarint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// marshalFrame encodes a v1 single-frame datagram into a pooled buffer.
+func marshalFrame(src netio.NodeID, port, class string, payload []byte) (*[]byte, error) {
+	need := 2 + 4 + 2*binary.MaxVarintLen64 + len(port) + len(class) + len(payload)
+	if need > maxFrame {
+		return nil, fmt.Errorf("udpnet: frame of %d bytes exceeds %d: %w", need, maxFrame, netio.ErrFrameTooLarge)
+	}
+	bp := framePool.Get().(*[]byte)
+	b := (*bp)[:0]
+	b = append(b, frameMagic, frameVersion)
+	b = binary.BigEndian.AppendUint32(b, uint32(src))
+	b = appendFrameBody(b, port, class, payload)
 	*bp = b
 	return bp, nil
 }
@@ -327,37 +445,48 @@ func marshalFrame(src netio.NodeID, port, class string, payload []byte) (*[]byte
 // errBadFrame reports an undecodable datagram.
 var errBadFrame = errors.New("udpnet: undecodable frame")
 
-// parseFrame decodes a datagram in place; port, class and payload alias b.
+// parseBody decodes one port/class/payload body in place; the returned
+// strings and payload alias b.
+func parseBody(b []byte) (port, class string, payload []byte, err error) {
+	take := func() ([]byte, bool) {
+		n, w := binary.Uvarint(b)
+		if w <= 0 || n > uint64(len(b)-w) {
+			return nil, false
+		}
+		s := b[w : w+int(n)]
+		b = b[w+int(n):]
+		return s, true
+	}
+	p, ok := take()
+	if !ok {
+		return "", "", nil, errBadFrame
+	}
+	c, ok := take()
+	if !ok {
+		return "", "", nil, errBadFrame
+	}
+	return string(p), string(c), b, nil
+}
+
+// parseFrame decodes a v1 datagram in place; port, class and payload
+// alias b.
 func parseFrame(b []byte) (src netio.NodeID, port, class string, payload []byte, err error) {
 	if len(b) < 6 || b[0] != frameMagic || b[1] != frameVersion {
 		return 0, "", "", nil, errBadFrame
 	}
 	src = netio.NodeID(int32(binary.BigEndian.Uint32(b[2:6])))
-	rest := b[6:]
-	take := func() ([]byte, bool) {
-		n, w := binary.Uvarint(rest)
-		if w <= 0 || n > uint64(len(rest)-w) {
-			return nil, false
-		}
-		s := rest[w : w+int(n)]
-		rest = rest[w+int(n):]
-		return s, true
-	}
-	p, ok := take()
-	if !ok {
-		return 0, "", "", nil, errBadFrame
-	}
-	c, ok := take()
-	if !ok {
-		return 0, "", "", nil, errBadFrame
-	}
-	return src, string(p), string(c), rest, nil
+	port, class, payload, err = parseBody(b[6:])
+	return src, port, class, payload, err
 }
 
-// Send implements netio.Endpoint: point-to-point datagram to dst.
+// Send implements netio.Endpoint: the frame is coalesced toward dst (or,
+// unbatched, transmitted point-to-point immediately).
 func (e *Endpoint) Send(dst netio.NodeID, port, class string, payload []byte) error {
 	if e.closed.Load() {
 		return fmt.Errorf("udpnet: endpoint %d %w", e.id, netio.ErrClosed)
+	}
+	if len(payload) > netio.MaxPayload {
+		return fmt.Errorf("udpnet: %w: %d > %d bytes", netio.ErrFrameTooLarge, len(payload), netio.MaxPayload)
 	}
 	if dst == e.id {
 		// Loopback: stays in the host, never touches the NIC, so it is
@@ -371,14 +500,21 @@ func (e *Endpoint) Send(dst netio.NodeID, port, class string, payload []byte) er
 	if addr == nil {
 		return fmt.Errorf("udpnet: %w: %d", netio.ErrUnknownNode, dst)
 	}
-	return e.write(addr, port, class, payload)
+	if e.wire != nil {
+		return e.wire.enqueue(wireDest{conn: e.conn, addr: addr}, port, class, payload)
+	}
+	return e.writeVia(e.conn, addr, port, class, payload)
 }
 
-// Multicast implements netio.Endpoint: one datagram to the segment's IP
-// multicast group.
+// Multicast implements netio.Endpoint: one datagram (possibly carrying
+// other coalesced frames for the group) to the segment's IP multicast
+// group.
 func (e *Endpoint) Multicast(seg, port, class string, payload []byte) error {
 	if e.closed.Load() {
 		return fmt.Errorf("udpnet: endpoint %d %w", e.id, netio.ErrClosed)
+	}
+	if len(payload) > netio.MaxPayload {
+		return fmt.Errorf("udpnet: %w: %d > %d bytes", netio.ErrFrameTooLarge, len(payload), netio.MaxPayload)
 	}
 	attached := false
 	for _, s := range e.segments {
@@ -394,15 +530,14 @@ func (e *Endpoint) Multicast(seg, port, class string, payload []byte) error {
 	if gaddr == nil {
 		return fmt.Errorf("udpnet: %w: %q", netio.ErrNoMulticast, seg)
 	}
+	if e.wire != nil {
+		return e.wire.enqueue(wireDest{conn: e.mconn, addr: gaddr}, port, class, payload)
+	}
 	return e.writeVia(e.mconn, gaddr, port, class, payload)
 }
 
-// write marshals and transmits one unicast frame.
-func (e *Endpoint) write(addr *net.UDPAddr, port, class string, payload []byte) error {
-	return e.writeVia(e.conn, addr, port, class, payload)
-}
-
-// writeVia transmits one frame through conn, counting the transmission.
+// writeVia marshals and transmits one v1 frame through conn, counting the
+// transmission (the unbatched path).
 func (e *Endpoint) writeVia(conn *net.UDPConn, addr *net.UDPAddr, port, class string, payload []byte) error {
 	bp, err := marshalFrame(e.id, port, class, payload)
 	if err != nil {
@@ -411,6 +546,8 @@ func (e *Endpoint) writeVia(conn *net.UDPConn, addr *net.UDPAddr, port, class st
 	// Count before the write, like a radio counts what it keys up, even
 	// when the datagram is subsequently dropped.
 	e.counters.AddTx(class, len(payload))
+	e.counters.AddTxDatagram(len(*bp))
+	e.counters.AddTxSyscall()
 	_, werr := conn.WriteToUDP(*bp, addr)
 	framePool.Put(bp)
 	if werr != nil {
@@ -422,35 +559,56 @@ func (e *Endpoint) writeVia(conn *net.UDPConn, addr *net.UDPAddr, port, class st
 	return nil
 }
 
-// readLoop drains one socket until it closes, demultiplexing frames to
-// port handlers. The payload slice lent to the handler aliases the read
-// buffer, honouring the netio.Handler borrowed-payload contract.
-func (e *Endpoint) readLoop(conn *net.UDPConn) {
-	defer e.wg.Done()
-	buf := make([]byte, maxFrame)
-	for {
-		n, _, err := conn.ReadFromUDP(buf)
-		if err != nil {
-			if e.closed.Load() || errors.Is(err, net.ErrClosed) {
+// handleDatagram demultiplexes one received datagram — a v1 single frame
+// or a v2 container — to port handlers. Payload slices lent to handlers
+// alias the read buffer, honouring the netio.Handler borrowed-payload
+// contract; nothing is copied on this path.
+func (e *Endpoint) handleDatagram(b []byte) {
+	if len(b) >= containerHdrLen && b[0] == frameMagic && b[1] == containerVersion {
+		src := netio.NodeID(int32(binary.BigEndian.Uint32(b[2:6])))
+		if src == e.id {
+			return // multicast loopback of our own transmission
+		}
+		count := int(binary.BigEndian.Uint16(b[6:8]))
+		e.counters.AddRxDatagram(len(b))
+		rest := b[containerHdrLen:]
+		for i := 0; i < count; i++ {
+			n, w := binary.Uvarint(rest)
+			if w <= 0 || n > uint64(len(rest)-w) {
+				e.logf("udpnet[%d]: drop container tail: frame %d/%d undecodable", e.id, i+1, count)
 				return
 			}
-			e.logf("udpnet[%d]: read: %v", e.id, err)
-			continue
+			body := rest[w : w+int(n)]
+			rest = rest[w+int(n):]
+			port, class, payload, err := parseBody(body)
+			if err != nil {
+				e.logf("udpnet[%d]: drop container frame %d/%d: %v", e.id, i+1, count, err)
+				continue
+			}
+			if e.closed.Load() {
+				return
+			}
+			e.counters.AddRx(class, len(payload))
+			if h, ok := e.ports.Get(port); ok && h != nil {
+				h(src, port, payload)
+			}
 		}
-		src, port, class, payload, err := parseFrame(buf[:n])
-		if err != nil {
-			e.logf("udpnet[%d]: drop %d-byte datagram: %v", e.id, n, err)
-			continue
-		}
-		if src == e.id {
-			continue // multicast loopback of our own transmission
-		}
-		if e.closed.Load() {
-			return
-		}
-		e.counters.AddRx(class, len(payload))
-		if h, ok := e.ports.Get(port); ok && h != nil {
-			h(src, port, payload)
-		}
+		return
+	}
+	src, port, class, payload, err := parseFrame(b)
+	if err != nil {
+		e.logf("udpnet[%d]: drop %d-byte datagram: %v", e.id, len(b), err)
+		return
+	}
+	if src == e.id {
+		return // multicast loopback of our own transmission
+	}
+	if e.closed.Load() {
+		return
+	}
+	e.counters.AddRxDatagram(len(b))
+	e.counters.AddRx(class, len(payload))
+	if h, ok := e.ports.Get(port); ok && h != nil {
+		h(src, port, payload)
 	}
 }

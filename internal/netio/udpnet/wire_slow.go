@@ -1,0 +1,44 @@
+package udpnet
+
+import (
+	"errors"
+	"net"
+)
+
+// sendSlow transmits sealed datagrams one WriteToUDP at a time: the
+// portable build's whole send path, and the vectored build's escape hatch
+// for sends the raw syscall path cannot express. Write errors are logged,
+// not returned — the frames were already accounted as transmitted when
+// they were coalesced, and UDP gives the sender nothing better than
+// "handed to the kernel" anyway.
+func (e *Endpoint) sendSlow(batch []*dgram) {
+	for _, d := range batch {
+		e.counters.AddTxDatagram(len(*d.bp))
+		e.counters.AddTxSyscall()
+		if _, err := d.dest.conn.WriteToUDP(*d.bp, d.dest.addr); err != nil && !e.closed.Load() {
+			e.logf("udpnet[%d]: write to %v: %v", e.id, d.dest.addr, err)
+		}
+	}
+}
+
+// readLoopPortable drains one socket with per-datagram reads; the
+// vectored receive loop also lands here when raw access is unavailable.
+// Does not own the WaitGroup slot — its caller does.
+func (e *Endpoint) readLoopPortable(conn *net.UDPConn) {
+	buf := make([]byte, maxFrame)
+	for {
+		n, _, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			if e.closed.Load() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			e.logf("udpnet[%d]: read: %v", e.id, err)
+			continue
+		}
+		e.counters.AddRxSyscall()
+		if e.closed.Load() {
+			return
+		}
+		e.handleDatagram(buf[:n])
+	}
+}

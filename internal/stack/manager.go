@@ -78,6 +78,18 @@ type ManagerConfig struct {
 	// to configurations carrying the reliable NAK layer; stacks without a
 	// stability plane (e.g. pure FEC) send unwindowed.
 	SendWindow int
+	// SendWindowBytes is the byte-denominated companion to SendWindow: a
+	// second credit window charging each accepted payload its byte cost
+	// (priced by SendCost, clamped to the window capacity), released on
+	// the same stability watermark as the message credit. It bounds
+	// retained *bytes* where SendWindow bounds retained *messages*, so a
+	// few huge casts exert the same backpressure as many small ones. 0
+	// disables byte windowing; the byte window supplements the message
+	// window, never replaces it.
+	SendWindowBytes int
+	// SendCost prices payloads against the byte window; nil charges one
+	// credit per payload byte.
+	SendCost *flowctl.CostModel
 	// Logf receives diagnostics; nil discards them (library code never
 	// writes to the global logger).
 	Logf netio.Logf
@@ -91,6 +103,13 @@ func (c *ManagerConfig) sendWindow() int {
 		return 0
 	}
 	return c.SendWindow
+}
+
+func (c *ManagerConfig) sendWindowBytes() int {
+	if c.SendWindowBytes <= 0 {
+		return 0
+	}
+	return c.SendWindowBytes
 }
 
 func (c *ManagerConfig) channelName() string {
@@ -143,7 +162,13 @@ type Manager struct {
 	// reconfiguration buffering and released by the reliable layer on
 	// stability (or by the resubmit path when the payload lands on an
 	// unwindowed stack).
-	win   *flowctl.Window
+	win *flowctl.Window
+	// winB is the byte-denominated send window (nil when disabled): a
+	// payload charges its byte cost on acceptance and the reliable layer
+	// releases it on the same watermark as the message credit. Acquisition
+	// order is fixed — message credit, then byte credits — so two
+	// concurrent senders can never deadlock across the pair.
+	winB  *flowctl.Window
 	state struct {
 		sync.Mutex
 		ch         *appia.Channel
@@ -183,10 +208,12 @@ type Manager struct {
 }
 
 // heldSend is one payload buffered across a reconfiguration; credit
-// records whether it holds a send-window credit.
+// records whether it holds a send-window credit, bytes how many
+// byte-window credits ride along.
 type heldSend struct {
 	payload []byte
 	credit  bool
+	bytes   int
 }
 
 // NewManager returns a manager with nothing deployed yet. The standard
@@ -199,14 +226,19 @@ func NewManager(cfg ManagerConfig) *Manager {
 	}
 	RegisterAllWireEvents(cfg.Events)
 	return &Manager{
-		cfg: cfg,
-		reg: reg,
-		win: flowctl.New(cfg.sendWindow(), cfg.clock()),
+		cfg:  cfg,
+		reg:  reg,
+		win:  flowctl.New(cfg.sendWindow(), cfg.clock()),
+		winB: flowctl.New(cfg.sendWindowBytes(), cfg.clock()),
 	}
 }
 
 // Window exposes the group's send window (nil when disabled).
 func (m *Manager) Window() *flowctl.Window { return m.win }
+
+// WindowBytes exposes the group's byte-denominated send window (nil when
+// disabled).
+func (m *Manager) WindowBytes() *flowctl.Window { return m.winB }
 
 // Epoch returns the current configuration epoch.
 func (m *Manager) Epoch() uint64 {
@@ -273,7 +305,7 @@ func (m *Manager) Deploy(doc *appiaxml.Document, configName string, epoch uint64
 // channelWindowed reports whether a channel contains the credit-releasing
 // reliable layer (and windowing is on at all).
 func (m *Manager) channelWindowed(ch *appia.Channel) bool {
-	return m.win != nil && ch.SessionFor("group.nak") != nil
+	return (m.win != nil || m.winB != nil) && ch.SessionFor("group.nak") != nil
 }
 
 // CurrentDocument returns the deployed configuration document (nil before
@@ -306,6 +338,10 @@ func (m *Manager) build(doc *appiaxml.Document, epoch uint64, members []appia.No
 	if m.win != nil {
 		env.Window = m.win
 		env.SendWindow = m.win.Capacity()
+	}
+	if m.winB != nil {
+		env.BytesWindow = m.winB
+		env.SendWindowBytes = m.winB.Capacity()
 	}
 	return appiaxml.BuildChannel(spec, m.reg, env)
 }
@@ -408,9 +444,37 @@ func (m *Manager) submit(payload []byte, mode sendMode, ctx context.Context) err
 		return err // ErrWindowFull or the context's error
 	}
 	credit := m.win != nil
+
+	// Byte credits, acquired strictly after the message credit (the fixed
+	// order rules out deadlock between the two windows). The clamped cost
+	// is remembered so acquire and release always move the same amount.
+	cost := 0
+	if m.winB != nil {
+		cost = m.winB.Clamp(m.cfg.SendCost.Cost("data", len(payload)))
+		switch mode {
+		case sendTry:
+			err = m.winB.TryAcquireN(cost)
+		case sendCtx:
+			err = m.winB.AcquireContextN(ctx, cost)
+		default:
+			err = m.winB.AcquireN(cost)
+		}
+		if err != nil {
+			if credit {
+				m.win.Release(1)
+			}
+			if errors.Is(err, flowctl.ErrWindowClosed) {
+				return ErrGroupClosed
+			}
+			return err
+		}
+	}
 	release := func() {
 		if credit {
 			m.win.Release(1)
+		}
+		if cost > 0 {
+			m.winB.Release(cost)
 		}
 	}
 
@@ -458,7 +522,7 @@ func (m *Manager) submit(payload []byte, mode sendMode, ctx context.Context) err
 			// stack. The credit rides along with the buffered payload.
 			cp := make([]byte, len(payload))
 			copy(cp, payload)
-			m.state.buffered = append(m.state.buffered, heldSend{payload: cp, credit: credit})
+			m.state.buffered = append(m.state.buffered, heldSend{payload: cp, credit: credit, bytes: cost})
 			m.state.Unlock()
 			return nil
 		}
@@ -468,7 +532,10 @@ func (m *Manager) submit(payload []byte, mode sendMode, ctx context.Context) err
 
 		ev := &group.CastEvent{}
 		ev.Msg = appia.NewMessage(payload)
-		ev.Windowed = credit && windowed
+		ev.Windowed = (credit || cost > 0) && windowed
+		if ev.Windowed {
+			ev.WindowBytes = cost
+		}
 		err := ch.Insert(ev, appia.Down)
 		if errors.Is(err, appia.ErrChannelClosed) {
 			// Raced a teardown: loop to learn whether this was a
@@ -480,9 +547,9 @@ func (m *Manager) submit(payload []byte, mode sendMode, ctx context.Context) err
 			release()
 			return err
 		}
-		if credit && !windowed {
-			// No stability plane on this stack to return the credit: the
-			// send is fire-and-forget, so the credit comes straight back.
+		if (credit || cost > 0) && !windowed {
+			// No stability plane on this stack to return the credits: the
+			// send is fire-and-forget, so the credits come straight back.
 			release()
 		}
 		return nil
@@ -547,7 +614,12 @@ func (m *Manager) Reconfigure(doc *appiaxml.Document, configName string, epoch u
 	if rescued := pendingPayloads(old); len(rescued) > 0 {
 		held := make([]heldSend, len(rescued))
 		for i, p := range rescued {
-			held[i] = heldSend{payload: p, credit: oldWindowed}
+			held[i] = heldSend{payload: p, credit: oldWindowed && m.win != nil}
+			if oldWindowed && m.winB != nil {
+				// The byte cost is a pure function of the payload, so the
+				// rescued cast re-derives exactly what submit charged.
+				held[i].bytes = m.winB.Clamp(m.cfg.SendCost.Cost("data", len(p)))
+			}
 		}
 		m.state.Lock()
 		m.state.buffered = append(held, m.state.buffered...)
@@ -623,31 +695,46 @@ func (m *Manager) finishReconfig(ch *appia.Channel, doc *appiaxml.Document, conf
 	for _, hs := range buffered {
 		ev := &group.CastEvent{}
 		ev.Msg = appia.NewMessage(hs.payload)
-		// A credit held through the buffer transfers to the new stack's
-		// reliable layer; on an unwindowed stack it returns here.
-		ev.Windowed = hs.credit && windowed
+		// Credits held through the buffer transfer to the new stack's
+		// reliable layer; on an unwindowed stack they return here.
+		ev.Windowed = (hs.credit || hs.bytes > 0) && windowed
+		if ev.Windowed {
+			ev.WindowBytes = hs.bytes
+		}
 		if err := ch.Insert(ev, appia.Down); err != nil {
 			m.cfg.logf("stack[%d]: resubmit buffered send: %v", m.cfg.Self, err)
-			if hs.credit {
-				m.win.Release(1)
-			}
+			m.releaseOne(hs)
 			continue
 		}
-		if hs.credit && !windowed {
-			m.win.Release(1)
+		if (hs.credit || hs.bytes > 0) && !windowed {
+			m.releaseOne(hs)
 		}
+	}
+}
+
+// releaseOne returns one buffered send's credits.
+func (m *Manager) releaseOne(hs heldSend) {
+	if hs.credit {
+		m.win.Release(1)
+	}
+	if hs.bytes > 0 {
+		m.winB.Release(hs.bytes)
 	}
 }
 
 // releaseHeld returns the credits of discarded buffered sends.
 func (m *Manager) releaseHeld(held []heldSend) {
-	n := 0
+	n, b := 0, 0
 	for _, hs := range held {
 		if hs.credit {
 			n++
 		}
+		b += hs.bytes
 	}
 	m.win.Release(n)
+	if b > 0 {
+		m.winB.Release(b)
+	}
 }
 
 // pendingPayloads extracts application casts stranded in a closed
@@ -692,6 +779,7 @@ func (m *Manager) Close() error {
 	}
 	m.releaseHeld(discarded)
 	m.win.Close()
+	m.winB.Close()
 	return err
 }
 
@@ -720,7 +808,10 @@ func (m *Manager) mergeNakStats(ch *appia.Channel) {
 // configuration epochs. Under a virtual clock every field is a
 // deterministic function of the run.
 type FlowStats struct {
-	Window           flowctl.Stats
+	Window flowctl.Stats
+	// WindowBytes is the byte-denominated window's counters (zero value
+	// when byte windowing is disabled).
+	WindowBytes      flowctl.Stats
 	MailboxDepth     int
 	MailboxHighWater int
 	Nak              group.NakStats
@@ -733,6 +824,7 @@ type FlowStats struct {
 func (m *Manager) FlowStats() FlowStats {
 	fs := FlowStats{
 		Window:           m.win.Stats(),
+		WindowBytes:      m.winB.Stats(),
 		MailboxDepth:     m.cfg.Scheduler.MailboxDepth(),
 		MailboxHighWater: m.cfg.Scheduler.MailboxHighWater(),
 	}

@@ -98,6 +98,7 @@ func NewStandardRegistry() *appiaxml.LayerRegistry {
 			StableEvery:      stableEvery,
 			UnboundedBuffers: unbounded,
 			Window:           env.Window,
+			BytesWindow:      env.BytesWindow,
 			MaxRetained:      maxRetained,
 		}
 		if err := cfg.Validate(); err != nil {

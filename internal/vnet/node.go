@@ -194,6 +194,10 @@ func (n *Node) accountTx(class string, size int, wireless bool) bool {
 		return false
 	}
 	n.counters.AddTx(class, size)
+	// One simulated frame is one datagram and one nominal syscall, so the
+	// wire-level counters stay comparable with the batching substrate.
+	n.counters.AddTxDatagram(size)
+	n.counters.AddTxSyscall()
 	return true
 }
 
@@ -208,6 +212,8 @@ func (n *Node) accountRx(class string, size int, port string) (Handler, bool) {
 		return nil, false
 	}
 	n.counters.AddRx(class, size)
+	n.counters.AddRxDatagram(size)
+	n.counters.AddRxSyscall()
 	return n.ports.Get(port)
 }
 
@@ -222,6 +228,9 @@ func (n *Node) Send(dst NodeID, port, class string, payload []byte) error {
 	}
 	if err := n.errIfClosed(); err != nil {
 		return err
+	}
+	if len(payload) > netio.MaxPayload {
+		return fmt.Errorf("%w: %d > %d bytes", ErrFrameTooLarge, len(payload), netio.MaxPayload)
 	}
 	dn, ok := w.lookupNode(dst)
 	if !ok {
@@ -277,6 +286,9 @@ func (n *Node) Multicast(segment, port, class string, payload []byte) error {
 	}
 	if err := n.errIfClosed(); err != nil {
 		return err
+	}
+	if len(payload) > netio.MaxPayload {
+		return fmt.Errorf("%w: %d > %d bytes", ErrFrameTooLarge, len(payload), netio.MaxPayload)
 	}
 	w.mu.RLock()
 	seg, ok := w.segments[segment]

@@ -52,6 +52,7 @@ var (
 	ErrNotAttached    = fmt.Errorf("vnet: node %w", netio.ErrNotAttached)
 	ErrWorldClosed    = fmt.Errorf("vnet: world %w", netio.ErrClosed)
 	ErrUnknownSegment = fmt.Errorf("vnet: %w", netio.ErrUnknownSegment)
+	ErrFrameTooLarge  = fmt.Errorf("vnet: %w", netio.ErrFrameTooLarge)
 )
 
 // Handler aliases the substrate frame receiver; see netio.Handler for the

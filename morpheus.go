@@ -207,6 +207,9 @@ type Config struct {
 	// ErrWindowFull). 0 means DefaultSendWindow; negative disables
 	// windowing. See GroupConfig.SendWindow.
 	SendWindow int
+	// SendWindowBytes is the default group's byte-denominated send
+	// window. See GroupConfig.SendWindowBytes. 0 disables it.
+	SendWindowBytes int
 	// SchedulerWorkers sizes the node's shared scheduler pool: the fixed
 	// set of worker goroutines that execute every hosted group's protocol
 	// stack (the control plane keeps its own dedicated scheduler, so
@@ -264,6 +267,14 @@ type GroupConfig struct {
 	// behavior). Configurations without the reliable NAK layer (pure FEC)
 	// send unwindowed regardless.
 	SendWindow int
+	// SendWindowBytes supplements SendWindow with byte-accurate
+	// backpressure: each accepted Send also charges its payload length
+	// (clamped to the window) against a byte-denominated credit window,
+	// released on the same stability watermark as the message credit, so
+	// a few large casts exert the same pressure as many small ones and
+	// retained bytes — not just retained messages — stay bounded. 0
+	// disables the byte window (message credits alone govern).
+	SendWindowBytes int
 }
 
 // Node is a running Morpheus participant: the shared control plane of a
@@ -426,6 +437,7 @@ func Start(cfg Config) (*Node, error) {
 		OnViewChange:      cfg.OnViewChange,
 		OnReconfigured:    cfg.OnReconfigured,
 		SendWindow:        cfg.SendWindow,
+		SendWindowBytes:   cfg.SendWindowBytes,
 	})
 	if err != nil {
 		n.ctlSched.Close()
@@ -543,13 +555,14 @@ func (n *Node) buildGroup(name string, gc GroupConfig) (*Group, error) {
 	}
 	gc.Members = members
 	g.manager = stack.NewManager(stack.ManagerConfig{
-		Node:           g.ep,
-		Self:           n.cfg.ID,
-		Group:          name,
-		Scheduler:      g.sched,
-		QuiesceTimeout: gc.QuiesceTimeout,
-		SendWindow:     gc.SendWindow,
-		Clock:          n.cfg.Clock,
+		Node:            g.ep,
+		Self:            n.cfg.ID,
+		Group:           name,
+		Scheduler:       g.sched,
+		QuiesceTimeout:  gc.QuiesceTimeout,
+		SendWindow:      gc.SendWindow,
+		SendWindowBytes: gc.SendWindowBytes,
+		Clock:           n.cfg.Clock,
 		OnDeliver: func(ev *group.CastEvent) {
 			if gc.OnCast != nil {
 				gc.OnCast(ev)

@@ -108,6 +108,73 @@ func TestSendContextUnblocks(t *testing.T) {
 	}
 }
 
+// TestByteWindowBackpressure pins the byte-denominated send window end
+// to end: with the message window off and SendWindowBytes tiny, large
+// casts exhaust the byte budget and TrySend reports ErrWindowFull; the
+// same stability watermark that frees message credits returns the bytes,
+// and at quiescence every acquired byte has been released.
+func TestByteWindowBackpressure(t *testing.T) {
+	w := hybridWorld(t, 46)
+	members := []NodeID{1, 2, 3}
+	var nodes []*Node
+	for _, id := range members {
+		n, err := Start(Config{
+			World: w, ID: id, Kind: Fixed, Members: members,
+			SendWindowBytes: 256,
+			SendWindow:      -1, // message window off: bytes alone gate
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = n.Close() })
+		nodes = append(nodes, n)
+	}
+	g := nodes[0].Group(DefaultGroup)
+
+	// 100-byte casts against a 256-byte budget: the third unstable cast
+	// cannot fit, so an un-paced burst must hit ErrWindowFull.
+	payload := make([]byte, 100)
+	sawFull := false
+	for i := 0; i < 64 && !sawFull; i++ {
+		err := g.TrySend(payload)
+		if errors.Is(err, ErrWindowFull) {
+			sawFull = true
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sawFull {
+		t.Fatal("64 un-paced 100-byte TrySends through a 256-byte window never saw ErrWindowFull")
+	}
+	// Stability returns the bytes, exactly as many as were taken.
+	eventually(t, 10*time.Second, "byte window drains", func() bool {
+		return g.FlowStats().WindowBytes.InUse == 0
+	})
+	if err := g.TrySend(payload); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, 10*time.Second, "final cast's bytes return", func() bool {
+		return g.FlowStats().WindowBytes.InUse == 0
+	})
+	st := g.FlowStats()
+	if st.WindowBytes.Rejected == 0 || st.WindowBytes.Capacity != 256 {
+		t.Fatalf("byte window stats = %+v", st.WindowBytes)
+	}
+	if st.WindowBytes.HighWater > 256 {
+		t.Fatalf("byte high water %d exceeds capacity 256", st.WindowBytes.HighWater)
+	}
+	if st.WindowBytes.Acquired != st.WindowBytes.Released {
+		t.Fatalf("byte credit accounting: acquired %d != released %d", st.WindowBytes.Acquired, st.WindowBytes.Released)
+	}
+	// The message window stayed disabled: byte gating must not have
+	// manufactured message credits.
+	if st.Window.Capacity != 0 || st.Window.Acquired != 0 {
+		t.Fatalf("message window was engaged: %+v", st.Window)
+	}
+}
+
 // TestSendAfterLeaveAndClose is the satellite regression: sends after
 // Leave or node Close return ErrGroupClosed deterministically, and sends
 // RACING the teardown either complete or return ErrGroupClosed — they are
