@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-json golden chaos chaos-scale soak
+.PHONY: check build vet test race bench bench-json golden chaos chaos-scale chaos-churn soak
 
 # check is the CI entry point: vet, build, full test suite, bench smoke run.
 check: vet build test bench
@@ -41,13 +41,26 @@ chaos:
 chaos-scale:
 	$(GO) run ./cmd/morpheus-bench -run chaos -seeds 50 -seed 2001 -groups 1000
 
-# soak exercises the real-socket wire plane end to end: the three-process
-# live demo (UDP on localhost, batched coalescer + vectored syscalls on by
-# default) runs repeatedly — reliable multicast in two groups plus a live
-# plain->mecho reconfiguration per round, so frames cross real sockets
-# through the v2 container, the flush timer and the sendmmsg/recvmmsg
-# paths under process churn. IP-multicast is not required (the demo is
-# unicast on 127.0.0.1); rounds with `make soak SOAK_ROUNDS=20`.
+# chaos-churn is the membership-lifecycle sweep (E12b): the same seeded
+# fault schedules with two graceful-churn waves appended per seed — a fresh
+# group bootstrapped without one member, that member folded in late via
+# JoinVia state transfer, flooded, and departed gracefully mid-run (the
+# survivors must drain their send windows within a stability round).
+# Reproduce a failing seed with:
+#   go run ./cmd/morpheus-bench -replay <seed> -churns 2
+chaos-churn:
+	$(GO) run ./cmd/morpheus-bench -run churn -seeds 300 -seed 1 -churns 2
+
+# soak exercises the real-socket wire plane end to end: the live demo (UDP
+# on localhost, batched coalescer + vectored syscalls on by default) runs
+# repeatedly. Each round covers the full membership lifecycle across four
+# OS processes — the bootstrap trio runs reliable multicast in two groups
+# plus a live plain->mecho reconfiguration, a fourth process then joins the
+# *running* group late through a seed member (-join-via semantics: state
+# transfer, gap-free start at the frontier), and one member is SIGTERMed
+# mid-run so its graceful leave must converge the survivors' views well
+# under the failure-detection threshold. IP-multicast is not required (the
+# demo is unicast on 127.0.0.1); rounds with `make soak SOAK_ROUNDS=20`.
 SOAK_ROUNDS ?= 5
 soak:
 	@i=1; while [ $$i -le $(SOAK_ROUNDS) ]; do \

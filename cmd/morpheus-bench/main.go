@@ -9,7 +9,10 @@
 //	morpheus-bench -run all -msgs 2000
 //
 // Experiments: figure3 (includes relayload and ctloverhead columns),
-// reconfig, strategies, energy, errorrecovery, flush, multigroup, all.
+// reconfig, strategies, energy, errorrecovery, flush, multigroup,
+// manygroups, overload, all — plus the seeded sweeps chaos (E12) and
+// churn (E12b: chaos with graceful late-join/leave waves, `-run churn
+// -churns 2`), which have their own CI jobs and are not part of "all".
 package main
 
 import (
@@ -31,18 +34,23 @@ func main() {
 
 func run() int {
 	var (
-		which  = flag.String("run", "all", "experiment: figure3|reconfig|strategies|energy|errorrecovery|flush|multigroup|manygroups|overload|chaos|all")
+		which  = flag.String("run", "all", "experiment: figure3|reconfig|strategies|energy|errorrecovery|flush|multigroup|manygroups|overload|chaos|churn|all")
 		msgs   = flag.Int("msgs", 40000, "messages per Figure 3 run (the paper used 40000)")
 		ngroup = flag.Int("groups", 0, "manygroups: how many groups to host (default 256); chaos: extra hosted groups per run (default 0)")
 		sizes  = flag.String("sizes", "2,3,6,9", "comma-separated group sizes for figure3/reconfig")
-		seed   = flag.Int64("seed", 1, "virtual network seed (chaos: the sweep's first seed)")
-		seeds  = flag.Int("seeds", 50, "chaos: how many consecutive seeds to sweep")
+		seed   = flag.Int64("seed", 1, "virtual network seed (chaos/churn: the sweep's first seed)")
+		seeds  = flag.Int("seeds", 50, "chaos/churn: how many consecutive seeds to sweep")
+		churns = flag.Int("churns", 2, "churn/replay: graceful late-join/leave waves per schedule (replay default 0)")
 		replay = flag.Int64("replay", 0, "chaos: replay this single seed and dump its full event trace")
 	)
 	flag.Parse()
 
 	if *replay != 0 {
-		return chaosReplay(*replay)
+		waves := 0
+		if flagWasSet("churns") {
+			waves = *churns
+		}
+		return chaosReplay(*replay, waves)
 	}
 
 	sz, err := parseSizes(*sizes)
@@ -82,6 +90,9 @@ func run() int {
 	}
 	if *which == "chaos" { // not part of "all": the sweep has its own CI job
 		ok = chaosSweep(*seeds, *seed, *ngroup) && ok
+	}
+	if *which == "churn" { // membership-lifecycle sweep; also not part of "all"
+		ok = churnSweep(*seeds, *seed, *churns) && ok
 	}
 	if !ok {
 		return 1
@@ -277,11 +288,62 @@ func chaosSweep(n int, base int64, extraGroups int) bool {
 	return true
 }
 
+// churnSweep is the membership-lifecycle variant of E12: the same seeded
+// fault schedules with `waves` graceful-churn events appended per seed —
+// each wave bootstraps a fresh group without one member, folds that member
+// in late through the anchor via JoinVia state transfer, floods, and has
+// the late joiner leave gracefully mid-run (survivors must drain their
+// send windows within a stability round). A violating seed replays with
+// `-replay <seed> -churns <waves>`.
+func churnSweep(n int, base int64, waves int) bool {
+	start := time.Now()
+	rows, err := experiment.RunChaos(experiment.ChaosConfig{Seeds: n, Base: base, GracefulChurns: waves})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "churn:", err)
+		return false
+	}
+	failing := 0
+	var out []string
+	for _, r := range rows {
+		status := "ok"
+		if len(r.Violations) > 0 {
+			failing++
+			status = fmt.Sprintf("FAIL(%d)", len(r.Violations))
+		}
+		out = append(out, fmt.Sprintf("%d\t%d\t%d\t%d\t%d\t%s\t%s",
+			r.Seed, r.Events, r.Crashed, r.Delivered, r.Rejected, r.Hash, status))
+	}
+	table(fmt.Sprintf("E12b — graceful-churn sweep (%d seeds, %d waves/seed, %v)", n, waves, time.Since(start).Round(time.Millisecond)),
+		"seed\tevents\tcrashed\tdelivered\trejected\thash\tstatus", out)
+	if failing > 0 {
+		for _, r := range rows {
+			for _, v := range r.Violations {
+				fmt.Fprintf(os.Stderr, "churn: seed %d: %s\n", r.Seed, v)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "churn: %d/%d seeds violated invariants; replay with -replay <seed> -churns %d\n", failing, n, waves)
+		return false
+	}
+	return true
+}
+
+// flagWasSet reports whether the named flag was given explicitly.
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
 // chaosReplay re-executes one seed and dumps its canonical trace — the
 // schedule, the injection log, per-node delivery digests, flow-control
 // marks and the violation list. Exit status reflects the invariants.
-func chaosReplay(seed int64) int {
-	res, err := chaos.Run(seed, chaos.Options{})
+// waves > 0 replays a churn-sweep seed (graceful-churn waves included).
+func chaosReplay(seed int64, waves int) int {
+	res, err := chaos.Run(seed, chaos.Options{Profile: chaos.Profile{GracefulChurns: waves}})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chaos replay:", err)
 		return 2

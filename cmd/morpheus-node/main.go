@@ -15,6 +15,18 @@
 // groups on the same node — one UDP endpoint and one control plane serving
 // several independent data stacks — and runs the send/receive workload in
 // every group.
+//
+// With -join-via <seed>, the process is a *late joiner*: instead of taking
+// part in the bootstrap it enters the already-running groups through the
+// named seed member via state transfer, starting gap-free at the current
+// delivery frontier:
+//
+//	morpheus-node -id 7 -join-via 1 -peers '...' -send 5
+//
+// SIGTERM and SIGINT trigger a graceful departure: the process leaves every
+// group (announcing each departure so the survivors recover within one
+// stability round), then exits cleanly. -linger keeps the process serving
+// after its quotas are met until such a signal arrives.
 package main
 
 import (
@@ -38,6 +50,8 @@ func main() {
 		members  = flag.String("members", "", "bootstrap membership (default: all peer ids)")
 		adapt    = flag.Bool("adapt", false, "enable the hybrid-Mecho adaptation policy")
 		join     = flag.String("join", "", "extra groups to join: 'room1,room2' (workload runs in each)")
+		joinVia  = flag.Int("join-via", 0, "enter the running groups late through this seed member")
+		linger   = flag.Bool("linger", false, "keep serving after quotas are met until SIGTERM/SIGINT")
 		send     = flag.Int("send", 0, "messages to multicast to the group")
 		interval = flag.Duration("interval", 20*time.Millisecond, "pause between sends")
 		expect   = flag.Int("expect", 0, "messages to receive from other members before exiting")
@@ -54,6 +68,9 @@ func main() {
 	}
 	opts.Adapt = *adapt
 	opts.JoinGroups = splitList(*join)
+	opts.JoinVia = netio.NodeID(*joinVia)
+	opts.HandleSignals = true
+	opts.Linger = *linger
 	opts.SendCount = *send
 	opts.SendInterval = *interval
 	opts.ExpectRecv = *expect

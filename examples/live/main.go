@@ -5,6 +5,18 @@
 // member through disseminated context and redeploys everyone from the
 // plain fan-out stack to Mecho (relay = node 1) while traffic flows.
 //
+// The demo then exercises the full membership lifecycle:
+//
+//   - a fourth OS process starts late and enters the *running* group
+//     through seed member 1 (-join-via): it receives the adapted Mecho
+//     configuration by state transfer and starts gap-free at the current
+//     delivery frontier, with no history replay;
+//   - its casts are delivered by every original member;
+//   - one original member is then killed with SIGTERM mid-run: it leaves
+//     gracefully (announcing its departure through the control plane),
+//     and every survivor installs a view without it within seconds —
+//     well under the failure detector's eviction threshold.
+//
 // Run it with no arguments; it re-executes itself once per participant
 // (the -child flag) and scans their output:
 //
@@ -20,6 +32,7 @@ import (
 	"os/exec"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"morpheus/internal/core"
@@ -28,15 +41,23 @@ import (
 )
 
 // Participants: two fixed, one mobile (the paper gives the PDA the highest
-// identifier so a fixed node coordinates).
+// identifier so a fixed node coordinates), plus one late joiner that takes
+// no part in the bootstrap.
 var memberIDs = []netio.NodeID{1, 2, 100}
 
 const (
 	sendPerNode = 15
 	relay       = netio.NodeID(1)
-	// extraGroup is the second group every process joins (the multi-group
-	// runtime over one UDP endpoint).
+	// extraGroup is the second group every bootstrap process joins (the
+	// multi-group runtime over one UDP endpoint).
 	extraGroup = "telemetry"
+	// lateJoiner enters the running chat group through joinSeed once the
+	// trio has adapted to Mecho.
+	lateJoiner  = netio.NodeID(7)
+	joinSeed    = netio.NodeID(1)
+	joinerSends = 5
+	// victim is the member killed mid-run to demonstrate graceful leave.
+	victim = netio.NodeID(2)
 )
 
 func main() {
@@ -60,120 +81,291 @@ func runChild(id netio.NodeID, peerStr string) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	kind := netio.Fixed
-	if id == 100 {
-		kind = netio.Mobile
+	var opts liverun.Options
+	if id == lateJoiner {
+		// The late joiner: no bootstrap membership — it enters the running
+		// chat group through the seed and inherits whatever configuration
+		// the group adapted to (Mecho by the time it is spawned).
+		opts = liverun.Options{
+			ID:           id,
+			Kind:         netio.Fixed,
+			Peers:        peerMap,
+			JoinVia:      joinSeed,
+			SendCount:    joinerSends,
+			SendInterval: 25 * time.Millisecond,
+			ExpectRecv:   0,
+			ExpectConfig: core.MechoConfigName(relay),
+			Linger:       true,
+			Timeout:      60 * time.Second,
+		}
+	} else {
+		kind := netio.Fixed
+		if id == 100 {
+			kind = netio.Mobile
+		}
+		opts = liverun.Options{
+			ID:      id,
+			Kind:    kind,
+			Peers:   peerMap,
+			Members: memberIDs,
+			Adapt:   true,
+			// The multi-group runtime: every process also hosts a telemetry
+			// group over the same UDP endpoint and control plane; the
+			// workload runs in both groups, fully isolated from each other.
+			JoinGroups:   []string{extraGroup},
+			SendCount:    sendPerNode,
+			SendInterval: 25 * time.Millisecond,
+			// Each node hears everyone else's casts — in every group.
+			ExpectRecv:   sendPerNode * (len(memberIDs) - 1),
+			ExpectConfig: core.MechoConfigName(relay),
+			// Keep serving after the workload: the late joiner and the
+			// graceful-leave phase need a running group to act on.
+			Linger:  true,
+			Timeout: 90 * time.Second,
+		}
 	}
-	err = liverun.Run(liverun.Options{
-		ID:      id,
-		Kind:    kind,
-		Peers:   peerMap,
-		Members: memberIDs,
-		Adapt:   true,
-		// The multi-group runtime: every process also hosts a telemetry
-		// group over the same UDP endpoint and control plane; the workload
-		// runs in both groups, fully isolated from each other.
-		JoinGroups:   []string{extraGroup},
-		SendCount:    sendPerNode,
-		SendInterval: 25 * time.Millisecond,
-		// Each node hears everyone else's casts — in every group.
-		ExpectRecv:   sendPerNode * (len(memberIDs) - 1),
-		ExpectConfig: core.MechoConfigName(relay),
-		Timeout:      90 * time.Second,
-	}, os.Stdout)
-	if err != nil {
+	if err := liverun.Run(opts, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "child", id, "failed:", err)
 		os.Exit(1)
 	}
 }
 
-// runParent spawns the three participants and summarises their runs.
+// child is one spawned participant and the parsed state of its output.
+type child struct {
+	id   netio.NodeID
+	cmd  *exec.Cmd
+	done chan struct{} // closed on the first "done" line
+
+	mu           sync.Mutex
+	delivered    int  // chat casts from other members
+	telemetry    int  // telemetry casts from other members
+	fromJoiner   int  // chat casts from the late joiner
+	reconfigured bool // saw a mecho config line
+	lastView     string
+	viewAt       time.Time
+	left         []string // groups left gracefully
+}
+
+// runParent spawns the participants, drives the late join and the graceful
+// leave, and summarises their runs.
 func runParent() error {
 	self, err := os.Executable()
 	if err != nil {
 		return err
 	}
-	peers, err := allocatePeers()
+	allIDs := append(append([]netio.NodeID(nil), memberIDs...), lateJoiner)
+	peers, err := allocatePeers(allIDs)
 	if err != nil {
 		return err
 	}
-	fmt.Println("live: three Morpheus processes over UDP on localhost")
-	for id, addr := range peers {
-		fmt.Printf("live:   node %d -> %s\n", id, addr)
+	fmt.Println("live: three Morpheus processes over UDP on localhost, one late joiner")
+	for _, id := range allIDs {
+		fmt.Printf("live:   node %d -> %s\n", id, peers[id])
 	}
-	peerStr := formatPeers(peers)
+	peerStr := formatPeers(peers, allIDs)
 
-	type result struct {
-		id  netio.NodeID
-		err error
-	}
-	var (
-		mu           sync.Mutex
-		reconfigured = map[netio.NodeID]bool{}
-		delivered    = map[netio.NodeID]int{}
-		telemetry    = map[netio.NodeID]int{}
-	)
-	results := make(chan result, len(memberIDs))
-	for _, id := range memberIDs {
-		id := id
-		cmd := exec.Command(self, "-child", fmt.Sprint(id), "-peers", peerStr)
-		stdout, err := cmd.StdoutPipe()
+	children := make(map[netio.NodeID]*child)
+	results := make(chan error, len(allIDs))
+	spawn := func(id netio.NodeID) (*child, error) {
+		c := &child{id: id, done: make(chan struct{})}
+		c.cmd = exec.Command(self, "-child", fmt.Sprint(id), "-peers", peerStr)
+		stdout, err := c.cmd.StdoutPipe()
 		if err != nil {
-			return err
+			return nil, err
 		}
-		cmd.Stderr = os.Stderr
-		if err := cmd.Start(); err != nil {
-			return fmt.Errorf("spawn node %d: %w", id, err)
+		c.cmd.Stderr = os.Stderr
+		if err := c.cmd.Start(); err != nil {
+			return nil, fmt.Errorf("spawn node %d: %w", id, err)
 		}
+		children[id] = c
 		go func() {
 			sc := bufio.NewScanner(stdout)
+			doneSeen := false
 			for sc.Scan() {
 				line := sc.Text()
 				fmt.Printf("  [node %3d] %s\n", id, line)
-				mu.Lock()
-				if strings.HasPrefix(line, "recv ") && !strings.Contains(line, fmt.Sprintf("from=%d ", id)) {
-					if strings.Contains(line, "group="+extraGroup+" ") {
-						telemetry[id]++
-					} else {
-						delivered[id]++
+				c.mu.Lock()
+				switch {
+				case strings.HasPrefix(line, "recv ") && !strings.Contains(line, fmt.Sprintf("from=%d ", id)):
+					switch {
+					case strings.Contains(line, "group="+extraGroup+" "):
+						c.telemetry++
+					default:
+						c.delivered++
+						if strings.Contains(line, fmt.Sprintf("from=%d ", lateJoiner)) {
+							c.fromJoiner++
+						}
 					}
+				case strings.HasPrefix(line, "config ") && strings.Contains(line, "name=mecho"):
+					c.reconfigured = true
+				case strings.HasPrefix(line, "view "):
+					if _, members, ok := strings.Cut(line, "members="); ok {
+						c.lastView = members
+						c.viewAt = time.Now()
+					}
+				case strings.HasPrefix(line, "left "):
+					if _, g, ok := strings.Cut(line, "group="); ok {
+						g, _, _ = strings.Cut(g, " ")
+						c.left = append(c.left, g)
+					}
+				case strings.HasPrefix(line, "done ") && !doneSeen:
+					doneSeen = true
+					close(c.done)
 				}
-				if strings.HasPrefix(line, "config ") && strings.Contains(line, "name=mecho") {
-					reconfigured[id] = true
-				}
-				mu.Unlock()
+				c.mu.Unlock()
 			}
-			results <- result{id, cmd.Wait()}
+			results <- c.cmd.Wait()
 		}()
+		return c, nil
 	}
 
+	// Phase 1: the bootstrap trio runs the paper's workload (reliable
+	// multicast in two groups + live plain->mecho reconfiguration), then
+	// lingers.
+	for _, id := range memberIDs {
+		if _, err := spawn(id); err != nil {
+			return err
+		}
+	}
+	for _, id := range memberIDs {
+		if err := waitDone(children[id], 90*time.Second); err != nil {
+			return err
+		}
+	}
+
+	// Phase 2: the late joiner enters the running (already adapted) group
+	// through seed 1 and multicasts; every original member must deliver its
+	// casts.
+	fmt.Printf("live: trio done — starting late joiner %d via seed %d\n", lateJoiner, joinSeed)
+	joiner, err := spawn(lateJoiner)
+	if err != nil {
+		return err
+	}
+	if err := waitDone(joiner, 60*time.Second); err != nil {
+		return err
+	}
+	if err := waitAll(30*time.Second, "late joiner casts delivered", func() (bool, string) {
+		for _, id := range memberIDs {
+			c := children[id]
+			c.mu.Lock()
+			got := c.fromJoiner
+			c.mu.Unlock()
+			if got < joinerSends {
+				return false, fmt.Sprintf("node %d has %d/%d joiner casts", id, got, joinerSends)
+			}
+		}
+		return true, ""
+	}); err != nil {
+		return err
+	}
+
+	// Phase 3: kill one original member mid-run. Its graceful leave is
+	// announced through the control plane, so every survivor must install a
+	// view without it promptly — well under the 5s failure-detector
+	// threshold that would otherwise be the only way out.
+	fmt.Printf("live: sending SIGTERM to node %d (graceful leave)\n", victim)
+	killedAt := time.Now()
+	if err := children[victim].cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("signal node %d: %w", victim, err)
+	}
+	survivors := []netio.NodeID{1, 100, lateJoiner}
+	if err := waitAll(8*time.Second, "survivor views exclude the leaver", func() (bool, string) {
+		for _, id := range survivors {
+			c := children[id]
+			c.mu.Lock()
+			view, at := c.lastView, c.viewAt
+			c.mu.Unlock()
+			if at.Before(killedAt) || containsID(view, victim) {
+				return false, fmt.Sprintf("node %d still at view [%s]", id, view)
+			}
+		}
+		return true, ""
+	}); err != nil {
+		return err
+	}
+	var recoverIn time.Duration
+	for _, id := range survivors {
+		c := children[id]
+		c.mu.Lock()
+		if d := c.viewAt.Sub(killedAt); d > recoverIn {
+			recoverIn = d
+		}
+		c.mu.Unlock()
+	}
+	fmt.Printf("live: all survivors recovered in %s (failure detector would need 5s+)\n", recoverIn.Round(time.Millisecond))
+
+	// Phase 4: wind the rest down gracefully and collect exit statuses.
+	for _, id := range survivors {
+		if err := children[id].cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			return fmt.Errorf("signal node %d: %w", id, err)
+		}
+	}
 	failed := false
-	for range memberIDs {
-		r := <-results
-		if r.err != nil {
-			fmt.Printf("live: node %d FAILED: %v\n", r.id, r.err)
+	for range children {
+		if err := <-results; err != nil {
+			fmt.Printf("live: a participant FAILED: %v\n", err)
 			failed = true
 		}
 	}
 	if failed {
 		return fmt.Errorf("a participant failed")
 	}
+
 	want := sendPerNode * (len(memberIDs) - 1)
 	fmt.Println("live: summary")
 	for _, id := range memberIDs {
-		fmt.Printf("live:   node %3d delivered %d/%d chat + %d/%d telemetry, reconfigured to mecho: %v\n",
-			id, delivered[id], want, telemetry[id], want, reconfigured[id])
+		c := children[id]
+		fmt.Printf("live:   node %3d delivered %d chat (quota %d) + %d/%d telemetry, mecho: %v, joiner casts: %d/%d\n",
+			id, c.delivered, want, c.telemetry, want, c.reconfigured, c.fromJoiner, joinerSends)
 	}
-	fmt.Println("live: ok — reliable multicast in two concurrent groups and a live plain->mecho reconfiguration across 3 processes")
+	fmt.Printf("live:   node %3d (victim) left gracefully: %v\n", victim, children[victim].left)
+	fmt.Printf("live:   node %3d (late joiner) delivered %d chat, config inherited by state transfer\n",
+		lateJoiner, children[lateJoiner].delivered)
+	fmt.Println("live: ok — live reconfiguration, late join via state transfer, and graceful leave across 4 processes")
 	return nil
+}
+
+// waitDone blocks until the child's first "done" line or the timeout.
+func waitDone(c *child, d time.Duration) error {
+	select {
+	case <-c.done:
+		return nil
+	case <-time.After(d):
+		return fmt.Errorf("node %d never reported done", c.id)
+	}
+}
+
+// waitAll polls cond until it holds or the deadline passes.
+func waitAll(d time.Duration, what string, cond func() (bool, string)) error {
+	deadline := time.Now().Add(d)
+	for {
+		ok, lag := cond()
+		if ok {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("timeout waiting for %s: %s", what, lag)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// containsID reports whether the comma-separated view members include id.
+func containsID(view string, id netio.NodeID) bool {
+	for _, part := range strings.Split(view, ",") {
+		if strings.TrimSpace(part) == fmt.Sprint(id) {
+			return true
+		}
+	}
+	return false
 }
 
 // allocatePeers reserves one localhost UDP port per member. The ports are
 // released before the children bind them; a steal in that window would
 // fail the run loudly, which for a demo is acceptable.
-func allocatePeers() (map[netio.NodeID]string, error) {
-	peers := make(map[netio.NodeID]string, len(memberIDs))
-	for _, id := range memberIDs {
+func allocatePeers(ids []netio.NodeID) (map[netio.NodeID]string, error) {
+	peers := make(map[netio.NodeID]string, len(ids))
+	for _, id := range ids {
 		c, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
 		if err != nil {
 			return nil, err
@@ -185,9 +377,9 @@ func allocatePeers() (map[netio.NodeID]string, error) {
 }
 
 // formatPeers renders the directory in -peers syntax.
-func formatPeers(peers map[netio.NodeID]string) string {
+func formatPeers(peers map[netio.NodeID]string, ids []netio.NodeID) string {
 	parts := make([]string, 0, len(peers))
-	for _, id := range memberIDs {
+	for _, id := range ids {
 		parts = append(parts, fmt.Sprintf("%d=%s", id, peers[id]))
 	}
 	return strings.Join(parts, ",")

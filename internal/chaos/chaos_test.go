@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 
 	"morpheus/internal/chaos/invariants"
@@ -107,6 +108,58 @@ func TestChaosBrokenInvariantReplaysBitIdentical(t *testing.T) {
 		if a.Violations[i] != b.Violations[i] {
 			t.Fatalf("violation %d diverged:\n%s\nvs\n%s", i, a.Violations[i], b.Violations[i])
 		}
+	}
+}
+
+// TestGracefulChurnKnob pins the membership-lifecycle knob's contract.
+// Off (the default), the generator's draw sequence is untouched: stripping
+// the graceful-churn events from a knob-on schedule yields exactly the
+// knob-off schedule, which is what keeps the corpus hashes pinned. On, the
+// run exercises JoinVia state transfer and a graceful mid-run leave, holds
+// every invariant, drains the survivors' windows after the leave, and
+// replays bit-identically.
+func TestGracefulChurnKnob(t *testing.T) {
+	on := Generate(replaySeed, Profile{GracefulChurns: 1})
+	off := Generate(replaySeed, Profile{})
+	var stripped []Event
+	waves := 0
+	for _, e := range on.Events {
+		if e.Kind == KindGracefulChurn {
+			waves++
+			if e.Node == 1 {
+				t.Fatalf("wave targets the anchor:\n%s", on)
+			}
+			continue
+		}
+		stripped = append(stripped, e)
+	}
+	if waves != 1 {
+		t.Fatalf("knob-on schedule drew %d graceful-churn waves, want 1:\n%s", waves, on)
+	}
+	if got, want := (Schedule{Seed: replaySeed, Events: stripped}).String(), off.String(); got != want {
+		t.Fatalf("knob perturbed the base draw sequence:\n%s\nvs\n%s", got, want)
+	}
+
+	opts := Options{Profile: Profile{GracefulChurns: 1}}
+	a, err := Run(replaySeed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Violations) != 0 {
+		t.Fatalf("graceful-churn run violated invariants:\n%s", a.Trace)
+	}
+	if !strings.Contains(a.Trace, "graceful-churn") {
+		t.Fatalf("trace never reached the graceful-churn wave:\n%s", a.Trace)
+	}
+	if !strings.Contains(a.Trace, "survivors drained after leave: true") {
+		t.Fatalf("survivors never drained after the graceful leave:\n%s", a.Trace)
+	}
+	b, err := Run(replaySeed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash != b.Hash {
+		t.Fatalf("graceful-churn run did not replay: %s vs %s\n--- first\n%s\n--- second\n%s", a.Hash, b.Hash, a.Trace, b.Trace)
 	}
 }
 

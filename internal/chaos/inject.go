@@ -90,6 +90,10 @@ func (r *runner) apply(idx int, ev Event) {
 		r.logf("churn wave n=%d", ev.N)
 		r.fork(func() { r.churn(idx, ev) })
 
+	case KindGracefulChurn:
+		r.logf("graceful-churn wave joiner=%d n=%d", ev.Node, ev.N)
+		r.fork(func() { r.gracefulChurn(idx, ev) })
+
 	case KindReconfig:
 		r.logf("reconfig target=%s", ev.Config)
 		r.desired.Store(ev.Config)
@@ -249,4 +253,144 @@ func (r *runner) churn(idx int, ev Event) {
 		}
 	}
 	r.logf("churn %s left", name)
+}
+
+// gracefulChurn runs one late-join/graceful-leave wave through the full
+// membership lifecycle: the live members minus the designated late joiner
+// bootstrap a fresh group, the late joiner then enters the *running* group
+// through the anchor seed via state transfer (JoinVia — no epoch-0
+// bootstrap, no history replay), everyone floods, and once the wave has
+// landed the late joiner leaves gracefully. The announced departure must
+// release the survivors' send-window state within a stability round — the
+// wedge the membership-lifecycle PR fixed — long before the failure
+// detector could react.
+func (r *runner) gracefulChurn(idx int, ev Event) {
+	name := fmt.Sprintf("late%d", idx)
+	late := ev.Node
+	anchor := r.opts.Profile.Anchor
+	if r.isCrashed(late) {
+		r.logf("graceful-churn %s skipped (late joiner %d crashed)", name, late)
+		return
+	}
+	boot := make([]NodeID, 0, len(r.members))
+	for _, m := range r.members {
+		if m != late && !r.isCrashed(m) {
+			boot = append(boot, m)
+		}
+	}
+	if len(boot) < 2 {
+		r.logf("graceful-churn %s skipped (%d bootstrap members)", name, len(boot))
+		return
+	}
+
+	groups := make(map[NodeID]*morpheus.Group, len(boot)+1)
+	joined := make([]NodeID, 0, len(boot)+1)
+	for _, id := range boot {
+		g, err := r.nodes[id].Join(name, morpheus.GroupConfig{
+			Members:    boot,
+			OnCast:     r.recorder(id, name),
+			SendWindow: r.opts.SendWindow,
+		})
+		if err != nil {
+			r.logf("graceful-churn %s: node %d join failed: %v", name, id, err)
+			continue
+		}
+		groups[id], joined = g, append(joined, id)
+	}
+
+	// The late join under test. It happens before any wave cast is
+	// accepted, so the joiner's recorded trace is checkable against the
+	// full accepted set like every bootstrap member's.
+	lateJoined := false
+	if g, err := r.nodes[late].JoinVia(name, anchor, morpheus.GroupConfig{
+		OnCast:     r.recorder(late, name),
+		SendWindow: r.opts.SendWindow,
+	}); err != nil {
+		r.logf("graceful-churn %s: node %d join via %d failed: %v", name, late, anchor, err)
+	} else {
+		groups[late], joined, lateJoined = g, append(joined, late), true
+	}
+	r.logf("graceful-churn %s joined members=%v late-joined=%v", name, joined, lateJoined)
+
+	// Flood round-robin, exactly like a churn wave.
+	dropped := make(map[NodeID]bool)
+	deadline := r.clk.Now().Add(10 * time.Second)
+	for i := 0; i < ev.N; i++ {
+		for _, id := range joined {
+			if dropped[id] || r.isCrashed(id) {
+				dropped[id] = true
+				continue
+			}
+			payload := encodePayload(name, "m", i)
+			for {
+				err := groups[id].TrySend(payload)
+				if err == nil {
+					r.accept(name, id, "m")
+					break
+				}
+				if !errors.Is(err, morpheus.ErrWindowFull) {
+					dropped[id] = true
+					break
+				}
+				r.rejected.Add(1)
+				if r.isCrashed(id) || !r.clk.Now().Before(deadline) {
+					dropped[id] = true
+					break
+				}
+				r.clk.Sleep(2 * time.Millisecond)
+			}
+			r.clk.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Wait for the wave to land on every live member before anyone leaves.
+	r.waitFor(10*time.Second, func() bool {
+		for _, id := range joined {
+			if r.isCrashed(id) {
+				continue
+			}
+			for k, n := range r.acceptedFor(id, name) {
+				if r.isCrashed(k.Origin) {
+					continue
+				}
+				if r.deliveredCount(traceKey{node: id, group: name}, k) < n {
+					return false
+				}
+			}
+		}
+		return true
+	})
+
+	// The graceful departure under test: the late joiner leaves first, and
+	// its announcement must drain every survivor's send window on the wave
+	// group promptly (the drained line is part of the hashed trace, so a
+	// regression here breaks replay pins loudly).
+	if lateJoined {
+		if err := groups[late].Leave(); err != nil {
+			r.logf("graceful-churn %s: node %d leave failed: %v", name, late, err)
+		} else {
+			drained := r.waitFor(10*time.Second, func() bool {
+				for _, id := range boot {
+					if r.isCrashed(id) || groups[id] == nil {
+						continue
+					}
+					fs := groups[id].FlowStats()
+					if fs.Window.InUse != 0 || fs.BufferedSends != 0 {
+						return false
+					}
+				}
+				return true
+			})
+			r.logf("graceful-churn %s: survivors drained after leave: %v", name, drained)
+		}
+	}
+	for _, id := range boot {
+		if groups[id] == nil {
+			continue
+		}
+		if err := groups[id].Leave(); err != nil {
+			r.logf("graceful-churn %s: node %d leave failed: %v", name, id, err)
+		}
+	}
+	r.logf("graceful-churn %s left", name)
 }

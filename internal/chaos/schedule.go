@@ -57,19 +57,28 @@ const (
 	// KindReconfig forces the data group to the named configuration
 	// (plain↔mecho) through the normal policy/Prepare/Ack path.
 	KindReconfig
+	// KindGracefulChurn exercises the full membership lifecycle on a fresh
+	// group: the live members minus one bootstrap it, the excluded node
+	// then enters the *running* group through the anchor seed via state
+	// transfer (JoinVia), everyone floods, and the late joiner leaves
+	// gracefully — the announced departure must release the survivors'
+	// send-window state within a stability round. Generated only when
+	// Profile.GracefulChurns is set (default off).
+	KindGracefulChurn
 )
 
 var kindNames = map[Kind]string{
-	KindCrash:        "crash",
-	KindPartition:    "partition",
-	KindHeal:         "heal",
-	KindLossSpike:    "loss-spike",
-	KindLossClear:    "loss-clear",
-	KindLatencySpike: "latency-spike",
-	KindLatencyClear: "latency-clear",
-	KindBurst:        "burst",
-	KindChurn:        "churn",
-	KindReconfig:     "reconfig",
+	KindCrash:         "crash",
+	KindPartition:     "partition",
+	KindHeal:          "heal",
+	KindLossSpike:     "loss-spike",
+	KindLossClear:     "loss-clear",
+	KindLatencySpike:  "latency-spike",
+	KindLatencyClear:  "latency-clear",
+	KindBurst:         "burst",
+	KindChurn:         "churn",
+	KindReconfig:      "reconfig",
+	KindGracefulChurn: "graceful-churn",
 }
 
 // String implements fmt.Stringer.
@@ -118,6 +127,8 @@ func (e Event) String() string {
 		fmt.Fprintf(&b, " node=%d n=%d", e.Node, e.N)
 	case KindChurn:
 		fmt.Fprintf(&b, " n=%d", e.N)
+	case KindGracefulChurn:
+		fmt.Fprintf(&b, " joiner=%d n=%d", e.Node, e.N)
 	case KindReconfig:
 		fmt.Fprintf(&b, " config=%s", e.Config)
 	}
@@ -168,6 +179,12 @@ type Profile struct {
 	// threshold the runner configures, or transient faults turn into
 	// spurious evictions.
 	MaxHold time.Duration
+	// GracefulChurns adds that many late-join/graceful-leave waves
+	// (KindGracefulChurn) to the schedule. Default 0 — off, so the pinned
+	// corpus hashes of the standard profile are untouched; the waves are
+	// drawn after the main fault loop, which keeps the knob-off draw
+	// sequence byte-identical either way.
+	GracefulChurns int
 }
 
 func (p *Profile) defaults() {
@@ -313,6 +330,16 @@ func Generate(seed int64, p Profile) Schedule {
 			}
 			events = append(events, Event{At: at(), Kind: KindReconfig, Config: target})
 		}
+	}
+
+	// Graceful-churn waves (default off) are drawn after the main loop so
+	// enabling the knob extends — never perturbs — the draw sequence the
+	// pinned corpus hashes depend on. The late joiner is drawn from the
+	// non-anchor set: the anchor is the wave's seed member and must be in
+	// the bootstrap.
+	for i := 0; i < p.GracefulChurns; i++ {
+		target := nonAnchor[rng.Intn(len(nonAnchor))]
+		events = append(events, Event{At: at(), Kind: KindGracefulChurn, Node: target, N: 3 + rng.Intn(4)})
 	}
 
 	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })

@@ -38,6 +38,9 @@ var (
 	ErrEmptyGroupName = errors.New("core: empty group name")
 	ErrNoManager      = errors.New("core: group runtime needs a manager")
 	ErrDuplicateGroup = errors.New("core: group already registered")
+	// ErrNotReady reports a wire operation before the control channel is up
+	// (or after it closed).
+	ErrNotReady = errors.New("core: control channel not ready")
 )
 
 // PrepareEvent instructs every participant to deploy a new configuration
@@ -61,6 +64,49 @@ type AckEvent struct {
 	Epoch       uint64
 }
 
+// GroupQueryEvent asks one control-group member (the late joiner's seed)
+// for a hosted group's current deployment. Unreliable point-to-point: the
+// joiner retries until a GroupInfoEvent answers. Header: group name.
+type GroupQueryEvent struct {
+	appia.SendableEvent
+	TargetGroup string
+}
+
+// GroupInfoEvent answers a GroupQueryEvent with the group's deployment
+// snapshot — enough for a late joiner to build the same stack at the same
+// epoch and request admission into the running view. Headers mirror
+// PrepareEvent's discipline: group, epoch, config name, members, XML.
+type GroupInfoEvent struct {
+	appia.SendableEvent
+	TargetGroup string
+	Epoch       uint64
+	ConfigName  string
+	Members     []appia.NodeID
+	XML         string
+}
+
+// GroupJoinEvent announces — reliably, to the whole control group — that
+// Member is entering TargetGroup: every hosting node widens the group's
+// configured membership so future reconfigurations and the effective view
+// include the joiner. Headers: group, member.
+type GroupJoinEvent struct {
+	group.CastEvent
+	TargetGroup string
+	Member      appia.NodeID
+}
+
+// GroupLeaveEvent announces a *voluntary* departure of Member from
+// TargetGroup, distinct from a failure: survivors narrow the configured
+// membership and run a non-holding view change on the group's data channel
+// immediately, so stability watermarks exclude the leaver within one flush
+// round instead of holding casts and send credits until FD eviction.
+// Headers: group, member.
+type GroupLeaveEvent struct {
+	group.CastEvent
+	TargetGroup string
+	Member      appia.NodeID
+}
+
 // RegisterWireEvents registers core's wire kinds (idempotent).
 func RegisterWireEvents(reg *appia.EventKindRegistry) {
 	if reg == nil {
@@ -68,6 +114,29 @@ func RegisterWireEvents(reg *appia.EventKindRegistry) {
 	}
 	reg.Register("core.prepare", func() appia.Sendable { return &PrepareEvent{} })
 	reg.Register("core.ack", func() appia.Sendable { return &AckEvent{} })
+	reg.Register("core.groupquery", func() appia.Sendable { return &GroupQueryEvent{} })
+	reg.Register("core.groupinfo", func() appia.Sendable { return &GroupInfoEvent{} })
+	reg.Register("core.groupjoin", func() appia.Sendable { return &GroupJoinEvent{} })
+	reg.Register("core.groupleave", func() appia.Sendable { return &GroupLeaveEvent{} })
+}
+
+// GroupInfo is a cached deployment snapshot received via GroupInfoEvent.
+type GroupInfo struct {
+	Group      string
+	Epoch      uint64
+	ConfigName string
+	Members    []appia.NodeID
+	XML        string
+}
+
+// Contains reports whether id is one of the recorded data members.
+func (gi GroupInfo) Contains(id appia.NodeID) bool {
+	for _, m := range gi.Members {
+		if m == id {
+			return true
+		}
+	}
+	return false
 }
 
 // PolicyInput is what a policy sees: the group's effective view (the
@@ -172,6 +241,10 @@ func NewLayer(cfg Config) *Layer {
 				Accepts: []appia.EventType{
 					appia.T[*PrepareEvent](),
 					appia.T[*AckEvent](),
+					appia.T[*GroupQueryEvent](),
+					appia.T[*GroupInfoEvent](),
+					appia.T[*GroupJoinEvent](),
+					appia.T[*GroupLeaveEvent](),
 					appia.T[*group.ViewInstall](),
 					appia.T[*evalTick](),
 					appia.T[*appia.ChannelInit](),
@@ -179,6 +252,10 @@ func NewLayer(cfg Config) *Layer {
 				Provides: []appia.EventType{
 					appia.T[*PrepareEvent](),
 					appia.T[*AckEvent](),
+					appia.T[*GroupQueryEvent](),
+					appia.T[*GroupInfoEvent](),
+					appia.T[*GroupJoinEvent](),
+					appia.T[*GroupLeaveEvent](),
 				},
 			},
 		},
@@ -233,6 +310,13 @@ type Session struct {
 
 	mu     sync.Mutex // guards the groups registry
 	groups map[string]*groupState
+
+	// wireMu guards the channel handle and the group-info cache: both are
+	// written on the scheduler goroutine and read by the facade's join
+	// machinery from arbitrary goroutines.
+	wireMu sync.Mutex
+	wireCh *appia.Channel
+	infos  map[string]GroupInfo
 }
 
 var _ appia.Session = (*Session)(nil)
@@ -312,6 +396,9 @@ func (s *Session) Handle(ch *appia.Channel, ev appia.Event) {
 		if sess, ok := ch.SessionFor("cocaditem").(*cocaditem.Session); ok {
 			s.ctx = sess
 		}
+		s.wireMu.Lock()
+		s.wireCh = ch
+		s.wireMu.Unlock()
 		self := appia.Session(s)
 		s.stopTick = ch.DeliverEvery(s.cfg.evalInterval(), self, func() appia.Event { return &evalTick{} })
 		ch.Forward(ev)
@@ -319,6 +406,9 @@ func (s *Session) Handle(ch *appia.Channel, ev appia.Event) {
 		if s.stopTick != nil {
 			s.stopTick()
 		}
+		s.wireMu.Lock()
+		s.wireCh = nil
+		s.wireMu.Unlock()
 		ch.Forward(ev)
 	case *group.ViewInstall:
 		if e.Dir() == appia.Up {
@@ -331,6 +421,14 @@ func (s *Session) Handle(ch *appia.Channel, ev appia.Event) {
 		s.onPrepare(ch, e)
 	case *AckEvent:
 		s.onAck(ch, e)
+	case *GroupQueryEvent:
+		s.onGroupQuery(ch, e)
+	case *GroupInfoEvent:
+		s.onGroupInfo(ch, e)
+	case *GroupJoinEvent:
+		s.onGroupJoin(ch, e)
+	case *GroupLeaveEvent:
+		s.onGroupLeave(ch, e)
 	default:
 		ch.Forward(ev)
 	}
@@ -416,13 +514,39 @@ func (repairPolicy) Evaluate(PolicyInput) *Decision { return nil }
 // evicts the peer, which both re-bounds retention and releases the stalled
 // credits (see group.nak's view-install release).
 func (s *Session) repairMembership(ch *appia.Channel, gs *groupState, gv group.View) {
+	// The repair examines the union of the epoch's deploy list and the
+	// channel's live view: mid-epoch views only ever shrink the deploy list
+	// except for late-join admissions, and an admitted joiner that dies
+	// before the next reconfiguration exists only in the view — it must
+	// trigger the same eviction a deployed member's death does.
 	deployed := gs.rt.Manager.Members()
 	if len(deployed) == 0 || len(gv.Members) == 0 {
 		return
 	}
+	check := deployed
+	for _, m := range gs.rt.Manager.ViewMembers() {
+		found := false
+		for _, d := range deployed {
+			if d == m {
+				found = true
+				break
+			}
+		}
+		if !found {
+			check = append(check, m)
+		}
+	}
+	// Eviction keys off the raw control-group view, not gv: a member can be
+	// missing from gv merely because its join announcement has not been
+	// delivered yet — the gms admits through the data channel while the
+	// announcement rides the control channel, and there is no cross-channel
+	// ordering. Such a member is a live late joiner mid-admission; evicting
+	// it would redeploy the group around a node stranded in a view only it
+	// committed (chaos churn seed 28). Only a member the failure detector
+	// actually removed from the control group is dead to repair.
 	shrunk := false
-	for _, m := range deployed {
-		if !gv.Contains(m) {
+	for _, m := range check {
+		if !s.view.Contains(m) {
 			shrunk = true
 			break
 		}
@@ -434,10 +558,19 @@ func (s *Session) repairMembership(ch *appia.Channel, gs *groupState, gv group.V
 	if doc == nil {
 		return
 	}
+	// The repaired membership keeps every control-live member from both
+	// sides: gv (the announced membership) plus any admitted-but-
+	// unannounced joiner that so far exists only in the data view.
+	members := append([]appia.NodeID(nil), gv.Members...)
+	for _, m := range check {
+		if s.view.Contains(m) && !gv.Contains(m) {
+			members = append(members, m)
+		}
+	}
 	s.initiate(ch, gs, gv, repairPolicy{}, &Decision{
 		ConfigName: gs.current,
 		Doc:        doc,
-		Members:    append([]appia.NodeID(nil), gv.Members...),
+		Members:    group.NormalizeMembers(members),
 		Reason:     "deployed membership lost a control-live member",
 	})
 }
@@ -621,6 +754,286 @@ func (s *Session) onAck(ch *appia.Channel, e *AckEvent) {
 	}
 	s.cfg.logf("core[%d]: group %q: epoch %d (%s) deployed group-wide in %v",
 		s.cfg.Self, gs.rt.Group, epoch, gs.flightName, took)
+}
+
+// onGroupQuery answers a late joiner's discovery query from the local
+// deployment state, point-to-point and unreliably (the joiner retries).
+// Nodes that do not host the group stay silent.
+func (s *Session) onGroupQuery(ch *appia.Channel, e *GroupQueryEvent) {
+	if e.Dir() == appia.Down {
+		ch.Forward(e)
+		return
+	}
+	groupName, err := e.EnsureMsg().PopString()
+	if err != nil {
+		return
+	}
+	e.TargetGroup = groupName
+	gs := s.lookup(groupName)
+	if gs == nil {
+		return
+	}
+	doc := gs.rt.Manager.CurrentDocument()
+	if doc == nil {
+		return
+	}
+	xml, err := doc.Marshal()
+	if err != nil {
+		s.cfg.logf("core[%d]: group %q: marshal for group info: %v", s.cfg.Self, groupName, err)
+		return
+	}
+	info := &GroupInfoEvent{
+		TargetGroup: groupName,
+		Epoch:       gs.rt.Manager.Epoch(),
+		ConfigName:  gs.rt.Manager.ConfigName(),
+		// The live view, not the epoch's bootstrap list: the joiner must
+		// aim its data-channel JoinReq at members that still exist.
+		Members: gs.rt.Manager.ViewMembers(),
+		XML:     xml,
+	}
+	info.Dest = e.Source
+	info.Class = appia.ClassControl
+	m := info.EnsureMsg()
+	m.PushString(info.XML)
+	ids := make([]uint64, len(info.Members))
+	for i, id := range info.Members {
+		ids[i] = uint64(uint32(id))
+	}
+	m.PushUvarintSlice(ids)
+	m.PushString(info.ConfigName)
+	m.PushUvarint(info.Epoch)
+	m.PushString(info.TargetGroup)
+	sess := appia.Session(s)
+	_ = ch.SendFrom(sess, info, appia.Down)
+}
+
+// onGroupInfo caches a discovery answer for LastGroupInfo.
+func (s *Session) onGroupInfo(ch *appia.Channel, e *GroupInfoEvent) {
+	if e.Dir() == appia.Down {
+		ch.Forward(e)
+		return
+	}
+	m := e.EnsureMsg()
+	groupName, err := m.PopString()
+	if err != nil {
+		return
+	}
+	epoch, err := m.PopUvarint()
+	if err != nil {
+		return
+	}
+	name, err := m.PopString()
+	if err != nil {
+		return
+	}
+	ids, err := m.PopUvarintSlice()
+	if err != nil {
+		return
+	}
+	xml, err := m.PopString()
+	if err != nil {
+		return
+	}
+	members := make([]appia.NodeID, len(ids))
+	for i, u := range ids {
+		members[i] = appia.NodeID(uint32(u))
+	}
+	e.TargetGroup, e.Epoch, e.ConfigName, e.Members, e.XML = groupName, epoch, name, members, xml
+	s.wireMu.Lock()
+	if s.infos == nil {
+		s.infos = make(map[string]GroupInfo)
+	}
+	if cur, ok := s.infos[groupName]; !ok || epoch >= cur.Epoch {
+		s.infos[groupName] = GroupInfo{
+			Group: groupName, Epoch: epoch, ConfigName: name,
+			Members: members, XML: xml,
+		}
+	}
+	s.wireMu.Unlock()
+}
+
+// onGroupJoin widens a hosted group's configured membership with an
+// announced joiner, so the effective view (and every future
+// reconfiguration) includes it. The joiner's own data-channel admission
+// runs separately through the group's GMS.
+func (s *Session) onGroupJoin(ch *appia.Channel, e *GroupJoinEvent) {
+	if e.Dir() == appia.Down {
+		ch.Forward(e)
+		return
+	}
+	m := e.EnsureMsg()
+	groupName, err := m.PopString()
+	if err != nil {
+		return
+	}
+	u, err := m.PopUvarint()
+	if err != nil {
+		return
+	}
+	member := appia.NodeID(uint32(u))
+	e.TargetGroup, e.Member = groupName, member
+	if member == s.cfg.Self {
+		return // our own announcement echoing back
+	}
+	gs := s.lookup(groupName)
+	if gs == nil || len(gs.rt.Members) == 0 {
+		// Not hosting, or membership slaved to the whole control group —
+		// which tracks the joiner by construction.
+		return
+	}
+	for _, mbr := range gs.rt.Members {
+		if mbr == member {
+			return
+		}
+	}
+	gs.rt.Members = group.NormalizeMembers(append(gs.rt.Members, member))
+}
+
+// onGroupLeave narrows a hosted group's configured membership after a
+// voluntary departure and runs a non-holding view change on the data
+// channel so survivors' stability watermarks exclude the leaver now —
+// releasing its held casts and send-window credits within one flush round
+// instead of wedging until FD eviction (the leaver stays control-live on
+// its node, so the failure detector never excuses it).
+func (s *Session) onGroupLeave(ch *appia.Channel, e *GroupLeaveEvent) {
+	if e.Dir() == appia.Down {
+		ch.Forward(e)
+		return
+	}
+	m := e.EnsureMsg()
+	groupName, err := m.PopString()
+	if err != nil {
+		return
+	}
+	u, err := m.PopUvarint()
+	if err != nil {
+		return
+	}
+	member := appia.NodeID(uint32(u))
+	e.TargetGroup, e.Member = groupName, member
+	gs := s.lookup(groupName)
+	if gs == nil {
+		return // not hosting (or we are the leaver: Leave unregisters first)
+	}
+	if len(gs.rt.Members) == 0 {
+		// Whole-control-group membership: materialize it minus the leaver —
+		// the leaver stays control-live, so restriction alone cannot excuse
+		// it.
+		gs.rt.Members = append([]appia.NodeID(nil), s.view.Members...)
+	}
+	kept := gs.rt.Members[:0]
+	for _, mbr := range gs.rt.Members {
+		if mbr != member {
+			kept = append(kept, mbr)
+		}
+	}
+	gs.rt.Members = kept
+	// Evict the leaver from the running data view. Scoped to the surviving
+	// view members so the lowest survivor coordinates even when the leaver
+	// was the data channel's coordinator.
+	vm := gs.rt.Manager.ViewMembers()
+	inView := false
+	survivors := make([]appia.NodeID, 0, len(vm))
+	for _, mbr := range vm {
+		if mbr == member {
+			inView = true
+			continue
+		}
+		survivors = append(survivors, mbr)
+	}
+	if !inView || len(survivors) == 0 {
+		return // already excluded (a repair or eviction got there first)
+	}
+	selfIn := false
+	for _, mbr := range survivors {
+		if mbr == s.cfg.Self {
+			selfIn = true
+			break
+		}
+	}
+	if !selfIn {
+		return
+	}
+	dch := gs.rt.Manager.Channel()
+	if dch == nil {
+		return
+	}
+	trigger := &group.TriggerFlush{Hold: false, Members: survivors}
+	if err := dch.Insert(trigger, appia.Down); err != nil {
+		// A reconfiguration is tearing the channel down: the next epoch
+		// bootstraps from the already-narrowed membership.
+		s.cfg.logf("core[%d]: group %q: leave flush for %d: %v", s.cfg.Self, groupName, member, err)
+	}
+}
+
+// --- Facade wire APIs (safe from any goroutine) -----------------------------
+
+func (s *Session) channel() *appia.Channel {
+	s.wireMu.Lock()
+	defer s.wireMu.Unlock()
+	return s.wireCh
+}
+
+// RequestGroupInfo asks seed for a hosted group's deployment snapshot; the
+// answer lands in LastGroupInfo. Unreliable — callers retry.
+func (s *Session) RequestGroupInfo(seed appia.NodeID, groupName string) error {
+	ch := s.channel()
+	if ch == nil {
+		return ErrNotReady
+	}
+	q := &GroupQueryEvent{TargetGroup: groupName}
+	q.Dest = seed
+	q.Class = appia.ClassControl
+	q.EnsureMsg().PushString(groupName)
+	return ch.Insert(q, appia.Down)
+}
+
+// LastGroupInfo returns the most recent discovery answer for a group.
+func (s *Session) LastGroupInfo(groupName string) (GroupInfo, bool) {
+	s.wireMu.Lock()
+	defer s.wireMu.Unlock()
+	info, ok := s.infos[groupName]
+	return info, ok
+}
+
+// ForgetGroupInfo drops a cached discovery answer (before re-querying).
+func (s *Session) ForgetGroupInfo(groupName string) {
+	s.wireMu.Lock()
+	delete(s.infos, groupName)
+	s.wireMu.Unlock()
+}
+
+// AnnounceJoin reliably announces to the control group that member is
+// entering groupName (see GroupJoinEvent).
+func (s *Session) AnnounceJoin(groupName string, member appia.NodeID) error {
+	return s.announceMembership(groupName, member, true)
+}
+
+// AnnounceLeave reliably announces member's voluntary departure from
+// groupName (see GroupLeaveEvent).
+func (s *Session) AnnounceLeave(groupName string, member appia.NodeID) error {
+	return s.announceMembership(groupName, member, false)
+}
+
+func (s *Session) announceMembership(groupName string, member appia.NodeID, join bool) error {
+	ch := s.channel()
+	if ch == nil {
+		return ErrNotReady
+	}
+	var ev appia.Sendable
+	var base *group.CastEvent
+	if join {
+		je := &GroupJoinEvent{TargetGroup: groupName, Member: member}
+		ev, base = je, &je.CastEvent
+	} else {
+		le := &GroupLeaveEvent{TargetGroup: groupName, Member: member}
+		ev, base = le, &le.CastEvent
+	}
+	base.Class = appia.ClassControl
+	m := base.EnsureMsg()
+	m.PushUvarint(uint64(uint32(member)))
+	m.PushString(groupName)
+	return ch.Insert(ev, appia.Down)
 }
 
 // DeployedEpoch reports the last epoch the named group's local manager

@@ -44,6 +44,12 @@ type ChaosConfig struct {
 	// ExtraGroups hosts that many additional quiet groups per node in
 	// every run — the scheduler-pool scale smoke (default 0).
 	ExtraGroups int
+	// GracefulChurns adds that many late-join/graceful-leave waves per
+	// schedule (chaos.Profile.GracefulChurns): each wave bootstraps a fresh
+	// group without one member, folds it in late via JoinVia state
+	// transfer, floods, and leaves gracefully. Default 0 — off, so the
+	// standard E12 traces are unchanged.
+	GracefulChurns int
 	// Logf receives per-node diagnostics of failing runs; nil discards.
 	Logf func(format string, args ...any)
 }
@@ -79,7 +85,11 @@ func RunChaos(cfg ChaosConfig) ([]ChaosRow, error) {
 			defer wg.Done()
 			for i := range next {
 				seed := cfg.Base + int64(i)
-				res, err := chaos.Run(seed, chaos.Options{Logf: cfg.Logf, ExtraGroups: cfg.ExtraGroups})
+				res, err := chaos.Run(seed, chaos.Options{
+					Profile:     chaos.Profile{GracefulChurns: cfg.GracefulChurns},
+					Logf:        cfg.Logf,
+					ExtraGroups: cfg.ExtraGroups,
+				})
 				if err != nil {
 					errs[i] = fmt.Errorf("seed %d: %w", seed, err)
 					continue

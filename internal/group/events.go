@@ -340,6 +340,17 @@ type TriggerFlush struct {
 	Members []appia.NodeID
 }
 
+// JoinVia asks the GMS to enter a *running* group through one seed
+// member: the facade injects it on a late joiner's channel (bootstrapped
+// as a singleton view) and the session keeps re-sending the JoinReq until
+// a view containing both itself and the seed installs — the request, the
+// flush it folds into, or the state-transfer answer can all be lost while
+// the joiner still sits outside the reliable repair path.
+type JoinVia struct {
+	appia.EventBase
+	Seed appia.NodeID
+}
+
 // VectorQuery is bounced off the reliable layer to snapshot its delivered
 // vector.
 type VectorQuery struct {
@@ -378,6 +389,11 @@ type fdTick struct {
 type flushRetryTick struct {
 	appia.EventBase
 	viewID uint64
+}
+
+// joinRetryTick re-drives an unanswered join request.
+type joinRetryTick struct {
+	appia.EventBase
 }
 
 // RegisterWireEvents registers the suite's wire event kinds in the given

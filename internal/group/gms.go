@@ -26,6 +26,12 @@ type GMSConfig struct {
 	// FlushRetry is the re-propose period while a flush has not converged
 	// (default 30ms).
 	FlushRetry time.Duration
+	// JoinRetry is the re-request period while a JoinVia admission is
+	// outstanding (default 200ms). The join request and its state-transfer
+	// answer are both unreliable point-to-point sends — the joiner sits
+	// outside the group's repair path until a view admits it — so the
+	// session re-drives the request on this period.
+	JoinRetry time.Duration
 	// OnView, when set, is called (on the scheduler goroutine) after each
 	// view installation. Used by Core and by tests.
 	OnView func(v View)
@@ -58,6 +64,13 @@ func (c *GMSConfig) flushRetry() time.Duration {
 	return c.FlushRetry
 }
 
+func (c *GMSConfig) joinRetry() time.Duration {
+	if c.JoinRetry <= 0 {
+		return 200 * time.Millisecond
+	}
+	return c.JoinRetry
+}
+
 // GMSLayer provides group membership with view synchrony. The member with
 // the lowest identifier coordinates: it detects failures (when EnableFD),
 // admits joiners, and drives the flush protocol that guarantees all
@@ -83,10 +96,12 @@ func NewGMSLayer(cfg GMSConfig) *GMSLayer {
 					appia.T[*JoinReq](),
 					appia.T[*StateTransfer](),
 					appia.T[*TriggerFlush](),
+					appia.T[*JoinVia](),
 					appia.T[*VectorQuery](),
 					appia.T[*hbTick](),
 					appia.T[*fdTick](),
 					appia.T[*flushRetryTick](),
+					appia.T[*joinRetryTick](),
 					appia.T[*appia.ChannelInit](),
 				},
 				Provides: []appia.EventType{
@@ -144,6 +159,18 @@ type gmsSession struct {
 	memberProposed View
 	memberHold     bool
 
+	// Late-join state (joiner side): the seed a JoinVia is being driven
+	// through (NoNode when no join is outstanding) and its retry timer.
+	joinSeed        appia.NodeID
+	joinRetryCancel func()
+
+	// pendingTrigger queues one non-holding TriggerFlush that arrived while
+	// a flush was already running (a leave announcement racing a failure
+	// flush, say): it replays after the in-progress view commits instead of
+	// being dropped. Holding triggers keep the historical drop — Core
+	// re-drives reconfiguration itself.
+	pendingTrigger *TriggerFlush
+
 	// stopped marks the session past ChannelClose: late casts (posted in
 	// the Insert/Close race window, dispatched after teardown) must NOT
 	// enter the pending buffer — the stack manager has already harvested
@@ -183,6 +210,10 @@ func (s *gmsSession) Handle(ch *appia.Channel, ev appia.Event) {
 		s.onStateTransfer(ch, e)
 	case *TriggerFlush:
 		s.onTriggerFlush(ch, e)
+	case *JoinVia:
+		s.onJoinVia(ch, e)
+	case *joinRetryTick:
+		s.onJoinRetry(ch)
 	case *VectorQuery:
 		// Bounced back from the reliable layer mid-flush.
 		s.onVector(ch, e)
@@ -237,6 +268,9 @@ func (s *gmsSession) onClose() {
 	}
 	if s.retryCancel != nil {
 		s.retryCancel()
+	}
+	if s.joinRetryCancel != nil {
+		s.joinRetryCancel()
 	}
 }
 
@@ -330,10 +364,19 @@ func (s *gmsSession) onTriggerFlush(ch *appia.Channel, e *TriggerFlush) {
 			}
 		}
 	}
-	if actor != s.cfg.Self {
+	if s.phase == phaseFlushing {
+		if !e.Hold {
+			// A membership trigger (leave announcement) racing an already
+			// running flush must not vanish: replay it once the in-progress
+			// view commits, on every member so the re-election then picks
+			// whoever actually survived. Holding triggers keep the
+			// historical drop — Core re-drives reconfiguration on its own
+			// schedule.
+			s.pendingTrigger = e
+		}
 		return
 	}
-	if s.phase == phaseFlushing {
+	if actor != s.cfg.Self {
 		return
 	}
 	s.startFlush(ch, target, e.Hold)
@@ -619,11 +662,22 @@ func (s *gmsSession) commitView(ch *appia.Channel, v View, hold bool) {
 			delete(s.lastSeen, seen)
 		}
 	}
+	if s.joinSeed != appia.NoNode && v.Contains(s.cfg.Self) && v.Contains(s.joinSeed) {
+		// The JoinVia admission landed: stop re-requesting.
+		s.joinSeed = appia.NoNode
+		if s.joinRetryCancel != nil {
+			s.joinRetryCancel()
+			s.joinRetryCancel = nil
+		}
+	}
 	s.announceView(ch)
 	if hold {
 		// Reconfiguration quiescence: stay blocked; Core tears the
 		// channel down and rebuilds it, so buffered sends are surfaced to
-		// the stack manager via the Quiescent event.
+		// the stack manager via the Quiescent event. A queued membership
+		// trigger dies with the epoch: the rebuild bootstraps from Core's
+		// already-updated member list.
+		s.pendingTrigger = nil
 		sess := appia.Session(s)
 		q := &Quiescent{View: v.Clone()}
 		_ = ch.SendFrom(sess, q, appia.Up)
@@ -635,6 +689,18 @@ func (s *gmsSession) commitView(ch *appia.Channel, v View, hold bool) {
 	for _, ev := range pend {
 		// Re-enter the normal downward path.
 		s.onOther(ch, ev)
+	}
+	if !s.cfg.EnableFD && len(s.joiners) > 0 && s.view.Coordinator() == s.cfg.Self &&
+		s.phase == phaseNormal {
+		// FD-less coordinators have no fdTick to fold in joiners whose
+		// requests arrived mid-flush: admit them now.
+		next := append(s.view.Clone().Members, s.joiners...)
+		s.startFlush(ch, NormalizeMembers(next), false)
+		return
+	}
+	if t := s.pendingTrigger; t != nil {
+		s.pendingTrigger = nil
+		s.onTriggerFlush(ch, t)
 	}
 }
 
@@ -663,12 +729,20 @@ func (s *gmsSession) onJoinReq(ch *appia.Channel, e *JoinReq) {
 	if s.view.Contains(joiner) {
 		return
 	}
+	known := false
 	for _, j := range s.joiners {
 		if j == joiner {
-			return
+			known = true
+			break
 		}
 	}
-	s.joiners = append(s.joiners, joiner)
+	if !known {
+		s.joiners = append(s.joiners, joiner)
+	}
+	// The flush check runs for re-requests too (not only first sightings):
+	// a request recorded mid-flush used to strand its joiner forever on
+	// FD-less channels — the dedup returned early on every retry, and no
+	// fdTick ever re-examined the joiner list.
 	if !s.cfg.EnableFD && s.phase == phaseNormal {
 		// Without an FD tick, admit immediately.
 		next := append(s.view.Clone().Members, s.joiners...)
@@ -696,4 +770,42 @@ func (s *gmsSession) RequestJoin(ch *appia.Channel, seed appia.NodeID) {
 	jr.Class = appia.ClassControl
 	sess := appia.Session(s)
 	_ = ch.SendFrom(sess, jr, appia.Down)
+}
+
+// onJoinVia drives a late join through the seed: request now, then keep
+// retrying until a view admits us alongside it (commitView clears the
+// state). Injected by the facade on a singleton-bootstrapped channel.
+func (s *gmsSession) onJoinVia(ch *appia.Channel, e *JoinVia) {
+	if e.Seed == appia.NoNode || e.Seed == s.cfg.Self {
+		return
+	}
+	if s.view.Contains(s.cfg.Self) && s.view.Contains(e.Seed) {
+		return // already in a view with the seed
+	}
+	s.joinSeed = e.Seed
+	s.RequestJoin(ch, e.Seed)
+	s.armJoinRetry(ch)
+}
+
+// armJoinRetry (re-)schedules the join re-request timer.
+func (s *gmsSession) armJoinRetry(ch *appia.Channel) {
+	if s.joinRetryCancel != nil {
+		s.joinRetryCancel()
+	}
+	sess := appia.Session(s)
+	s.joinRetryCancel = ch.DeliverAfter(s.cfg.joinRetry(), sess, &joinRetryTick{})
+}
+
+// onJoinRetry re-sends an outstanding join request.
+func (s *gmsSession) onJoinRetry(ch *appia.Channel) {
+	s.joinRetryCancel = nil
+	if s.stopped || s.joinSeed == appia.NoNode {
+		return
+	}
+	if s.view.Contains(s.cfg.Self) && s.view.Contains(s.joinSeed) {
+		s.joinSeed = appia.NoNode
+		return
+	}
+	s.RequestJoin(ch, s.joinSeed)
+	s.armJoinRetry(ch)
 }

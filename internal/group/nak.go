@@ -523,6 +523,14 @@ func (s *nakSession) armNack(ch *appia.Channel, origin appia.NodeID, st *originS
 	if st.nackArmed {
 		return
 	}
+	if len(s.members) == 1 && s.members[0] == s.cfg.Self && origin != s.cfg.Self {
+		// Pre-admission singleton (a JoinVia bootstrap whose state transfer
+		// has not landed yet): a remote cast racing ahead of the transfer
+		// looks like a giant gap from sequence 1, but the frontier the
+		// transfer carries is about to close it wholesale — NACKing now
+		// would demand a history replay the join protocol exists to avoid.
+		return
+	}
 	st.nackArmed = true
 	sess := appia.Session(s)
 	st.cancel = ch.DeliverAfter(s.cfg.nackDelay(), sess, &nackTimeout{origin: origin})
@@ -864,10 +872,41 @@ func (s *nakSession) handleStateTransfer(ch *appia.Channel, e *StateTransfer) {
 	}
 	e.NewView = v
 	e.Vector = vec
-	for origin, next := range vec {
+	// Adopt the membership before arming any repair: until the GMS above
+	// commits the view and its ViewInstall travels back down, the session
+	// still looks like a pre-admission singleton, which armNack refuses.
+	s.members = append([]appia.NodeID(nil), v.Members...)
+	for _, origin := range vec.SortedOrigins() {
+		next := vec[origin]
+		if origin == s.cfg.Self {
+			// Sequence-space continuity on rejoin: if the group has already
+			// delivered casts under our identifier (a previous incarnation
+			// that left and came back), never reuse those numbers — peers
+			// would drop the fresh casts as duplicates.
+			if s.nextSeq < next+1 {
+				s.nextSeq = next + 1
+			}
+			continue
+		}
 		st := s.origin(origin)
 		if st.next < next+1 {
 			st.next = next + 1
+		}
+		// Casts below the frontier were delivered (and stabilised) by the
+		// running group before we existed: they are not gaps to repair.
+		// Casts at or above it may already sit in the reorder buffer — a
+		// multicast can race ahead of the point-to-point transfer — so
+		// drain what is now in order and arm repair for what is not.
+		for seq := range st.buffer {
+			if seq < st.next {
+				delete(st.buffer, seq)
+				delete(st.events, seq)
+				s.cntBuffer--
+			}
+		}
+		s.drain(ch, origin, st)
+		if st.missing() {
+			s.armNack(ch, origin, st)
 		}
 	}
 	ch.Forward(e) // GMS above also consumes it

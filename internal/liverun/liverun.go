@@ -15,20 +15,32 @@
 //	config id=<id> epoch=<n> name=<config>
 //	reconfigured id=<id> epoch=<n> config=<name> took=<duration>
 //	done id=<id> sent=<n> received=<n> config=<name> tx=<msgs>
+//	signal id=<id> sig=<name>
+//	left id=<id> group=<name>
 //
 // With Options.JoinGroups set, the process additionally joins the named
 // groups on the same node (the multi-group runtime: one endpoint, one
 // control plane, N data stacks) and runs the send/receive workload in each
 // of them too.
+//
+// With Options.JoinVia set, the process is a *late joiner*: it enters the
+// already-running groups through one seed member via state transfer,
+// starting gap-free at the current delivery frontier. With
+// Options.HandleSignals, SIGTERM/SIGINT triggers a graceful departure
+// (Leave every group, announce it, close) instead of an abrupt exit.
 package liverun
 
 import (
 	"fmt"
 	"io"
+	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"morpheus"
@@ -61,6 +73,24 @@ type Options struct {
 	// every member must list the same names. The send/receive workload
 	// runs in each group independently.
 	JoinGroups []string
+	// JoinVia, when nonzero, makes this process a late joiner: it boots a
+	// singleton control plane with no groups, is admitted to the control
+	// group through the named seed member, and then enters the default
+	// group — and every JoinGroups entry — via the seed's state transfer,
+	// starting gap-free at the group's current delivery frontier. The seed
+	// group must already be running. Members is ignored in this mode.
+	JoinVia netio.NodeID
+	// HandleSignals traps SIGTERM/SIGINT: on the first signal the process
+	// leaves every group gracefully (announcing each departure so the
+	// survivors release flow-control state within one stability round),
+	// closes the node and returns nil. A second signal kills the process
+	// the hard way via the default disposition.
+	HandleSignals bool
+	// Linger keeps the process alive after its quotas are met: instead of
+	// returning right after the "done" line it keeps serving the group
+	// (delivering, acknowledging, relaying) until a trapped signal asks it
+	// to leave, or Timeout expires. Requires HandleSignals.
+	Linger bool
 	// SendCount messages are multicast to each group ("<id> says hello <i>").
 	SendCount int
 	// SendInterval paces the sends (default 20ms).
@@ -99,6 +129,18 @@ func (o *Options) defaults() error {
 	}
 	if o.Timeout <= 0 {
 		o.Timeout = 60 * time.Second
+	}
+	if o.JoinVia != 0 {
+		if _, ok := o.Peers[o.JoinVia]; !ok {
+			return fmt.Errorf("liverun: join seed %d not in peer directory", o.JoinVia)
+		}
+		if o.JoinVia == o.ID {
+			return fmt.Errorf("liverun: cannot join via self")
+		}
+	}
+	if o.Linger {
+		// Lingering has no exit path without a signal to leave on.
+		o.HandleSignals = true
 	}
 	return nil
 }
@@ -153,7 +195,10 @@ func Run(opts Options, out io.Writer) error {
 	if opts.Verbose {
 		logf = func(format string, args ...any) { emit("log id=%d "+format, append([]any{opts.ID}, args...)...) }
 	}
-	node, err := morpheus.Start(morpheus.Config{
+	onView := func(v morpheus.View) {
+		emit("view id=%d members=%s", opts.ID, FormatMembers(v.Members))
+	}
+	cfg := morpheus.Config{
 		Endpoint:        ep,
 		Members:         opts.Members,
 		Policies:        policies,
@@ -168,33 +213,104 @@ func Run(opts Options, out io.Writer) error {
 		OnMessage: func(from morpheus.NodeID, payload []byte) {
 			countRecv(morpheus.DefaultGroup, from, payload)
 		},
-		OnViewChange: func(v morpheus.View) {
-			emit("view id=%d members=%s", opts.ID, FormatMembers(v.Members))
-		},
+		OnViewChange: onView,
 		OnReconfigured: func(epoch uint64, name string, took time.Duration) {
 			emit("reconfigured id=%d epoch=%d config=%s took=%s", opts.ID, epoch, name, took.Round(time.Millisecond))
 		},
 		Logf: logf,
-	})
+	}
+	if opts.JoinVia != 0 {
+		// Late joiner: a singleton control plane with no hosted groups; the
+		// groups are entered below through the seed's state transfer.
+		cfg.Members = []netio.NodeID{opts.ID}
+		cfg.NoDefaultGroup = true
+	}
+	node, err := morpheus.Start(cfg)
 	if err != nil {
 		return err
 	}
 	defer node.Close()
 	emit("ready id=%d addr=%s config=%s", opts.ID, opts.Peers[opts.ID], node.ConfigName())
 
-	// The multi-group runtime: join every extra group on the same node —
-	// same endpoint and control plane, one more data stack each.
-	sendGroups := []*morpheus.Group{node.Group(morpheus.DefaultGroup)}
+	// Graceful departure on SIGTERM/SIGINT: leave every group (announcing
+	// each departure through the control plane so the survivors' views —
+	// and the flow-control credits held against this node — recover within
+	// one stability round), give the announcements a beat to stabilize,
+	// then close.
+	var stopped atomic.Bool
+	stopCh := make(chan struct{})
+	if opts.HandleSignals {
+		sigCh := make(chan os.Signal, 1)
+		signal.Notify(sigCh, syscall.SIGTERM, os.Interrupt)
+		defer signal.Stop(sigCh)
+		go func() {
+			sig, ok := <-sigCh
+			if !ok {
+				return
+			}
+			signal.Stop(sigCh) // a second signal takes the default (hard) path
+			emit("signal id=%d sig=%s", opts.ID, sig)
+			stopped.Store(true)
+			close(stopCh)
+			recvCond.Broadcast()
+		}()
+	}
+	leaveAll := func() {
+		for _, g := range node.Groups() {
+			gname := g.Name()
+			if err := g.Leave(); err != nil {
+				emit("left id=%d group=%s err=%v", opts.ID, gname, err)
+				continue
+			}
+			emit("left id=%d group=%s", opts.ID, gname)
+		}
+		// The leave announcements are reliable casts on the control
+		// channel; keep it alive long enough for them to reach everyone.
+		time.Sleep(300 * time.Millisecond)
+	}
+	gracefulExit := func(sent, got int) error {
+		leaveAll()
+		emit("done id=%d sent=%d received=%d config=%s groups=%d tx=%d",
+			opts.ID, sent, got, node.ConfigName(), 1+len(opts.JoinGroups), ep.Counters().TotalTx())
+		return nil
+	}
+
+	// The group plane: the bootstrap path hosts the default group from
+	// Start and joins the extras; a late joiner enters every one of them
+	// through the seed instead.
+	var sendGroups []*morpheus.Group
+	if opts.JoinVia != 0 {
+		g, err := node.JoinVia(morpheus.DefaultGroup, opts.JoinVia, morpheus.GroupConfig{
+			OnMessage: func(from morpheus.NodeID, payload []byte) {
+				countRecv(morpheus.DefaultGroup, from, payload)
+			},
+			OnViewChange: onView,
+		})
+		if err != nil {
+			return fmt.Errorf("liverun: join %q via %d: %w", morpheus.DefaultGroup, opts.JoinVia, err)
+		}
+		emit("joined id=%d group=%s config=%s", opts.ID, morpheus.DefaultGroup, g.ConfigName())
+		sendGroups = append(sendGroups, g)
+	} else {
+		sendGroups = append(sendGroups, node.Group(morpheus.DefaultGroup))
+	}
 	for _, gname := range opts.JoinGroups {
 		gname := gname
-		g, err := node.Join(gname, morpheus.GroupConfig{
+		gc := morpheus.GroupConfig{
 			Members: opts.Members,
 			OnMessage: func(from morpheus.NodeID, payload []byte) {
 				countRecv(gname, from, payload)
 			},
-		})
-		if err != nil {
-			return fmt.Errorf("liverun: join %q: %w", gname, err)
+		}
+		var g *morpheus.Group
+		var jerr error
+		if opts.JoinVia != 0 {
+			g, jerr = node.JoinVia(gname, opts.JoinVia, gc)
+		} else {
+			g, jerr = node.Join(gname, gc)
+		}
+		if jerr != nil {
+			return fmt.Errorf("liverun: join %q: %w", gname, jerr)
 		}
 		emit("joined id=%d group=%s config=%s", opts.ID, gname, g.ConfigName())
 		sendGroups = append(sendGroups, g)
@@ -215,7 +331,9 @@ func Run(opts Options, out io.Writer) error {
 			case <-cfgDone:
 				return
 			case <-tick.C:
-				if name := node.ConfigName(); name != last {
+				// An empty name is the window where no default group is
+				// hosted (late joiner before admission, after leaving).
+				if name := node.ConfigName(); name != last && name != "" {
 					last = name
 					emit("config id=%d epoch=%d name=%s", opts.ID, node.Epoch(), name)
 				}
@@ -227,8 +345,21 @@ func Run(opts Options, out io.Writer) error {
 	// layer repairs anything a slow starter misses anyway.
 	time.Sleep(300 * time.Millisecond)
 
+	countGot := func() int {
+		recvMu.Lock()
+		defer recvMu.Unlock()
+		n := 0
+		for _, c := range received {
+			n += c
+		}
+		return n
+	}
+
 	sent := 0
 	for i := 0; i < opts.SendCount; i++ {
+		if stopped.Load() {
+			return gracefulExit(sent, countGot())
+		}
 		for _, g := range sendGroups {
 			if err := g.Send(fmt.Appendf(nil, "%d says hello %s %d", opts.ID, g.Name(), i)); err != nil {
 				return fmt.Errorf("liverun: send %d in %q: %w", i, g.Name(), err)
@@ -254,6 +385,10 @@ func Run(opts Options, out io.Writer) error {
 		if ok {
 			break
 		}
+		if stopped.Load() {
+			recvMu.Unlock()
+			return gracefulExit(sent, countGot())
+		}
 		if time.Now().After(deadline) {
 			gotLagging := received[lagging]
 			recvMu.Unlock()
@@ -270,6 +405,9 @@ func Run(opts Options, out io.Writer) error {
 	// Wait for the expected configuration (proof the group survived a
 	// live reconfiguration).
 	for opts.ExpectConfig != "" && node.ConfigName() != opts.ExpectConfig {
+		if stopped.Load() {
+			return gracefulExit(sent, countGot())
+		}
 		if time.Now().After(deadline) {
 			return fmt.Errorf("liverun: timeout with config %q, want %q", node.ConfigName(), opts.ExpectConfig)
 		}
@@ -278,6 +416,18 @@ func Run(opts Options, out io.Writer) error {
 
 	emit("done id=%d sent=%d received=%d config=%s groups=%d tx=%d",
 		opts.ID, sent, got, node.ConfigName(), 1+len(opts.JoinGroups), ep.Counters().TotalTx())
+
+	// Linger: keep serving the groups (delivering, acknowledging,
+	// relaying) until a signal asks for a graceful departure.
+	if opts.Linger {
+		select {
+		case <-stopCh:
+			leaveAll()
+			return nil
+		case <-time.After(time.Until(deadline)):
+			return fmt.Errorf("liverun: linger timeout with no departure signal")
+		}
+	}
 	return nil
 }
 

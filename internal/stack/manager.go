@@ -175,6 +175,13 @@ type Manager struct {
 		epoch      uint64
 		configName string
 		members    []appia.NodeID
+		// viewMembers is the membership of the data channel's most recent
+		// *installed view* within the current epoch — distinct from members,
+		// the epoch's deploy-time bootstrap list. Mid-epoch view changes
+		// (failure evictions, late-join admissions, leave announcements)
+		// land here without disturbing the deploy list the repair and
+		// redeploy paths reason about. Nil until the first install.
+		viewMembers []appia.NodeID
 		// doc is the deployed configuration document, retained so the
 		// control plane can redeploy the same configuration with a
 		// narrowed membership after a member death (membership repair).
@@ -265,6 +272,20 @@ func (m *Manager) Members() []appia.NodeID {
 	return append([]appia.NodeID(nil), m.state.members...)
 }
 
+// ViewMembers returns the membership of the data channel's most recently
+// installed view — the live set, which mid-epoch view changes (evictions,
+// late-join admissions, leaves) update while Members keeps reporting the
+// epoch's deploy-time bootstrap list. Falls back to Members before the
+// first install of an epoch.
+func (m *Manager) ViewMembers() []appia.NodeID {
+	m.state.Lock()
+	defer m.state.Unlock()
+	if m.state.viewMembers == nil {
+		return append([]appia.NodeID(nil), m.state.members...)
+	}
+	return append([]appia.NodeID(nil), m.state.viewMembers...)
+}
+
 // Channel returns the live data channel (nil before the first Deploy).
 func (m *Manager) Channel() *appia.Channel {
 	m.state.Lock()
@@ -296,6 +317,7 @@ func (m *Manager) Deploy(doc *appiaxml.Document, configName string, epoch uint64
 	m.state.epoch = epoch
 	m.state.configName = configName
 	m.state.members = append([]appia.NodeID(nil), members...)
+	m.state.viewMembers = nil // fresh epoch: live set = deploy list until a view installs
 	m.state.doc = doc
 	m.state.windowed = m.channelWindowed(ch)
 	m.state.Unlock()
@@ -363,6 +385,9 @@ func (m *Manager) deliver(ev appia.Event) {
 			}
 		}
 	case *group.ViewInstall:
+		m.state.Lock()
+		m.state.viewMembers = append([]appia.NodeID(nil), e.View.Members...)
+		m.state.Unlock()
 		if m.cfg.OnViewChange != nil {
 			m.cfg.OnViewChange(e.View)
 		}
@@ -683,6 +708,7 @@ func (m *Manager) finishReconfig(ch *appia.Channel, doc *appiaxml.Document, conf
 	m.state.configName = configName
 	m.state.epoch = epoch
 	m.state.members = append([]appia.NodeID(nil), members...)
+	m.state.viewMembers = nil // fresh epoch: live set = deploy list until a view installs
 	m.state.doc = doc
 	m.state.windowed = windowed
 	m.state.reconfig = false

@@ -163,6 +163,11 @@ type Config struct {
 	// Members is the bootstrap membership of the control group and of the
 	// default data group.
 	Members []NodeID
+	// NoDefaultGroup starts the node without the implicit default group: a
+	// pure control-plane bootstrap for processes that enter every group
+	// late via JoinVia (typically with Members of just the node itself, the
+	// singleton control group a control-plane JoinVia then grows out of).
+	NoDefaultGroup bool
 	// InitialConfig is the default group's first data stack (default
 	// core.PlainConfig).
 	InitialConfig *Document
@@ -288,9 +293,10 @@ type Node struct {
 	ctx      *cocaditem.Session
 	coreSes  *core.Session
 
-	mu     sync.Mutex
-	groups map[string]*Group
-	closed bool
+	mu      sync.Mutex
+	groups  map[string]*Group
+	closed  bool
+	ctlView View // latest control-group view (updated on the ctl scheduler)
 }
 
 // Group is one hosted group on a Node: an independent protocol stack,
@@ -426,27 +432,32 @@ func Start(cfg Config) (*Node, error) {
 
 	// The default group rides on Config for backwards compatibility: a
 	// single-group node keeps the original Start(Members, Policies,
-	// OnMessage) shape.
-	g, err := n.buildGroup(DefaultGroup, GroupConfig{
-		Members:           cfg.Members,
-		InitialConfig:     cfg.InitialConfig,
-		InitialConfigName: cfg.InitialConfigName,
-		Policies:          cfg.Policies,
-		QuiesceTimeout:    cfg.QuiesceTimeout,
-		OnMessage:         cfg.OnMessage,
-		OnViewChange:      cfg.OnViewChange,
-		OnReconfigured:    cfg.OnReconfigured,
-		SendWindow:        cfg.SendWindow,
-		SendWindowBytes:   cfg.SendWindowBytes,
-	})
-	if err != nil {
-		n.ctlSched.Close()
-		if n.pool != nil {
-			n.pool.Close()
+	// OnMessage) shape. Late-joining processes opt out via NoDefaultGroup
+	// and enter their groups through JoinVia instead.
+	var coreGroups []core.GroupRuntime
+	if !cfg.NoDefaultGroup {
+		g, err := n.buildGroup(DefaultGroup, GroupConfig{
+			Members:           cfg.Members,
+			InitialConfig:     cfg.InitialConfig,
+			InitialConfigName: cfg.InitialConfigName,
+			Policies:          cfg.Policies,
+			QuiesceTimeout:    cfg.QuiesceTimeout,
+			OnMessage:         cfg.OnMessage,
+			OnViewChange:      cfg.OnViewChange,
+			OnReconfigured:    cfg.OnReconfigured,
+			SendWindow:        cfg.SendWindow,
+			SendWindowBytes:   cfg.SendWindowBytes,
+		})
+		if err != nil {
+			n.ctlSched.Close()
+			if n.pool != nil {
+				n.pool.Close()
+			}
+			return nil, fmt.Errorf("morpheus: deploy initial config: %w", err)
 		}
-		return nil, fmt.Errorf("morpheus: deploy initial config: %w", err)
+		n.groups[DefaultGroup] = g
+		coreGroups = []core.GroupRuntime{g.runtime()}
 	}
-	n.groups[DefaultGroup] = g
 
 	// Control channel: static composition, never reconfigured (§3.2);
 	// Cocaditem and Core share it. Every hosted group hangs off this one
@@ -474,6 +485,7 @@ func Start(cfg Config) (*Node, error) {
 			HeartbeatInterval: cfg.Heartbeat,
 			SuspectAfter:      cfg.SuspectAfter,
 			Clock:             cfg.Clock,
+			OnView:            n.onCtlView,
 		}),
 		cocaditem.NewLayer(cocaditem.Config{
 			Self:            cfg.ID,
@@ -484,7 +496,7 @@ func Start(cfg Config) (*Node, error) {
 		}),
 		core.NewLayer(core.Config{
 			Self:         cfg.ID,
-			Groups:       []core.GroupRuntime{g.runtime()},
+			Groups:       coreGroups,
 			EvalInterval: cfg.EvalInterval,
 			Clock:        cfg.Clock,
 			Logf:         logf,
@@ -531,9 +543,6 @@ func (n *Node) teardownEarly() {
 // its own stack manager in the group's port namespace, and a per-group
 // transmission-accounting view of the shared endpoint.
 func (n *Node) buildGroup(name string, gc GroupConfig) (*Group, error) {
-	if name == "" || strings.ContainsAny(name, "/@") {
-		return nil, ErrBadGroupName
-	}
 	members := gc.Members
 	if len(members) == 0 {
 		members = n.cfg.Members
@@ -542,6 +551,29 @@ func (n *Node) buildGroup(name string, gc GroupConfig) (*Group, error) {
 	// election and the protocol layers all assume a sorted, deduplicated
 	// membership.
 	members = group.NormalizeMembers(append([]NodeID(nil), members...))
+	gc.Members = members
+	initialDoc := gc.InitialConfig
+	initialName := gc.InitialConfigName
+	if initialDoc == nil {
+		initialDoc = core.PlainConfig()
+		initialName = core.PlainConfigName
+	}
+	if initialName == "" {
+		initialName = "custom"
+	}
+	return n.buildGroupAt(name, gc, initialDoc, initialName, 1, members)
+}
+
+// buildGroupAt is buildGroup with the deployment pinned: the stack comes up
+// running configuration doc at the given epoch with deployMembers as its
+// bootstrap view. The two member lists differ only for a late joiner, which
+// deploys a singleton view of itself (gc.Members carries the full configured
+// membership it is about to be admitted into) and lets the join protocol
+// grow the view instead of colliding with the survivors' sequence spaces.
+func (n *Node) buildGroupAt(name string, gc GroupConfig, doc *Document, configName string, epoch uint64, deployMembers []NodeID) (*Group, error) {
+	if name == "" || strings.ContainsAny(name, "/@") {
+		return nil, ErrBadGroupName
+	}
 	logf := netio.Logf(n.cfg.Logf).Or()
 	g := &Group{
 		name: name,
@@ -553,7 +585,6 @@ func (n *Node) buildGroup(name string, gc GroupConfig) (*Group, error) {
 	} else {
 		g.sched = appia.NewSchedulerWithClock(n.cfg.Clock)
 	}
-	gc.Members = members
 	g.manager = stack.NewManager(stack.ManagerConfig{
 		Node:            g.ep,
 		Self:            n.cfg.ID,
@@ -582,17 +613,8 @@ func (n *Node) buildGroup(name string, gc GroupConfig) (*Group, error) {
 		high, low := stack.MailboxBounds(win.Capacity())
 		g.sched.SetMailboxBounds(high, low)
 	}
-	initialDoc := gc.InitialConfig
-	initialName := gc.InitialConfigName
-	if initialDoc == nil {
-		initialDoc = core.PlainConfig()
-		initialName = core.PlainConfigName
-	}
-	if initialName == "" {
-		initialName = "custom"
-	}
 	g.cfg = gc
-	if err := g.manager.Deploy(initialDoc, initialName, 1, members); err != nil {
+	if err := g.manager.Deploy(doc, configName, epoch, deployMembers); err != nil {
 		g.teardown()
 		return nil, err
 	}
@@ -646,6 +668,217 @@ func (n *Node) Join(name string, gc GroupConfig) (*Group, error) {
 	n.groups[name] = g
 	n.mu.Unlock()
 	return g, nil
+}
+
+// JoinVia enters a *running* group late, through one seed member, instead of
+// taking part in its bootstrap. The joiner is first admitted to the control
+// group (via the seed, if it is not already a control member), announces
+// itself to the group's configured membership, fetches the group's current
+// deployment (configuration, epoch, members) from the seed, deploys a
+// matching stack as a singleton, and asks the group's coordinator for
+// admission. Admission arrives as a state transfer: the current view plus
+// the delivered-vector frontier, so the joiner starts gap-free at the
+// frontier with no history replay. gc.Members and gc.InitialConfig are
+// ignored — the running group dictates both.
+func (n *Node) JoinVia(name string, seed NodeID, gc GroupConfig) (*Group, error) {
+	if seed == appia.NoNode || seed == n.cfg.ID {
+		return nil, fmt.Errorf("morpheus: join of %q needs a seed other than self", name)
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, ErrNodeClosed
+	}
+	if _, dup := n.groups[name]; dup {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrGroupExists, name)
+	}
+	// Reserve the name while the join runs outside the lock.
+	n.groups[name] = nil
+	n.mu.Unlock()
+
+	g, err := n.joinVia(name, seed, gc)
+	n.mu.Lock()
+	if err == nil && n.closed {
+		err = ErrNodeClosed
+	}
+	if err != nil {
+		delete(n.groups, name)
+		n.mu.Unlock()
+		if g != nil {
+			n.coreSes.Unregister(name)
+			g.teardown()
+		}
+		return nil, err
+	}
+	n.groups[name] = g
+	n.mu.Unlock()
+	return g, nil
+}
+
+// joinVia runs the late-join protocol for JoinVia (the name is already
+// reserved). On success the returned group is registered with the control
+// plane; on failure the join announcement has been retracted.
+func (n *Node) joinVia(name string, seed NodeID, gc GroupConfig) (*Group, error) {
+	if name == "" || strings.ContainsAny(name, "/@") {
+		return nil, ErrBadGroupName
+	}
+	clk := n.cfg.Clock
+	step := gc.QuiesceTimeout
+	if step <= 0 {
+		step = 5 * time.Second
+	}
+
+	// 1. Control-plane admission. Group membership is slaved to the control
+	// group (a data view never admits a node the control plane cannot see),
+	// so the joiner must be control-live before any survivor counts it.
+	if v := n.CtlView(); !v.Contains(n.cfg.ID) || !v.Contains(seed) {
+		if err := n.ctl.Insert(&group.JoinVia{Seed: seed}, appia.Down); err != nil {
+			return nil, err
+		}
+		if !n.waitCtl(step, func(v View) bool {
+			return v.Contains(n.cfg.ID) && v.Contains(seed)
+		}) {
+			return nil, fmt.Errorf("morpheus: control-group admission via %d timed out", seed)
+		}
+	}
+
+	// 2. Announce the join BEFORE requesting data admission, so no survivor
+	// can hold a data view containing us while its configured membership
+	// does not — the control plane's membership repair would evict us right
+	// back out.
+	if err := n.coreSes.AnnounceJoin(name, n.cfg.ID); err != nil {
+		return nil, err
+	}
+	retract := func() { _ = n.coreSes.AnnounceLeave(name, n.cfg.ID) }
+
+	// 3. Discover the deployment and request admission; a reconfiguration
+	// racing the join moves the group's port namespace to a new epoch, so an
+	// admission timeout re-fetches the deployment and retries there.
+	deadline := clk.Now().Add(3 * step)
+	for {
+		info, ok := n.fetchGroupInfo(seed, name, step)
+		if !ok {
+			retract()
+			return nil, fmt.Errorf("morpheus: no deployment info for group %q from seed %d", name, seed)
+		}
+		g, admitted, err := n.joinEpoch(name, seed, gc, info, step)
+		if err != nil {
+			retract()
+			return nil, err
+		}
+		if admitted {
+			return g, nil
+		}
+		g.teardown()
+		if clk.Now().After(deadline) {
+			retract()
+			return nil, fmt.Errorf("morpheus: admission to group %q via %d timed out", name, seed)
+		}
+	}
+}
+
+// joinEpoch deploys the discovered configuration as a singleton and waits for
+// the group to install a view admitting this node. admitted=false with a nil
+// error means the attempt timed out (likely an epoch race) and the caller
+// owns the returned group's teardown.
+func (n *Node) joinEpoch(name string, seed NodeID, gc GroupConfig, info core.GroupInfo, step time.Duration) (g *Group, admitted bool, err error) {
+	doc, err := appiaxml.ParseString(info.XML)
+	if err != nil {
+		return nil, false, fmt.Errorf("morpheus: group %q deployment info: %w", name, err)
+	}
+	full := group.NormalizeMembers(append(append([]NodeID(nil), info.Members...), n.cfg.ID))
+	gc.Members = full
+	gc.InitialConfig = nil
+	gc.InitialConfigName = ""
+	g, err = n.buildGroupAt(name, gc, doc, info.ConfigName, info.Epoch, []NodeID{n.cfg.ID})
+	if err != nil {
+		return nil, false, err
+	}
+	// Register the runtime with the control plane BEFORE requesting data
+	// admission: from the instant the gms can install a view containing this
+	// node, a racing reconfiguration (membership repair after a real crash, a
+	// policy flip) must be able to reach this node's stack — an unregistered
+	// group drops the Prepare, stranding the joiner on a dead epoch while the
+	// survivors move on.
+	if rerr := n.coreSes.Register(g.runtime()); rerr != nil {
+		g.teardown()
+		return nil, false, rerr
+	}
+	// The data-plane seed must be a current data member; fall back to the
+	// group's coordinator when the control seed does not host this group.
+	dataSeed := seed
+	if !info.Contains(seed) && len(info.Members) > 0 {
+		dataSeed = info.Members[0]
+	}
+	if err := g.manager.Channel().Insert(&group.JoinVia{Seed: dataSeed}, appia.Down); err != nil {
+		n.coreSes.Unregister(name)
+		g.teardown()
+		return nil, false, err
+	}
+	clk := n.cfg.Clock
+	deadline := clk.Now().Add(step)
+	for {
+		// The deploy-time view is the singleton {self}; the admission view
+		// delivered by the state transfer is the first with anyone else in it
+		// (a racing reconfiguration that already lists us deploys the same
+		// multi-member view directly).
+		if vm := g.manager.ViewMembers(); len(vm) > 1 {
+			return g, true, nil
+		}
+		if clk.Now().After(deadline) {
+			n.coreSes.Unregister(name)
+			return g, false, nil
+		}
+		clk.Sleep(20 * time.Millisecond)
+	}
+}
+
+// fetchGroupInfo polls the seed for the group's current deployment record.
+func (n *Node) fetchGroupInfo(seed NodeID, name string, step time.Duration) (core.GroupInfo, bool) {
+	n.coreSes.ForgetGroupInfo(name)
+	clk := n.cfg.Clock
+	deadline := clk.Now().Add(step)
+	for {
+		_ = n.coreSes.RequestGroupInfo(seed, name)
+		clk.Sleep(50 * time.Millisecond)
+		if info, ok := n.coreSes.LastGroupInfo(name); ok {
+			return info, true
+		}
+		if clk.Now().After(deadline) {
+			return core.GroupInfo{}, false
+		}
+	}
+}
+
+// onCtlView records each installed control-group view (called on the control
+// scheduler).
+func (n *Node) onCtlView(v View) {
+	n.mu.Lock()
+	n.ctlView = v
+	n.mu.Unlock()
+}
+
+// CtlView returns the latest installed control-group view.
+func (n *Node) CtlView() View {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ctlView.Clone()
+}
+
+// waitCtl polls the control view until pred holds or timeout elapses.
+func (n *Node) waitCtl(timeout time.Duration, pred func(View) bool) bool {
+	clk := n.cfg.Clock
+	deadline := clk.Now().Add(timeout)
+	for {
+		if pred(n.CtlView()) {
+			return true
+		}
+		if clk.Now().After(deadline) {
+			return false
+		}
+		clk.Sleep(20 * time.Millisecond)
+	}
 }
 
 // Group returns the named hosted group, or nil.
@@ -848,8 +1081,11 @@ func (g *Group) Counters() Counters { return g.ep.counters.Snapshot() }
 func (g *Group) ResetCounters() { g.ep.counters.Reset() }
 
 // Leave withdraws the node from the group: adaptation stops, the stack is
-// torn down, the group's ports unbind. Other members keep running (their
-// control-plane view change excuses this node from future flushes).
+// torn down, the group's ports unbind. The departure is announced through
+// the control plane first, so the survivors install a view excluding this
+// node within one stability round — releasing any casts, window credits and
+// byte budget held against it — instead of waiting for failure-detector
+// eviction. A rejoin under the same name goes through JoinVia.
 func (g *Group) Leave() error {
 	n := g.node
 	n.mu.Lock()
@@ -861,6 +1097,12 @@ func (g *Group) Leave() error {
 	n.mu.Unlock()
 	if n.coreSes != nil {
 		n.coreSes.Unregister(g.name)
+		// Announced while the leaver's stack is still up: the reliable cast
+		// needs its origin alive long enough to reach stability on the
+		// control channel, which outlives this group's teardown.
+		if err := n.coreSes.AnnounceLeave(g.name, n.cfg.ID); err != nil && n.cfg.Logf != nil {
+			n.cfg.Logf("morpheus: leave announcement for %q: %v", g.name, err)
+		}
 	}
 	return g.teardown()
 }
