@@ -1,9 +1,23 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-json golden chaos chaos-scale chaos-churn soak
+.PHONY: check build vet test race bench bench-json golden chaos chaos-scale chaos-churn soak lint
 
 # check is the CI entry point: vet, build, full test suite, bench smoke run.
 check: vet build test bench
+
+# lint is the repo's static-analysis gate: a gofmt check, go vet, and the
+# in-tree analyzer suite (tools/morpheuslint — wallclock, mapiter,
+# borrowedbuf, goactor; see DESIGN.md "Static analysis") over both wire
+# planes. The tree must be lint-clean: every legitimate wall-only site
+# carries a justified //lint:<analyzer>-ok directive, and the linter
+# rejects empty, unknown, and unused directives.
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) vet -tags morpheus_portable ./...
+	$(GO) run ./tools/morpheuslint ./...
+	$(GO) run ./tools/morpheuslint -tags morpheus_portable ./...
 
 build:
 	$(GO) build ./...

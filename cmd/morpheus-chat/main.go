@@ -45,7 +45,7 @@ func run() int {
 		return 2
 	}
 
-	w := morpheus.NewWorld(time.Now().UnixNano())
+	w := morpheus.NewWorld(time.Now().UnixNano()) //lint:wallclock-ok wall-clock entropy seeds the demo world
 	defer w.Close()
 	w.AddSegment(vnet.SegmentConfig{Name: "lan", NativeMulticast: true})
 	w.AddSegment(vnet.SegmentConfig{Name: "wlan", Wireless: true})
@@ -122,8 +122,8 @@ func run() int {
 
 	// Wait for full delivery everywhere.
 	want := *lines * len(users)
-	deadline := time.Now().Add(30 * time.Second)
-	for time.Now().Before(deadline) {
+	deadline := time.Now().Add(30 * time.Second) //lint:wallclock-ok CLI waits in real time for live delivery
+	for time.Now().Before(deadline) {            //lint:wallclock-ok CLI waits in real time for live delivery
 		done := true
 		for _, u := range users {
 			if u.client.Delivered() < want {
@@ -134,7 +134,7 @@ func run() int {
 		if done {
 			break
 		}
-		time.Sleep(10 * time.Millisecond)
+		time.Sleep(10 * time.Millisecond) //lint:wallclock-ok real-time polling backoff
 	}
 
 	fmt.Printf("\nsummary (final stack %q):\n", users[0].node.ConfigName())

@@ -94,7 +94,7 @@ func run() error {
 			return err
 		}
 	}
-	time.Sleep(300 * time.Millisecond)
+	time.Sleep(300 * time.Millisecond) //lint:wallclock-ok demo paces real traffic on the wall clock
 
 	// Link recovers: back to detect-and-retransmit.
 	setLoss(0.002)
@@ -107,8 +107,8 @@ func run() error {
 }
 
 func waitConfig(nodes []*morpheus.Node, want string) error {
-	deadline := time.Now().Add(30 * time.Second)
-	for time.Now().Before(deadline) {
+	deadline := time.Now().Add(30 * time.Second) //lint:wallclock-ok demo waits in real time for convergence
+	for time.Now().Before(deadline) {            //lint:wallclock-ok demo waits in real time for convergence
 		done := true
 		for _, n := range nodes {
 			if n.ConfigName() != want {
@@ -119,7 +119,7 @@ func waitConfig(nodes []*morpheus.Node, want string) error {
 		if done {
 			return nil
 		}
-		time.Sleep(10 * time.Millisecond)
+		time.Sleep(10 * time.Millisecond) //lint:wallclock-ok real-time polling backoff
 	}
 	return fmt.Errorf("group never converged on %q", want)
 }

@@ -79,7 +79,7 @@ func run() error {
 	select {
 	case cfg := <-adapted:
 		fmt.Printf("-- Morpheus adapted the stack to %q (hybrid group detected)\n", cfg)
-	case <-time.After(20 * time.Second):
+	case <-time.After(20 * time.Second): //lint:wallclock-ok wall timeout for a live adaptation
 		return fmt.Errorf("adaptation never happened")
 	}
 
@@ -109,8 +109,8 @@ func run() error {
 }
 
 func waitDelivered(clients map[morpheus.NodeID]*chat.Client, want int) {
-	deadline := time.Now().Add(15 * time.Second)
-	for time.Now().Before(deadline) {
+	deadline := time.Now().Add(15 * time.Second) //lint:wallclock-ok demo waits in real time for delivery
+	for time.Now().Before(deadline) {            //lint:wallclock-ok demo waits in real time for delivery
 		done := true
 		for _, c := range clients {
 			if c.Delivered() < want {
@@ -121,6 +121,6 @@ func waitDelivered(clients map[morpheus.NodeID]*chat.Client, want int) {
 		if done {
 			return
 		}
-		time.Sleep(5 * time.Millisecond)
+		time.Sleep(5 * time.Millisecond) //lint:wallclock-ok real-time polling backoff
 	}
 }

@@ -55,7 +55,7 @@ func run() error {
 	}
 
 	// Let the context spread, then chat until the first battery dies.
-	time.Sleep(250 * time.Millisecond)
+	time.Sleep(250 * time.Millisecond) //lint:wallclock-ok let the shared context spread in real time
 	casts := 0
 	for {
 		dead := false
@@ -70,7 +70,7 @@ func run() error {
 		if err := nodes[casts%len(nodes)].Send([]byte(fmt.Sprintf("m%d", casts))); err == nil {
 			casts++
 		}
-		time.Sleep(2 * time.Millisecond)
+		time.Sleep(2 * time.Millisecond) //lint:wallclock-ok demo paces real traffic on the wall clock
 		if casts%100 == 0 {
 			printBatteries(nodes)
 		}

@@ -65,8 +65,8 @@ func run() error {
 		}
 	}
 
-	deadline := time.Now().Add(30 * time.Second)
-	for time.Now().Before(deadline) {
+	deadline := time.Now().Add(30 * time.Second) //lint:wallclock-ok demo waits in real time for gossip convergence
+	for time.Now().Before(deadline) {            //lint:wallclock-ok demo waits in real time for gossip convergence
 		mu.Lock()
 		done := true
 		for _, id := range members {
@@ -79,7 +79,7 @@ func run() error {
 		if done {
 			break
 		}
-		time.Sleep(10 * time.Millisecond)
+		time.Sleep(10 * time.Millisecond) //lint:wallclock-ok real-time polling backoff
 	}
 
 	// Compare data-class traffic only: the stability gossip and heartbeats

@@ -201,7 +201,7 @@ func runParent() error {
 				case strings.HasPrefix(line, "view "):
 					if _, members, ok := strings.Cut(line, "members="); ok {
 						c.lastView = members
-						c.viewAt = time.Now()
+						c.viewAt = time.Now() //lint:wallclock-ok timestamps live child output as it arrives
 					}
 				case strings.HasPrefix(line, "left "):
 					if _, g, ok := strings.Cut(line, "group="); ok {
@@ -264,7 +264,7 @@ func runParent() error {
 	// view without it promptly — well under the 5s failure-detector
 	// threshold that would otherwise be the only way out.
 	fmt.Printf("live: sending SIGTERM to node %d (graceful leave)\n", victim)
-	killedAt := time.Now()
+	killedAt := time.Now() //lint:wallclock-ok marks the real SIGTERM instant to time the leave
 	if err := children[victim].cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		return fmt.Errorf("signal node %d: %w", victim, err)
 	}
@@ -330,23 +330,23 @@ func waitDone(c *child, d time.Duration) error {
 	select {
 	case <-c.done:
 		return nil
-	case <-time.After(d):
+	case <-time.After(d): //lint:wallclock-ok wall timeout on a live child process
 		return fmt.Errorf("node %d never reported done", c.id)
 	}
 }
 
 // waitAll polls cond until it holds or the deadline passes.
 func waitAll(d time.Duration, what string, cond func() (bool, string)) error {
-	deadline := time.Now().Add(d)
+	deadline := time.Now().Add(d) //lint:wallclock-ok wall deadline for polling live processes
 	for {
 		ok, lag := cond()
 		if ok {
 			return nil
 		}
-		if time.Now().After(deadline) {
+		if time.Now().After(deadline) { //lint:wallclock-ok wall deadline for polling live processes
 			return fmt.Errorf("timeout waiting for %s: %s", what, lag)
 		}
-		time.Sleep(100 * time.Millisecond)
+		time.Sleep(100 * time.Millisecond) //lint:wallclock-ok real-time polling backoff
 	}
 }
 

@@ -83,8 +83,8 @@ func run() error {
 	}
 
 	// Wait until everyone has all three messages in both groups.
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
+	deadline := time.Now().Add(10 * time.Second) //lint:wallclock-ok demo waits in real time for delivery
+	for time.Now().Before(deadline) {            //lint:wallclock-ok demo waits in real time for delivery
 		mu.Lock()
 		done := true
 		for _, id := range members {
@@ -96,7 +96,7 @@ func run() error {
 		if done {
 			break
 		}
-		time.Sleep(5 * time.Millisecond)
+		time.Sleep(5 * time.Millisecond) //lint:wallclock-ok real-time polling backoff
 	}
 
 	mu.Lock()

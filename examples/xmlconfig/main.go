@@ -102,8 +102,8 @@ func run() error {
 	}
 	wg.Wait()
 
-	deadline := time.Now().Add(15 * time.Second)
-	for time.Now().Before(deadline) {
+	deadline := time.Now().Add(15 * time.Second) //lint:wallclock-ok demo waits in real time for reconfiguration
+	for time.Now().Before(deadline) {            //lint:wallclock-ok demo waits in real time for reconfiguration
 		done := true
 		for _, m := range nodes {
 			m.mu.Lock()
@@ -115,7 +115,7 @@ func run() error {
 		if done {
 			break
 		}
-		time.Sleep(5 * time.Millisecond)
+		time.Sleep(5 * time.Millisecond) //lint:wallclock-ok real-time polling backoff
 	}
 
 	fmt.Println("stack deployed from XML:", doc.Channels[0].QoS)

@@ -3,6 +3,7 @@ package appia
 import (
 	"fmt"
 	"reflect"
+	"sort"
 	"sync"
 )
 
@@ -78,7 +79,7 @@ func (r *EventKindRegistry) New(kind string) (Sendable, error) {
 	return f(), nil
 }
 
-// Kinds returns the registered kind names (unordered).
+// Kinds returns the registered kind names in sorted order.
 func (r *EventKindRegistry) Kinds() []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -86,5 +87,6 @@ func (r *EventKindRegistry) Kinds() []string {
 	for k := range r.byName {
 		out = append(out, k)
 	}
+	sort.Strings(out)
 	return out
 }

@@ -136,7 +136,7 @@ func (s *Scheduler) Start() {
 		return
 	}
 	s.wg.Add(1)
-	go s.run()
+	go s.run() //lint:goactor-ok this goroutine IS the scheduler actor; run() holds and releases the virtual clock's run token
 }
 
 // Close stops the scheduler after draining already-queued work, cancels

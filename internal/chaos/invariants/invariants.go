@@ -175,10 +175,24 @@ func CheckDeliveries(label string, seq []Delivery, accepted map[StreamKey]int) [
 				bad = append(bad, fmt.Sprintf("%s: stream %s: delivered %d casts, accepted %d", label, k, got, want))
 			}
 		}
-		for k, got := range next {
-			if _, ok := accepted[k]; !ok && got > 0 {
-				bad = append(bad, fmt.Sprintf("%s: stream %s: %d deliveries from a stream that accepted nothing", label, k, got))
+		// Sorted like the accepted keys above: these strings end up in
+		// the hashed chaos trace, and map-order iteration here would make
+		// a failing seed's replay identity flap (the PR-6 trace bug class
+		// — latent only because passing runs report zero violations).
+		unexpected := make([]StreamKey, 0, len(next))
+		for k := range next {
+			if _, ok := accepted[k]; !ok && next[k] > 0 {
+				unexpected = append(unexpected, k)
 			}
+		}
+		sort.Slice(unexpected, func(i, j int) bool {
+			if unexpected[i].Origin != unexpected[j].Origin {
+				return unexpected[i].Origin < unexpected[j].Origin
+			}
+			return unexpected[i].Stream < unexpected[j].Stream
+		})
+		for _, k := range unexpected {
+			bad = append(bad, fmt.Sprintf("%s: stream %s: %d deliveries from a stream that accepted nothing", label, k, next[k]))
 		}
 	}
 	return bad
@@ -221,10 +235,10 @@ func CheckNoLeak(label string, leaked int) []string {
 // it is meaningless while parallel runs are in flight; it is deliberately
 // NOT part of a chaos run's deterministic violation list.
 func NoLeakedGoroutines(baseline, slack int, grace time.Duration) []string {
-	deadline := time.Now().Add(grace)
+	deadline := time.Now().Add(grace) //lint:wallclock-ok goroutine exits are not clock events; the leak poll is wall-only by contract
 	n := runtime.NumGoroutine()
-	for n > baseline+slack && time.Now().Before(deadline) {
-		time.Sleep(10 * time.Millisecond)
+	for n > baseline+slack && time.Now().Before(deadline) { //lint:wallclock-ok wall deadline for the leak-poll grace
+		time.Sleep(10 * time.Millisecond) //lint:wallclock-ok wall polling backoff
 		n = runtime.NumGoroutine()
 	}
 	if n > baseline+slack {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"morpheus/internal/appia"
+	"morpheus/internal/clock"
 )
 
 // Message is one chat line.
@@ -165,23 +166,29 @@ type Script struct {
 	Rate  float64
 	// Line generates the i-th text; nil means a default.
 	Line func(i int) string
+	// Clock paces the Rate ticker; nil means the wall clock. Injecting a
+	// virtual clock makes a paced script run deterministically (and
+	// instantly) inside simulated experiments.
+	Clock clock.Clock
 }
 
 // Run executes the workload; it returns after the last send is submitted.
+// Pacing blocks through the clock seam (never a bare channel receive), so
+// the caller may be a virtual-clock actor: each send then happens at an
+// exact virtual instant i/Rate seconds in.
 func (s Script) Run(c *Client) error {
 	line := s.Line
 	if line == nil {
 		line = func(i int) string { return fmt.Sprintf("msg %06d", i) }
 	}
-	var tick <-chan time.Time
+	clk := clock.Or(s.Clock)
+	var interval time.Duration
 	if s.Rate > 0 {
-		t := time.NewTicker(time.Duration(float64(time.Second) / s.Rate))
-		defer t.Stop()
-		tick = t.C
+		interval = time.Duration(float64(time.Second) / s.Rate)
 	}
 	for i := 0; i < s.Count; i++ {
-		if tick != nil {
-			<-tick
+		if interval > 0 {
+			clk.Sleep(interval)
 		}
 		if err := c.Say(line(i)); err != nil {
 			return fmt.Errorf("chat: scripted send %d: %w", i, err)

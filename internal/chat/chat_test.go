@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"morpheus/internal/appia"
+	"morpheus/internal/clock"
 )
 
 func TestMessageEncodeDecode(t *testing.T) {
@@ -147,6 +148,33 @@ func TestScriptPaced(t *testing.T) {
 	}
 	if took := time.Since(start); took < 40*time.Millisecond {
 		t.Fatalf("5 msgs at 100/s took only %v", took)
+	}
+}
+
+// TestScriptPacedVirtualClock pins that a paced script blocks only through
+// the clock seam: under an injected virtual clock two minutes of pacing run
+// instantly, each send lands at an exact virtual instant, and nothing
+// wedges on a bare channel receive (the regression the ticker-based pacer
+// would reintroduce).
+func TestScriptPacedVirtualClock(t *testing.T) {
+	v := clock.NewVirtual()
+	defer v.Stop()
+	c := NewClient("bot", "lobby", 1)
+	s := &fakeSender{}
+	c.Bind(s)
+	start := v.Now()
+	wallStart := time.Now()
+	if err := (Script{Count: 1200, Rate: 10, Clock: v}).Run(c); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.payloads) != 1200 {
+		t.Fatalf("sent %d, want 1200", len(s.payloads))
+	}
+	if got, want := v.Now().Sub(start), 1200*(time.Second/10); got != want {
+		t.Fatalf("virtual pacing advanced %v, want exactly %v", got, want)
+	}
+	if real := time.Since(wallStart); real > 10*time.Second {
+		t.Fatalf("virtual pacing took %v of real time", real)
 	}
 }
 

@@ -90,17 +90,17 @@ func Or(c Clock) Clock {
 	return c
 }
 
-func (wall) Now() time.Time                         { return time.Now() }
-func (wall) Since(t time.Time) time.Duration        { return time.Since(t) }
-func (wall) Sleep(d time.Duration)                  { time.Sleep(d) }
-func (wall) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (wall) Now() time.Time                         { return time.Now() }    //lint:wallclock-ok the wall Clock is the seam's real-time implementation
+func (wall) Since(t time.Time) time.Duration        { return time.Since(t) } //lint:wallclock-ok the wall Clock is the seam's real-time implementation
+func (wall) Sleep(d time.Duration)                  { time.Sleep(d) }        //lint:wallclock-ok the wall Clock is the seam's real-time implementation
+func (wall) After(d time.Duration) <-chan time.Time { return time.After(d) } //lint:wallclock-ok the wall Clock is the seam's real-time implementation
 
 func (wall) AfterFunc(d time.Duration, fn func()) Timer {
-	return wallTimer{time.AfterFunc(d, fn)}
+	return wallTimer{time.AfterFunc(d, fn)} //lint:wallclock-ok the wall Clock is the seam's real-time implementation
 }
 
-func (wall) NewTimer(d time.Duration) Timer   { return wallTimer{time.NewTimer(d)} }
-func (wall) NewTicker(d time.Duration) Ticker { return wallTicker{time.NewTicker(d)} }
+func (wall) NewTimer(d time.Duration) Timer   { return wallTimer{time.NewTimer(d)} }   //lint:wallclock-ok the wall Clock is the seam's real-time implementation
+func (wall) NewTicker(d time.Duration) Ticker { return wallTicker{time.NewTicker(d)} } //lint:wallclock-ok the wall Clock is the seam's real-time implementation
 
 func (wall) Wait(ch <-chan struct{}) { <-ch }
 
@@ -109,7 +109,7 @@ func (wall) WaitTimeout(ch <-chan struct{}, d time.Duration) bool {
 		<-ch
 		return true
 	}
-	t := time.NewTimer(d)
+	t := time.NewTimer(d) //lint:wallclock-ok the wall Clock is the seam's real-time implementation
 	defer t.Stop()
 	select {
 	case <-ch:

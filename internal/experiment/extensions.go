@@ -65,7 +65,7 @@ func RunReconfigLatency(sizes []int, timeout time.Duration, seed int64) ([]Recon
 		var took time.Duration
 		select {
 		case took = <-tookCh:
-		case <-time.After(timeout):
+		case <-clock.Wall().After(timeout):
 			for _, nd := range nodes {
 				_ = nd.Close()
 			}
@@ -506,7 +506,7 @@ func runErrorRecovery(strat string, loss float64, cfg ErrorRecoveryConfig) (Erro
 		nodes = append(nodes, nd)
 	}
 
-	start := time.Now()
+	start := clock.Wall().Now()
 	sender := nodes[0]
 	for i := 0; i < cfg.Messages; i++ {
 		if err := sender.send(mkPayload(i)); err != nil {
@@ -522,7 +522,7 @@ func runErrorRecovery(strat string, loss float64, cfg ErrorRecoveryConfig) (Erro
 	} else {
 		waitStable(clock.Wall(), cfg.Timeout, func() int { return receiversDelivered(nodes, sender) })
 	}
-	elapsed := time.Since(start)
+	elapsed := clock.Wall().Since(start)
 
 	row := ErrorRecoveryRow{Loss: loss, Strategy: strat, Elapsed: elapsed}
 	for _, nd := range nodes {
@@ -625,7 +625,7 @@ func runFlushMode(mode string, messages int, seed int64) (FlushAblationRow, erro
 		if err := sender.Send(mkPayload(i)); err != nil {
 			return FlushAblationRow{}, err
 		}
-		time.Sleep(time.Millisecond)
+		clock.Wall().Sleep(time.Millisecond)
 	}
 	// Allow late repairs to finish.
 	waitStable(clock.Wall(), 20*time.Second, func() int {

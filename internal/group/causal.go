@@ -1,6 +1,8 @@
 package group
 
 import (
+	"sort"
+
 	"morpheus/internal/appia"
 )
 
@@ -149,14 +151,23 @@ func (s *causalSession) releaseAll(ch *appia.Channel) {
 	s.pending = nil
 }
 
-// pushClock encodes the sender's delivery clock.
+// pushClock encodes the sender's delivery clock. Origins are emitted in
+// sorted order so the wire bytes of a given clock are canonical: encoding
+// in map order made frame contents vary run to run, which any
+// byte-hashing trace or dedup downstream would observe as nondeterminism
+// (the decode side is order-insensitive, so only the bytes change).
 func pushClock(m *appia.Message, clock map[appia.NodeID]uint64, self appia.NodeID) {
-	flat := make([]uint64, 0, len(clock)*2)
+	origins := make([]appia.NodeID, 0, len(clock))
 	for origin, n := range clock {
 		if n == 0 {
 			continue
 		}
-		flat = append(flat, uint64(uint32(origin)), n)
+		origins = append(origins, origin)
+	}
+	sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
+	flat := make([]uint64, 0, len(origins)*2)
+	for _, origin := range origins {
+		flat = append(flat, uint64(uint32(origin)), clock[origin])
 	}
 	m.PushUvarintSlice(flat)
 	m.PushUvarint(uint64(uint32(self)))

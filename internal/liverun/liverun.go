@@ -266,7 +266,7 @@ func Run(opts Options, out io.Writer) error {
 		}
 		// The leave announcements are reliable casts on the control
 		// channel; keep it alive long enough for them to reach everyone.
-		time.Sleep(300 * time.Millisecond)
+		time.Sleep(300 * time.Millisecond) //lint:wallclock-ok keeps the live process up while leave casts drain on real sockets
 	}
 	gracefulExit := func(sent, got int) error {
 		leaveAll()
@@ -316,7 +316,7 @@ func Run(opts Options, out io.Writer) error {
 		sendGroups = append(sendGroups, g)
 	}
 
-	deadline := time.Now().Add(opts.Timeout)
+	deadline := time.Now().Add(opts.Timeout) //lint:wallclock-ok wall deadline for a live multi-process run
 
 	// Report configuration changes (every member deploys, not just the
 	// coordinator that emits "reconfigured").
@@ -324,7 +324,7 @@ func Run(opts Options, out io.Writer) error {
 	defer close(cfgDone)
 	go func() {
 		last := node.ConfigName()
-		tick := time.NewTicker(50 * time.Millisecond)
+		tick := time.NewTicker(50 * time.Millisecond) //lint:wallclock-ok polls live processes for config convergence in real time
 		defer tick.Stop()
 		for {
 			select {
@@ -343,7 +343,7 @@ func Run(opts Options, out io.Writer) error {
 
 	// Give every process a beat to come up before the first send; the NAK
 	// layer repairs anything a slow starter misses anyway.
-	time.Sleep(300 * time.Millisecond)
+	time.Sleep(300 * time.Millisecond) //lint:wallclock-ok real startup grace for live processes
 
 	countGot := func() int {
 		recvMu.Lock()
@@ -366,7 +366,7 @@ func Run(opts Options, out io.Writer) error {
 			}
 			sent++
 		}
-		time.Sleep(opts.SendInterval)
+		time.Sleep(opts.SendInterval) //lint:wallclock-ok paces live sends on real sockets
 	}
 
 	// Wait for the receive quota in every group.
@@ -389,7 +389,7 @@ func Run(opts Options, out io.Writer) error {
 			recvMu.Unlock()
 			return gracefulExit(sent, countGot())
 		}
-		if time.Now().After(deadline) {
+		if time.Now().After(deadline) { //lint:wallclock-ok wall-deadline check for the live run
 			gotLagging := received[lagging]
 			recvMu.Unlock()
 			return fmt.Errorf("liverun: timeout with %d/%d messages received in group %q",
@@ -408,10 +408,10 @@ func Run(opts Options, out io.Writer) error {
 		if stopped.Load() {
 			return gracefulExit(sent, countGot())
 		}
-		if time.Now().After(deadline) {
+		if time.Now().After(deadline) { //lint:wallclock-ok wall-deadline check for the live run
 			return fmt.Errorf("liverun: timeout with config %q, want %q", node.ConfigName(), opts.ExpectConfig)
 		}
-		time.Sleep(50 * time.Millisecond)
+		time.Sleep(50 * time.Millisecond) //lint:wallclock-ok real-time polling backoff
 	}
 
 	emit("done id=%d sent=%d received=%d config=%s groups=%d tx=%d",
@@ -424,7 +424,7 @@ func Run(opts Options, out io.Writer) error {
 		case <-stopCh:
 			leaveAll()
 			return nil
-		case <-time.After(time.Until(deadline)):
+		case <-time.After(time.Until(deadline)): //lint:wallclock-ok linger timeout waiting on a real departure signal
 			return fmt.Errorf("liverun: linger timeout with no departure signal")
 		}
 	}
@@ -433,7 +433,7 @@ func Run(opts Options, out io.Writer) error {
 
 // waitCondTimeout waits on c for at most d; c's lock must be held.
 func waitCondTimeout(c *sync.Cond, d time.Duration) {
-	t := time.AfterFunc(d, c.Broadcast)
+	t := time.AfterFunc(d, c.Broadcast) //lint:wallclock-ok wall timeout for a Cond wait during live teardown
 	c.Wait()
 	t.Stop()
 }

@@ -70,7 +70,7 @@ func (r *recorder) snapshot() []recorded {
 // waitCount blocks until the recorder holds at least n deliveries.
 func (r *recorder) waitCount(t *testing.T, n int) []recorded {
 	t.Helper()
-	deadline := time.After(5 * time.Second)
+	deadline := time.After(5 * time.Second) //lint:wallclock-ok real-socket substrates need wall timeouts
 	for {
 		if got := r.snapshot(); len(got) >= n {
 			return got
@@ -87,7 +87,7 @@ func (r *recorder) waitCount(t *testing.T, n int) []recorded {
 // in-flight frames before a negative assertion.
 func (h Harness) settle() {
 	if !h.Synchronous {
-		time.Sleep(50 * time.Millisecond)
+		time.Sleep(50 * time.Millisecond) //lint:wallclock-ok settle wait for asynchronous real-socket delivery
 	}
 }
 
@@ -492,7 +492,7 @@ func testConcurrentClose(t *testing.T, h Harness) {
 			}
 		}(g)
 	}
-	time.Sleep(10 * time.Millisecond)
+	time.Sleep(10 * time.Millisecond) //lint:wallclock-ok lets in-flight frames land on real sockets before close
 	if err := a.Close(); err != nil {
 		t.Fatalf("close: %v", err)
 	}

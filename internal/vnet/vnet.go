@@ -405,7 +405,7 @@ func (w *World) schedule(d time.Duration, payload []byte, dl delivery) {
 		return
 	}
 	dl.pb, dl.size = copyPayload(payload), len(payload)
-	dl.when = time.Now().Add(d)
+	dl.when = time.Now().Add(d) //lint:wallclock-ok wall-mode delivery path; virtual-clock worlds take the vclk branch above
 	w.dmu.Lock()
 	if w.closed.Load() {
 		w.dmu.Unlock()
@@ -423,7 +423,7 @@ func (w *World) schedule(d time.Duration, payload []byte, dl delivery) {
 	newMin := w.heap[0].seq == dl.seq
 	if !w.engineOn {
 		w.engineOn = true
-		go w.runDeliveries()
+		go w.runDeliveries() //lint:goactor-ok the wall-mode delivery engine runs below the clock seam by design
 	}
 	w.dmu.Unlock()
 	if newMin {
@@ -449,7 +449,7 @@ func (w *World) deliver(dl delivery) {
 // time.AfterFunc — and therefore a runtime timer and a wakeup goroutine —
 // per in-flight packet.
 func (w *World) runDeliveries() {
-	timer := time.NewTimer(time.Hour)
+	timer := time.NewTimer(time.Hour) //lint:wallclock-ok single wall timer backing the real-time delivery engine
 	defer timer.Stop()
 	for {
 		w.dmu.Lock()

@@ -36,6 +36,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -888,7 +889,8 @@ func (n *Node) Group(name string) *Group {
 	return n.groups[name]
 }
 
-// Groups returns the hosted groups (excluding any mid-Join reservations).
+// Groups returns the hosted groups (excluding any mid-Join reservations),
+// sorted by name so callers iterate them in a deterministic order.
 func (n *Node) Groups() []*Group {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -898,6 +900,7 @@ func (n *Node) Groups() []*Group {
 			out = append(out, g)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
 	return out
 }
 
@@ -997,6 +1000,10 @@ func (n *Node) Close() error {
 			groups = append(groups, g)
 		}
 	}
+	// Tear down in name order: group teardown posts events, and under the
+	// virtual clock a map-ordered shutdown would be the run's only
+	// schedule nondeterminism.
+	sort.Slice(groups, func(i, j int) bool { return groups[i].name < groups[j].name })
 	n.groups = make(map[string]*Group)
 	n.mu.Unlock()
 

@@ -1,0 +1,265 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools/go/analysis framework, built on the standard
+// library's go/ast + go/types only: the lint container is hermetic (no
+// module downloads), so the multichecker cannot depend on x/tools. It
+// provides the Analyzer/Pass/Diagnostic vocabulary, a `go list`-driven
+// source loader (load.go), checked suppression directives, and an
+// analysistest-style fixture runner (fixture.go).
+//
+// # Directives
+//
+// A finding is suppressed — never blanket-disabled — by annotating the
+// offending line (or the line directly above it) with
+//
+//	//lint:<analyzer>-ok <reason>
+//
+// The directive itself is checked: the analyzer name must exist, the
+// reason must be non-empty, and a directive that suppresses nothing is an
+// error, so stale annotations cannot accumulate.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check.
+type Analyzer struct {
+	// Name is the directive key (//lint:<Name>-ok) and diagnostic tag.
+	Name string
+	// Doc is a one-paragraph description of the invariant.
+	Doc string
+	// Scope reports whether the analyzer applies to the package at the
+	// given import path. The fixture runner bypasses it.
+	Scope func(pkgPath string) bool
+	// Run reports diagnostics for one package via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	Path     string
+	// Dep looks up an already-loaded dependency package by import path
+	// (nil when absent), e.g. "hash" for the hash.Hash interface.
+	Dep func(path string) *types.Package
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding, positioned within the pass's FileSet.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf records a finding.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Finding is a resolved diagnostic: position plus the analyzer that (or
+// the directive machinery, tagged "lint") produced it.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// directive is one parsed //lint:<name>-ok annotation.
+type directive struct {
+	analyzer string
+	reason   string
+	pos      token.Position // of the comment
+	target   int            // line it suppresses
+	used     bool
+}
+
+var directiveRE = regexp.MustCompile(`^//lint:([a-z]+)-ok(?:[ \t]+(.*))?$`)
+
+// scanDirectives parses every //lint: comment in the package. A directive
+// on a line of its own suppresses the next line; a trailing directive
+// suppresses its own line. Malformed directives (unknown analyzer, empty
+// reason) are returned as findings immediately.
+func scanDirectives(fset *token.FileSet, pkg *Package, known map[string]bool) ([]*directive, []Finding) {
+	var dirs []*directive
+	var bad []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//lint:") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := directiveRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					bad = append(bad, Finding{"lint", pos,
+						fmt.Sprintf("malformed directive %q: want //lint:<analyzer>-ok <reason>", c.Text)})
+					continue
+				}
+				name, reason := m[1], strings.TrimSpace(m[2])
+				if !known[name] {
+					bad = append(bad, Finding{"lint", pos,
+						fmt.Sprintf("directive for unknown analyzer %q", name)})
+					continue
+				}
+				if reason == "" {
+					bad = append(bad, Finding{"lint", pos,
+						fmt.Sprintf("//lint:%s-ok directive has no justification: every suppression must say why the site is exempt", name)})
+					continue
+				}
+				d := &directive{analyzer: name, reason: reason, pos: pos, target: pos.Line}
+				if standalone(pkg.Src[pos.Filename], pos) {
+					d.target = pos.Line + 1
+				}
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// standalone reports whether the comment at pos is the first thing on its
+// line (so it annotates the line below, not its own).
+func standalone(src []byte, pos token.Position) bool {
+	if src == nil || pos.Offset > len(src) {
+		return false
+	}
+	line := src[:pos.Offset]
+	if i := lastIndexByte(line, '\n'); i >= 0 {
+		line = line[i+1:]
+	}
+	return len(strings.TrimSpace(string(line))) == 0
+}
+
+func lastIndexByte(b []byte, c byte) int {
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// RunAnalyzers runs every in-scope analyzer over the program's root
+// packages, applies suppression directives, and returns the surviving
+// findings sorted by position. Directive hygiene failures (unknown
+// analyzer, empty reason, suppressing nothing) are findings too.
+func RunAnalyzers(prog *Program, analyzers []*Analyzer) ([]Finding, error) {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Finding
+	for _, pkg := range prog.SortedRoots() {
+		dirs, bad := scanDirectives(prog.Fset, pkg, known)
+		out = append(out, bad...)
+		for _, a := range analyzers {
+			if a.Scope != nil && !a.Scope(pkg.ImportPath) {
+				continue
+			}
+			fs, err := runOne(prog, a, pkg)
+			if err != nil {
+				return nil, err
+			}
+			for _, f := range fs {
+				if suppressed(dirs, a.Name, f.Pos) {
+					continue
+				}
+				out = append(out, f)
+			}
+		}
+		for _, d := range dirs {
+			if !d.used {
+				out = append(out, Finding{"lint", d.pos,
+					fmt.Sprintf("//lint:%s-ok directive suppresses nothing on line %d: remove it", d.analyzer, d.target)})
+			}
+		}
+	}
+	sortFindings(out)
+	return out, nil
+}
+
+// RunForTest runs one analyzer over one package ignoring Scope, with full
+// directive processing — the fixture runner's entry point.
+func RunForTest(prog *Program, a *Analyzer, pkg *Package) ([]Finding, error) {
+	dirs, bad := scanDirectives(prog.Fset, pkg, map[string]bool{a.Name: true})
+	out := bad
+	fs, err := runOne(prog, a, pkg)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range fs {
+		if suppressed(dirs, a.Name, f.Pos) {
+			continue
+		}
+		out = append(out, f)
+	}
+	for _, d := range dirs {
+		if !d.used {
+			out = append(out, Finding{"lint", d.pos,
+				fmt.Sprintf("//lint:%s-ok directive suppresses nothing on line %d: remove it", d.analyzer, d.target)})
+		}
+	}
+	sortFindings(out)
+	return out, nil
+}
+
+func runOne(prog *Program, a *Analyzer, pkg *Package) ([]Finding, error) {
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     prog.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		Path:     pkg.ImportPath,
+		Dep:      prog.Dep,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+	}
+	fs := make([]Finding, 0, len(pass.diags))
+	for _, d := range pass.diags {
+		fs = append(fs, Finding{a.Name, prog.Fset.Position(d.Pos), d.Message})
+	}
+	return fs, nil
+}
+
+func suppressed(dirs []*directive, analyzer string, pos token.Position) bool {
+	for _, d := range dirs {
+		if d.analyzer == analyzer && d.pos.Filename == pos.Filename && d.target == pos.Line {
+			d.used = true
+			return true
+		}
+	}
+	return false
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i].Pos, fs[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return fs[i].Message < fs[j].Message
+	})
+}

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+)
+
+// dummy flags every call to a function named flagme, giving the directive
+// machinery a finding to suppress.
+var dummy = &Analyzer{
+	Name:  "dummy",
+	Doc:   "flags every call to flagme",
+	Scope: func(string) bool { return true },
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "flagme" {
+						pass.Reportf(call.Pos(), "call to flagme")
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// TestDirectiveHygiene pins the directive grammar end to end: a justified
+// trailing or standalone directive suppresses exactly its target line,
+// while an empty reason, an unknown analyzer, an unused directive, and a
+// malformed directive are each findings in their own right (and suppress
+// nothing, so the underlying finding fires too).
+func TestDirectiveHygiene(t *testing.T) {
+	prog, err := Load("testdata/directives", "", []string{"."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := prog.SortedRoots()
+	if len(roots) != 1 {
+		t.Fatalf("want 1 root package, got %d", len(roots))
+	}
+	got, err := RunForTest(prog, dummy, roots[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := []struct {
+		line     int
+		analyzer string
+		substr   string
+	}{
+		{21, "lint", "has no justification"},
+		{21, "dummy", "call to flagme"},
+		{26, "lint", `unknown analyzer "mystery"`},
+		{26, "dummy", "call to flagme"},
+		{31, "lint", "suppresses nothing on line 32"},
+		{37, "lint", "malformed directive"},
+	}
+	for _, w := range want {
+		found := false
+		for _, f := range got {
+			if f.Pos.Line == w.line && f.Analyzer == w.analyzer && strings.Contains(f.Message, w.substr) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing finding: line %d %s %q", w.line, w.analyzer, w.substr)
+		}
+	}
+	if len(got) != len(want) {
+		for _, f := range got {
+			t.Logf("got: %s", f)
+		}
+		t.Errorf("got %d findings, want %d (justified directives on lines 9 and 14 must suppress)", len(got), len(want))
+	}
+}

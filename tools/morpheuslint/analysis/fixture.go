@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// want is one `// want` expectation in a fixture file.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("// want (.*)$")
+var wantArgRE = regexp.MustCompile("`([^`]*)`" + `|"((?:[^"\\]|\\.)*)"`)
+
+// Fixture runs one analyzer over the fixture module rooted at dir (which
+// must contain its own go.mod so the loader's `go list` resolves the
+// fixture's internal imports) and checks the produced findings against
+// `// want` comments, analysistest-style: each expectation is one or more
+// quoted or backquoted regexes trailing the offending line, every
+// expectation must be matched by a finding on its exact line, and every
+// finding must match an expectation. Directive-hygiene findings (tag
+// "lint") participate the same way, which is how directive checking
+// itself is fixture-tested.
+func Fixture(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	prog, err := Load(dir, "", []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+
+	var wants []*want
+	for _, pkg := range prog.SortedRoots() {
+		for filename, src := range pkg.Src {
+			for i, line := range strings.Split(string(src), "\n") {
+				m := wantRE.FindStringSubmatch(line)
+				if m == nil {
+					continue
+				}
+				args := wantArgRE.FindAllStringSubmatch(m[1], -1)
+				if len(args) == 0 {
+					t.Fatalf("%s:%d: malformed // want comment (no quoted regex)", filename, i+1)
+				}
+				for _, arg := range args {
+					pat := arg[1]
+					if pat == "" {
+						pat = arg[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", filename, i+1, pat, err)
+					}
+					wants = append(wants, &want{file: filename, line: i + 1, re: re})
+				}
+			}
+		}
+	}
+
+	var findings []Finding
+	for _, pkg := range prog.SortedRoots() {
+		fs, err := RunForTest(prog, a, pkg)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+		findings = append(findings, fs...)
+	}
+
+	for _, f := range findings {
+		if !claim(wants, f.Pos, f.Message) {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation satisfied by this finding.
+func claim(wants []*want, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

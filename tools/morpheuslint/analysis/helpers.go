@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ScopeUnder builds an Analyzer.Scope that accepts exactly the packages
+// at or under the given import-path prefixes.
+func ScopeUnder(prefixes ...string) func(string) bool {
+	return func(path string) bool {
+		for _, p := range prefixes {
+			if path == p || strings.HasPrefix(path, p+"/") {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Callee resolves the function or method object a call invokes, or nil
+// (builtins, indirect calls through variables, type conversions).
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsBuiltin reports whether the call invokes the named builtin.
+func IsBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// IsConversion reports whether the call expression is a type conversion,
+// returning the target type.
+func IsConversion(info *types.Info, call *ast.CallExpr) (types.Type, bool) {
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil, false
+	}
+	return tv.Type, true
+}
+
+// FromPackageNamed reports whether t (or its element/pointee) is a named
+// type declared in a package whose short name is pkgName. Matching by
+// package *name* rather than import path lets the same analyzer recognise
+// both the real morpheus/internal/clock package and a fixture module's
+// local clock package.
+func FromPackageNamed(t types.Type, pkgName string) bool {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+			continue
+		case *types.Named:
+			obj := u.Obj()
+			return obj != nil && obj.Pkg() != nil && obj.Pkg().Name() == pkgName
+		default:
+			return false
+		}
+	}
+}
+
+// NamedFrom reports whether t (through pointers) is the named type
+// typeName declared in a package whose short name is pkgName.
+func NamedFrom(t types.Type, pkgName, typeName string) bool {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+			continue
+		case *types.Named:
+			obj := u.Obj()
+			return obj != nil && obj.Pkg() != nil &&
+				obj.Pkg().Name() == pkgName && obj.Name() == typeName
+		default:
+			return false
+		}
+	}
+}
+
+// HashInterface returns the hash.Hash interface type when the "hash"
+// package is in the load graph, else nil.
+func HashInterface(dep func(string) *types.Package) *types.Interface {
+	pkg := dep("hash")
+	if pkg == nil {
+		return nil
+	}
+	obj := pkg.Scope().Lookup("Hash")
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// ImplementsHash reports whether t satisfies hash.Hash: exactly via the
+// interface when available, otherwise structurally (a method set with
+// Write, Sum and Reset), so fixtures need not import the hash package.
+func ImplementsHash(t types.Type, iface *types.Interface) bool {
+	if t == nil {
+		return false
+	}
+	if iface != nil {
+		return types.Implements(t, iface) ||
+			types.Implements(types.NewPointer(t), iface)
+	}
+	need := map[string]bool{"Write": false, "Sum": false, "Reset": false}
+	for _, ms := range []*types.MethodSet{
+		types.NewMethodSet(t), types.NewMethodSet(types.NewPointer(t)),
+	} {
+		for i := 0; i < ms.Len(); i++ {
+			name := ms.At(i).Obj().Name()
+			if _, ok := need[name]; ok {
+				need[name] = true
+			}
+		}
+	}
+	return need["Write"] && need["Sum"] && need["Reset"]
+}
+
+// EnclosingFuncs returns a map from *types.Func to its declaration for
+// every function and method declared in the pass's files, used by
+// analyzers that resolve same-package calls one level deep.
+func EnclosingFuncs(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	return decls
+}

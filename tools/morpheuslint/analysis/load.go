@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package. Root packages
+// (the ones named by the load patterns) are parsed with comments and full
+// function bodies; dependency packages — including the standard library,
+// which is type-checked from source because the analyzer must run in a
+// hermetic container with no export data and no module downloads — are
+// checked with IgnoreFuncBodies, which is both much faster and all the
+// analyzers need from them (exported API shape).
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Imports    []string
+
+	Files []*ast.File       // parsed GoFiles, same order
+	Src   map[string][]byte // absolute filename -> source bytes (roots only)
+	Types *types.Package
+	Info  *types.Info
+	Errs  []error // type errors (tolerated in deps, fatal in roots)
+
+	built    bool
+	building bool
+}
+
+// Program is a load of one module subtree: every pattern-matched package
+// plus its full dependency closure, sharing one FileSet. It implements
+// types.Importer over the closure.
+type Program struct {
+	Fset  *token.FileSet
+	Pkgs  map[string]*Package
+	Roots []*Package // DepOnly=false, in `go list` order
+}
+
+// Load runs `go list -deps` in dir (honouring build tags) and parses and
+// type-checks the resulting package graph from source. CGO is disabled so
+// the pure-Go file sets of std packages are selected, matching what a
+// `CGO_ENABLED=0 go build` would compile.
+func Load(dir, tags string, patterns []string) (*Program, error) {
+	args := []string{"list", "-e", "-deps",
+		"-json=ImportPath,Name,Dir,Standard,DepOnly,GoFiles,Imports"}
+	if tags != "" {
+		args = append(args, "-tags", tags)
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0", "GOWORK=off")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	prog := &Program{Fset: token.NewFileSet(), Pkgs: map[string]*Package{}}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		p := &Package{}
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("go list decode: %v", err)
+		}
+		prog.Pkgs[p.ImportPath] = p
+		if !p.DepOnly {
+			prog.Roots = append(prog.Roots, p)
+		}
+	}
+	if len(prog.Roots) == 0 {
+		return nil, fmt.Errorf("go list %s in %s matched no packages", strings.Join(patterns, " "), dir)
+	}
+	for _, p := range prog.Roots {
+		if err := prog.build(p); err != nil {
+			return nil, err
+		}
+		if len(p.Errs) > 0 {
+			return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, p.Errs[0])
+		}
+	}
+	return prog, nil
+}
+
+// Import implements types.Importer by building the named package on
+// demand; cycles cannot occur in a graph `go list` accepted.
+func (prog *Program) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	p := prog.Pkgs[path]
+	if p == nil {
+		return nil, fmt.Errorf("package %q not in load graph", path)
+	}
+	if err := prog.build(p); err != nil {
+		return nil, err
+	}
+	return p.Types, nil
+}
+
+// Dep returns the type-checked package at path if it is anywhere in the
+// load graph (it is not built on demand), or nil. Analyzers use this to
+// look up well-known library types such as hash.Hash.
+func (prog *Program) Dep(path string) *types.Package {
+	if p := prog.Pkgs[path]; p != nil && p.built {
+		return p.Types
+	}
+	return nil
+}
+
+func (prog *Program) build(p *Package) error {
+	if p.built {
+		return nil
+	}
+	if p.building {
+		return fmt.Errorf("import cycle through %s", p.ImportPath)
+	}
+	p.building = true
+	defer func() { p.building = false }()
+
+	root := !p.DepOnly
+	mode := parser.SkipObjectResolution
+	if root {
+		mode |= parser.ParseComments
+		p.Src = map[string][]byte{}
+	}
+	for _, name := range p.GoFiles {
+		filename := p.Dir + string(os.PathSeparator) + name
+		src, err := os.ReadFile(filename)
+		if err != nil {
+			return fmt.Errorf("%s: %v", p.ImportPath, err)
+		}
+		f, err := parser.ParseFile(prog.Fset, filename, src, mode)
+		if err != nil {
+			if root {
+				return fmt.Errorf("%s: %v", p.ImportPath, err)
+			}
+			p.Errs = append(p.Errs, err)
+			continue
+		}
+		p.Files = append(p.Files, f)
+		if root {
+			p.Src[filename] = src
+		}
+	}
+
+	conf := types.Config{
+		Importer:         prog,
+		IgnoreFuncBodies: !root,
+		Sizes:            types.SizesFor("gc", runtime.GOARCH),
+		Error: func(err error) {
+			p.Errs = append(p.Errs, err)
+		},
+	}
+	p.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	tpkg, _ := conf.Check(p.ImportPath, prog.Fset, p.Files, p.Info)
+	p.Types = tpkg
+	p.built = true
+	return nil
+}
+
+// SortedRoots returns the root packages sorted by import path, for stable
+// diagnostic ordering.
+func (prog *Program) SortedRoots() []*Package {
+	roots := append([]*Package(nil), prog.Roots...)
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+	return roots
+}

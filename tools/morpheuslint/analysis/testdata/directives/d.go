@@ -1,0 +1,39 @@
+// Package fix exercises the directive grammar against a dummy analyzer
+// (named "dummy") that flags every call to flagme.
+package fix
+
+func flagme() {}
+
+// A trailing directive with a reason suppresses its own line.
+func trailing() {
+	flagme() //lint:dummy-ok justified: exercising trailing suppression
+}
+
+// A standalone directive suppresses the next line.
+func standalone() {
+	//lint:dummy-ok justified: exercising standalone suppression
+	flagme()
+}
+
+// An empty reason is itself a finding, and suppresses nothing: the
+// underlying finding fires too.
+func emptyReason() {
+	flagme() //lint:dummy-ok
+}
+
+// A directive naming an analyzer that is not running is a finding.
+func unknownAnalyzer() {
+	flagme() //lint:mystery-ok some reason
+}
+
+// A directive that suppresses nothing must be removed.
+func unused() {
+	//lint:dummy-ok this line has no finding
+	_ = 0
+}
+
+// Text that starts like a directive but does not parse is malformed.
+func malformed() {
+	//lint:dummy-okbroken
+	_ = 0
+}

@@ -1,0 +1,321 @@
+// Package borrowedbuf enforces the netio.Handler borrowed-payload
+// contract: the []byte a handler receives aliases the substrate's receive
+// buffer (udpnet's recvmmsg ring, a sender's marshal scratch) and is only
+// valid for the duration of the call. A handler that retains the slice —
+// stores it in a field or package variable, sends it on a channel,
+// captures it in a spawned goroutine or timer callback, or appends the
+// slice value itself into a longer-lived collection — is reading memory
+// the ring will overwrite with the next datagram. This is the PR-8 alias
+// bug class, previously only caught by corrupted payloads in soak runs.
+// Retention is fine after an intervening copy: bytes.Clone/slices.Clone,
+// append([]byte(nil), p...), string(p), or a copying constructor such as
+// appia.FromWire (any plain call consuming the payload is assumed to
+// parse or copy before returning, per the contract).
+package borrowedbuf
+
+import (
+	"go/ast"
+	"go/types"
+
+	"morpheus/tools/morpheuslint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:  "borrowedbuf",
+	Doc:   "flags netio handler payloads retained past handler return without an intervening clone",
+	Scope: func(string) bool { return true },
+	Run:   run,
+}
+
+func run(pass *analysis.Pass) error {
+	decls := analysis.EnclosingFuncs(pass)
+	seen := map[*ast.BlockStmt]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				// Handlers passed as arguments: ep.Handle(port, h) and
+				// explicit netio.Handler(f) conversions.
+				if target, ok := analysis.IsConversion(pass.Info, e); ok {
+					if isHandlerType(target) && len(e.Args) == 1 {
+						checkExpr(pass, decls, seen, e.Args[0])
+					}
+					return true
+				}
+				fn := analysis.Callee(pass.Info, e)
+				if fn == nil {
+					return true
+				}
+				sig, ok := fn.Type().(*types.Signature)
+				if !ok {
+					return true
+				}
+				for i, arg := range e.Args {
+					if i >= sig.Params().Len() {
+						break
+					}
+					if isHandlerType(sig.Params().At(i).Type()) {
+						checkExpr(pass, decls, seen, arg)
+					}
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range e.Rhs {
+					if i < len(e.Lhs) && isHandlerExpr(pass, e.Lhs[i]) {
+						checkExpr(pass, decls, seen, rhs)
+					}
+				}
+			case *ast.ValueSpec:
+				for i, v := range e.Values {
+					if i < len(e.Names) && isHandlerExpr(pass, e.Names[i]) {
+						checkExpr(pass, decls, seen, v)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isHandlerType reports whether t is the named type Handler from a
+// package called netio (matching the fixture's local netio too).
+func isHandlerType(t types.Type) bool {
+	return analysis.NamedFrom(t, "netio", "Handler")
+}
+
+func isHandlerExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if ok {
+		return isHandlerType(tv.Type)
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := pass.Info.ObjectOf(id); obj != nil {
+			return isHandlerType(obj.Type())
+		}
+	}
+	return false
+}
+
+// checkExpr resolves a handler-valued expression to a checkable function
+// body: a literal, or a same-package function/method by name.
+func checkExpr(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, seen map[*ast.BlockStmt]bool, e ast.Expr) {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.FuncLit:
+		checkBody(pass, seen, v.Type, v.Body)
+	case *ast.Ident, *ast.SelectorExpr:
+		var id *ast.Ident
+		if sel, ok := v.(*ast.SelectorExpr); ok {
+			id = sel.Sel
+		} else {
+			id = v.(*ast.Ident)
+		}
+		if fn, ok := pass.Info.Uses[id].(*types.Func); ok {
+			if fd := decls[fn]; fd != nil {
+				checkBody(pass, seen, fd.Type, fd.Body)
+			}
+		}
+	}
+}
+
+// checkBody taints the []byte parameters and walks the body for
+// retention. The walk is in source order with a light flow model: a clone
+// untaints, an alias (q := p, q := p[i:]) taints the new name.
+func checkBody(pass *analysis.Pass, seen map[*ast.BlockStmt]bool, ft *ast.FuncType, body *ast.BlockStmt) {
+	if body == nil || seen[body] {
+		return
+	}
+	seen[body] = true
+	tainted := map[types.Object]bool{}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			obj := pass.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if isByteSlice(obj.Type()) {
+				tainted[obj] = true
+			}
+		}
+	}
+	if len(tainted) == 0 {
+		return
+	}
+	walkRetention(pass, body, body, tainted)
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// walkRetention reports retention of tainted values within body. scope is
+// the handler body: assignment to anything declared outside it (fields,
+// package vars, captured vars) is retention.
+func walkRetention(pass *analysis.Pass, handlerBody *ast.BlockStmt, n ast.Node, tainted map[types.Object]bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch e := m.(type) {
+		case *ast.AssignStmt:
+			handleAssign(pass, handlerBody, e, tainted)
+			return false // children handled
+		case *ast.SendStmt:
+			if aliases(pass, e.Value, tainted) {
+				pass.Reportf(e.Pos(),
+					"borrowed handler payload sent on a channel outlives the handler; the receive ring will overwrite it — Clone/copy the bytes first (the netio.Handler contract)")
+			}
+			return true
+		case *ast.GoStmt:
+			if capturesTainted(pass, e.Call, tainted) {
+				pass.Reportf(e.Pos(),
+					"borrowed handler payload captured by a spawned goroutine outlives the handler; copy the bytes before handing them off")
+			}
+			return true
+		case *ast.CallExpr:
+			// Deferred-execution callbacks: clk.Go / clk.AfterFunc /
+			// scheduler posts that capture the payload escape too.
+			if fn := analysis.Callee(pass.Info, e); fn != nil {
+				switch fn.Name() {
+				case "Go", "AfterFunc":
+					if capturesTainted(pass, e, tainted) {
+						pass.Reportf(e.Pos(),
+							"borrowed handler payload captured by a %s callback outlives the handler; copy the bytes before handing them off", fn.Name())
+					}
+				}
+			}
+			return true
+		case *ast.ReturnStmt:
+			for _, r := range e.Results {
+				if aliases(pass, r, tainted) {
+					pass.Reportf(e.Pos(),
+						"borrowed handler payload returned to the caller escapes the handler's lifetime; return a copy")
+				}
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// handleAssign processes one assignment: records retention, propagates
+// and clears taint.
+func handleAssign(pass *analysis.Pass, handlerBody *ast.BlockStmt, as *ast.AssignStmt, tainted map[types.Object]bool) {
+	for i, rhs := range as.Rhs {
+		// Nested closures etc. still need scanning.
+		walkRetention(pass, handlerBody, rhs, tainted)
+		if i >= len(as.Lhs) {
+			continue
+		}
+		lhs := ast.Unparen(as.Lhs[i])
+		rhsAliases := aliases(pass, rhs, tainted)
+		switch l := lhs.(type) {
+		case *ast.Ident:
+			obj := pass.Info.ObjectOf(l)
+			if obj == nil {
+				break
+			}
+			local := obj.Pos() >= handlerBody.Pos() && obj.Pos() <= handlerBody.End()
+			if rhsAliases {
+				if !local {
+					pass.Reportf(as.Pos(),
+						"borrowed handler payload stored in %q, which outlives the handler; Clone/copy the bytes first", l.Name)
+				} else {
+					tainted[obj] = true
+				}
+			} else if tainted[obj] {
+				delete(tainted, obj) // reassigned to a clean value (e.g. a clone)
+			}
+		case *ast.SelectorExpr:
+			if rhsAliases {
+				pass.Reportf(as.Pos(),
+					"borrowed handler payload stored in field %q outlives the handler; Clone/copy the bytes first (PR-8 alias bug class)", l.Sel.Name)
+			}
+		case *ast.IndexExpr:
+			if rhsAliases {
+				pass.Reportf(as.Pos(),
+					"borrowed handler payload stored into a map/slice element outlives the handler; Clone/copy the bytes first")
+			}
+		}
+	}
+}
+
+// aliases reports whether e evaluates to memory aliasing a tainted slice:
+// the ident itself, a slice/paren of it, a slice-typed conversion of it,
+// an append that incorporates the slice *value* (non-spread), or a
+// composite literal / address-of carrying an aliasing expression. Plain
+// calls (parsers, copying constructors) and spread appends yield clean
+// values.
+func aliases(pass *analysis.Pass, e ast.Expr, tainted map[types.Object]bool) bool {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := pass.Info.ObjectOf(v)
+		return obj != nil && tainted[obj]
+	case *ast.SliceExpr:
+		return aliases(pass, v.X, tainted)
+	case *ast.UnaryExpr:
+		return aliases(pass, v.X, tainted)
+	case *ast.StarExpr:
+		return aliases(pass, v.X, tainted)
+	case *ast.CompositeLit:
+		for _, el := range v.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if aliases(pass, el, tainted) {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		if analysis.IsBuiltin(pass.Info, v, "append") {
+			// append(x, p) retains p's backing array when p is appended
+			// as a value (slice-of-slices); append(x, p...) copies bytes.
+			if v.Ellipsis.IsValid() {
+				return false
+			}
+			for _, arg := range v.Args[1:] {
+				if aliases(pass, arg, tainted) {
+					return true
+				}
+			}
+			// Growing a tainted slice still aliases it (pre-growth).
+			return aliases(pass, v.Args[0], tainted)
+		}
+		if target, ok := analysis.IsConversion(pass.Info, v); ok && len(v.Args) == 1 {
+			// A conversion to another slice type keeps the aliasing;
+			// string(p) copies.
+			if isByteSlice(target) {
+				return aliases(pass, v.Args[0], tainted)
+			}
+			return false
+		}
+		return false // plain call: assumed to parse/copy (e.g. FromWire, bytes.Clone)
+	default:
+		return false
+	}
+}
+
+// capturesTainted reports whether a call's function-literal argument (or
+// the spawned call's args) reference a tainted object.
+func capturesTainted(pass *analysis.Pass, call *ast.CallExpr, tainted map[types.Object]bool) bool {
+	found := false
+	check := func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if obj := pass.Info.ObjectOf(id); obj != nil && tainted[obj] {
+					found = true
+				}
+			}
+			return !found
+		})
+	}
+	for _, arg := range call.Args {
+		check(arg)
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		check(lit.Body)
+	}
+	return found
+}

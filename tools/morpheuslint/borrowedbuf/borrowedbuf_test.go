@@ -1,0 +1,11 @@
+package borrowedbuf
+
+import (
+	"testing"
+
+	"morpheus/tools/morpheuslint/analysis"
+)
+
+func TestBorrowedbuf(t *testing.T) {
+	analysis.Fixture(t, Analyzer, "testdata")
+}

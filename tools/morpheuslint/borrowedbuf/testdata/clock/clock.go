@@ -1,0 +1,13 @@
+// Package clock is the fixture's stand-in for the clock seam: the
+// analyzer treats Go/AfterFunc callbacks as deferred execution whose
+// captures outlive the handler.
+package clock
+
+import "time"
+
+type Timer interface{ Stop() bool }
+
+type Clock interface {
+	Go(fn func())
+	AfterFunc(d time.Duration, fn func()) Timer
+}

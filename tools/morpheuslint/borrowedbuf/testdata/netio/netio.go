@@ -1,0 +1,14 @@
+// Package netio is the fixture's stand-in for the real substrate seam:
+// the analyzer matches the Handler type by package and type name, so this
+// local fake keeps the fixture module self-contained.
+package netio
+
+type NodeID uint32
+
+// Handler receives one frame. The payload is BORROWED: it aliases the
+// substrate's receive ring and is only valid for the duration of the call.
+type Handler func(src NodeID, port string, payload []byte)
+
+type Endpoint struct{}
+
+func (Endpoint) Handle(port string, h Handler) {}

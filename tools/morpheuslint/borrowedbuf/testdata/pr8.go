@@ -1,0 +1,71 @@
+package fix
+
+import (
+	"time"
+
+	"fix/clock"
+	"fix/netio"
+)
+
+// The PR-8 alias bug class: handlers that retain the borrowed payload
+// past return, previously only caught as corrupted payloads in soak runs.
+type sink struct {
+	clk    clock.Clock
+	last   []byte
+	byPort map[string][]byte
+	frames [][]byte
+	ch     chan []byte
+	text   string
+}
+
+// Handlers are recognised wherever a Handler-typed value is produced: as
+// a call argument, an assignment, a var initialiser, or a conversion.
+func (s *sink) register(ep netio.Endpoint) {
+	ep.Handle("data", func(src netio.NodeID, port string, payload []byte) {
+		s.last = payload // want `stored in field "last"`
+	})
+	ep.Handle("frame", s.onFrame)
+	var h netio.Handler = func(src netio.NodeID, port string, payload []byte) {
+		s.frames = append(s.frames, payload) // want `stored in field "frames"`
+	}
+	_ = h
+	_ = netio.Handler(s.onTimer)
+}
+
+// Named-method handlers: each retention shape is its own finding.
+func (s *sink) onFrame(src netio.NodeID, port string, payload []byte) {
+	view := payload[4:]   // aliasing propagates through reslices
+	s.byPort[port] = view // want `stored into a map/slice element`
+	s.ch <- payload       // want `sent on a channel`
+	go s.process(payload) // want `captured by a spawned goroutine`
+	go func() {           // want `captured by a spawned goroutine`
+		s.process(payload)
+	}()
+}
+
+// Deferred-execution callbacks escape too: the timer fires after return.
+func (s *sink) onTimer(src netio.NodeID, port string, payload []byte) {
+	s.clk.AfterFunc(time.Millisecond, func() { // want `captured by a AfterFunc callback`
+		s.process(payload)
+	})
+}
+
+// The clean shapes: every retention happens after an intervening copy.
+func (s *sink) onFrameClean(src netio.NodeID, port string, payload []byte) {
+	s.last = append([]byte(nil), payload...) // spread append copies the bytes
+	s.text = string(payload)                 // string conversion copies
+	s.process(payload)                       // synchronous use within the call is the contract
+	q := payload                             // a local alias is fine until it escapes...
+	q = append([]byte(nil), q...)            // ...and cloning it clears the taint
+	s.frames = append(s.frames, q)
+	m := parse(payload) // plain calls are assumed to parse/copy (FromWire, bytes.Clone)
+	s.ch <- m
+}
+
+func registerClean(ep netio.Endpoint, s *sink) {
+	ep.Handle("clean", s.onFrameClean)
+}
+
+func (s *sink) process(p []byte) {}
+
+func parse(p []byte) []byte { return append([]byte(nil), p...) }

@@ -1,0 +1,11 @@
+package goactor
+
+import (
+	"testing"
+
+	"morpheus/tools/morpheuslint/analysis"
+)
+
+func TestGoactor(t *testing.T) {
+	analysis.Fixture(t, Analyzer, "testdata")
+}

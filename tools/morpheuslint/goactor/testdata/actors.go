@@ -1,0 +1,81 @@
+package fix
+
+import (
+	"time"
+
+	"fix/clock"
+)
+
+type engine struct {
+	clk clock.Clock
+	in  chan int
+	out chan int
+}
+
+// A raw goroutine whose body (one call hop away, same package) arms
+// clock-owned timers: the virtual clock cannot see it park, so quiescence
+// is computed without it.
+func (e *engine) start() {
+	go e.run() // want `raw goroutine touches clock-owned state`
+}
+
+func (e *engine) run() {
+	e.clk.AfterFunc(time.Millisecond, func() {}).Stop()
+}
+
+// A raw goroutine literal blocking through a captured clock.
+func tick(clk clock.Clock) {
+	go func() { // want `raw goroutine touches clock-owned state \(clk\.Sleep\)`
+		clk.Sleep(time.Millisecond)
+	}()
+}
+
+// Merely handing the clock value onward still captures clock-owned state.
+func handoff(clk clock.Clock) {
+	go func() { // want `raw goroutine captures a clock-package value \(clk\)`
+		hold(clk)
+	}()
+}
+
+func hold(clock.Clock) {}
+
+// Raw wall time inside a raw goroutine is the same hole, without any
+// clock value in sight.
+func wallSpin() {
+	go func() { // want `raw goroutine calls time\.Sleep directly`
+		time.Sleep(time.Millisecond)
+	}()
+}
+
+// The sanctioned spawn: clk.Go registers the goroutine as an actor in the
+// run-token rotation. It is a plain call, not a go statement.
+func sanctioned(clk clock.Clock) {
+	clk.Go(func() {
+		clk.Sleep(time.Millisecond)
+	})
+}
+
+// A free-running channel shim touches no clock state and is fine: the
+// analyzer only fires when the spawned body visibly touches the clock.
+func (e *engine) shim() {
+	go func() {
+		for v := range e.in {
+			e.out <- v
+		}
+	}()
+}
+
+// Pure time-value arithmetic in a goroutine is not a clock read.
+func arithmetic(deadline time.Time) {
+	go func() {
+		_ = deadline.Add(time.Hour)
+	}()
+}
+
+// The infrastructure that implements the actor protocol itself sits below
+// the seam and says so.
+func (e *engine) engineLoop() {
+	go func() { //lint:goactor-ok fixture: this goroutine implements the token protocol
+		e.clk.Sleep(time.Millisecond)
+	}()
+}

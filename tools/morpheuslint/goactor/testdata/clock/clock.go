@@ -1,0 +1,14 @@
+// Package clock is the fixture's stand-in for the clock seam: the
+// analyzer recognises clock-owned state by the selector base (or captured
+// value) being typed from a package named clock.
+package clock
+
+import "time"
+
+type Clock interface {
+	Sleep(d time.Duration)
+	AfterFunc(d time.Duration, fn func()) Timer
+	Go(fn func())
+}
+
+type Timer interface{ Stop() bool }

@@ -1,0 +1,300 @@
+// Package mapiter flags `range` over a map whose loop body feeds an
+// order-sensitive sink: writing to a hash/trace/digest, arming timers,
+// appending loop-derived elements to a slice that outlives the loop
+// without a subsequent sort, or sending on a channel. Go randomises map
+// iteration order per run, so any such loop is per-run nondeterminism —
+// exactly the class behind two shipped bugs: the PR-4 nak.handleStable
+// repair timers armed in map order (same-deadline virtual timers fire in
+// registration order, so the whole run's schedule shuffled) and the PR-6
+// chaos trace hashed in map order (replay identities flapped). The fix is
+// the SortedOrigins idiom: materialise the keys, sort them, range over
+// the sorted slice.
+package mapiter
+
+import (
+	"go/ast"
+	"go/types"
+
+	"morpheus/tools/morpheuslint/analysis"
+)
+
+// timerArmers are method/function names that register a timer: the time
+// and clock.Clock vocabulary plus the appia scheduler's After/Every.
+var timerArmers = map[string]bool{
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Tick":      true,
+	"Every":     true,
+}
+
+// Scope: the determinism domain — every package that runs on the virtual
+// clock or feeds hashed replay traces.
+var scopePrefixes = []string{
+	"morpheus/internal/appia",
+	"morpheus/internal/group",
+	"morpheus/internal/stack",
+	"morpheus/internal/core",
+	"morpheus/internal/mecho",
+	"morpheus/internal/epidemic",
+	"morpheus/internal/cocaditem",
+	"morpheus/internal/fec",
+	"morpheus/internal/transport",
+	"morpheus/internal/experiment",
+	"morpheus/internal/chaos",
+	"morpheus/internal/flowctl",
+	"morpheus/internal/vnet",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc:  "flags map iteration feeding order-sensitive sinks (hash writes, timer arming, retained appends, channel sends)",
+	Scope: func(path string) bool {
+		// The facade package orchestrates the same deterministic plane.
+		return path == "morpheus" || analysis.ScopeUnder(scopePrefixes...)(path)
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	decls := analysis.EnclosingFuncs(pass)
+	arms := armingFuncs(pass, decls)
+	hashIface := analysis.HashInterface(pass.Dep)
+
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := pass.Info.Types[rng.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if sink := findSink(pass, fd, rng, arms, hashIface); sink != "" {
+					pass.Reportf(rng.Pos(),
+						"map iteration %s — map order is randomised per run; range over sorted keys instead (the SortedOrigins idiom), or annotate with //lint:mapiter-ok <reason> if order provably cannot matter",
+						sink)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// armingFuncs computes the same-package functions that (transitively)
+// register timers, so a loop body calling s.armNack is recognised even
+// though the clock call is one hop away — the exact shape of the PR-4
+// handleStable bug.
+func armingFuncs(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl) map[*types.Func]bool {
+	arms := map[*types.Func]bool{}
+	for fn, fd := range decls {
+		direct := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && isTimerCall(pass, call, nil) {
+				direct = true
+			}
+			return !direct
+		})
+		if direct {
+			arms[fn] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range decls {
+			if arms[fn] {
+				continue
+			}
+			found := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if callee := analysis.Callee(pass.Info, call); callee != nil && arms[callee] {
+						found = true
+					}
+				}
+				return !found
+			})
+			if found {
+				arms[fn] = true
+				changed = true
+			}
+		}
+	}
+	return arms
+}
+
+// isTimerCall reports whether the call arms a timer: a banned time
+// function, any method named After/AfterFunc/NewTimer/NewTicker/Every, or
+// (when arms is non-nil) a same-package function known to arm one.
+func isTimerCall(pass *analysis.Pass, call *ast.CallExpr, arms map[*types.Func]bool) bool {
+	fn := analysis.Callee(pass.Info, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "time" && timerArmers[fn.Name()] {
+		return true
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && timerArmers[fn.Name()] {
+		return true
+	}
+	return arms != nil && arms[fn]
+}
+
+// findSink scans the loop body for the first order-sensitive sink and
+// describes it, or returns "".
+func findSink(pass *analysis.Pass, fd *ast.FuncDecl, rng *ast.RangeStmt, arms map[*types.Func]bool, hashIface *types.Interface) string {
+	loopVars := rangeVars(pass, rng)
+	sink := ""
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.SendStmt:
+			sink = "sends on a channel"
+		case *ast.CallExpr:
+			if isTimerCall(pass, e, arms) {
+				sink = "arms timers (fires in registration order under the virtual clock)"
+				break
+			}
+			if writesHash(pass, e, hashIface) {
+				sink = "writes to a hash/digest"
+			}
+		case *ast.AssignStmt:
+			if desc := retainedAppend(pass, fd, rng, e, loopVars); desc != "" {
+				sink = desc
+			}
+		}
+		return sink == ""
+	})
+	return sink
+}
+
+// rangeVars collects the objects bound to the range key and value.
+func rangeVars(pass *analysis.Pass, rng *ast.RangeStmt) map[types.Object]bool {
+	vars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if obj := pass.Info.Defs[id]; obj != nil {
+			vars[obj] = true
+		} else if obj := pass.Info.Uses[id]; obj != nil {
+			vars[obj] = true
+		}
+	}
+	return vars
+}
+
+// writesHash reports whether the call's receiver or any argument
+// implements hash.Hash — covering both h.Write(...) and fmt.Fprintf(h, ...).
+func writesHash(pass *analysis.Pass, call *ast.CallExpr, iface *types.Interface) bool {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if tv, ok := pass.Info.Types[sel.X]; ok && tv.IsValue() &&
+			analysis.ImplementsHash(tv.Type, iface) {
+			return true
+		}
+	}
+	for _, arg := range call.Args {
+		if tv, ok := pass.Info.Types[arg]; ok && tv.IsValue() &&
+			analysis.ImplementsHash(tv.Type, iface) {
+			return true
+		}
+	}
+	return false
+}
+
+// retainedAppend flags `outer = append(outer, <loop-derived>)` where
+// outer is declared outside the loop and is not sorted after it — the
+// canonical collect-then-sort idiom stays clean.
+func retainedAppend(pass *analysis.Pass, fd *ast.FuncDecl, rng *ast.RangeStmt, as *ast.AssignStmt, loopVars map[types.Object]bool) string {
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !analysis.IsBuiltin(pass.Info, call, "append") {
+			continue
+		}
+		if !argsUse(pass, call.Args[1:], loopVars) {
+			continue // appended values don't depend on the iteration
+		}
+		if i >= len(as.Lhs) {
+			continue
+		}
+		id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pass.Info.ObjectOf(id)
+		if obj == nil || insideLoop(pass, obj, rng) {
+			continue
+		}
+		if sortedAfter(pass, fd, rng, obj) {
+			continue
+		}
+		return "appends loop-derived elements to a slice that outlives the loop without sorting it afterwards"
+	}
+	return ""
+}
+
+func argsUse(pass *analysis.Pass, args []ast.Expr, vars map[types.Object]bool) bool {
+	for _, a := range args {
+		used := false
+		ast.Inspect(a, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && vars[pass.Info.ObjectOf(id)] {
+				used = true
+			}
+			return !used
+		})
+		if used {
+			return true
+		}
+	}
+	return false
+}
+
+func insideLoop(pass *analysis.Pass, obj types.Object, rng *ast.RangeStmt) bool {
+	return obj.Pos() >= rng.Pos() && obj.Pos() < rng.End()
+}
+
+// sortedAfter reports whether, later in the enclosing function, obj is
+// passed to a sort/slices call — which launders the map order away.
+func sortedAfter(pass *analysis.Pass, fd *ast.FuncDecl, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found || n == nil || n.End() <= rng.End() {
+			return !found
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.Callee(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.Info.ObjectOf(id) == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

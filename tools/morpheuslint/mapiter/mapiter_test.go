@@ -1,0 +1,11 @@
+package mapiter
+
+import (
+	"testing"
+
+	"morpheus/tools/morpheuslint/analysis"
+)
+
+func TestMapiter(t *testing.T) {
+	analysis.Fixture(t, Analyzer, "testdata")
+}

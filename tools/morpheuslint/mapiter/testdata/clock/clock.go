@@ -1,0 +1,13 @@
+// Package clock is the fixture's stand-in for the clock seam; the
+// analyzer recognises timer arming by method name, so the interface only
+// needs the timer vocabulary.
+package clock
+
+import "time"
+
+type Timer interface{ Stop() bool }
+
+type Clock interface {
+	AfterFunc(d time.Duration, fn func()) Timer
+	After(d time.Duration) <-chan time.Time
+}

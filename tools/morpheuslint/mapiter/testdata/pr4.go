@@ -1,0 +1,48 @@
+package fix
+
+import (
+	"sort"
+	"time"
+
+	"fix/clock"
+)
+
+// The PR-4 nak.handleStable reproduction: repair timers armed while
+// ranging the pending map. Same-deadline virtual timers fire in
+// registration order, so the map's per-run iteration order shuffled the
+// whole run's schedule. The clock call is one hop away, behind armNack —
+// the analyzer must see through the same-package helper.
+type session struct {
+	clk     clock.Clock
+	pending map[uint32][]byte
+}
+
+func (s *session) handleStable() {
+	for seq := range s.pending { // want `map iteration arms timers`
+		s.armNack(seq)
+	}
+}
+
+func (s *session) armNack(seq uint32) {
+	s.clk.AfterFunc(time.Millisecond, func() { _ = seq })
+}
+
+// Arming directly in the loop body is the one-hop version.
+func (s *session) armAll() {
+	for range s.pending { // want `map iteration arms timers`
+		<-s.clk.After(time.Millisecond)
+	}
+}
+
+// The fixed shape: materialise the keys, sort them, range the slice. The
+// timer registration order is now a pure function of the map contents.
+func (s *session) handleStableSorted() {
+	seqs := make([]uint32, 0, len(s.pending))
+	for seq := range s.pending {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		s.armNack(seq)
+	}
+}

@@ -1,0 +1,74 @@
+package fix
+
+import (
+	"fmt"
+	"hash"
+	"sort"
+)
+
+// The PR-6 chaos-trace reproduction: violation strings hashed in map
+// order made a failing seed's replay identity flap run to run.
+func traceViolations(h hash.Hash, counts map[string]int) {
+	for stream, n := range counts { // want `map iteration writes to a hash/digest`
+		h.Write([]byte(fmt.Sprintf("%s=%d\n", stream, n)))
+	}
+}
+
+// Writing through an io.Writer API is the same sink: the hash is an
+// argument instead of the receiver.
+func traceViaFprintf(h hash.Hash, counts map[string]int) {
+	for stream, n := range counts { // want `map iteration writes to a hash/digest`
+		fmt.Fprintf(h, "%s=%d\n", stream, n)
+	}
+}
+
+// Channel sends publish the iteration order to another goroutine.
+func publish(m map[string]int, ch chan string) {
+	for k := range m { // want `map iteration sends on a channel`
+		ch <- k
+	}
+}
+
+// Appending loop-derived elements to a slice that outlives the loop bakes
+// the map order into it.
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration appends loop-derived elements`
+		out = append(out, k)
+	}
+	return out
+}
+
+// The canonical collect-then-sort idiom is clean: the later sort launders
+// the order away.
+func keysSorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Order-insensitive aggregation is clean.
+func total(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Ranging a slice is always clean, whatever the body does.
+func hashSlice(h hash.Hash, rows []string) {
+	for _, r := range rows {
+		h.Write([]byte(r))
+	}
+}
+
+// A valid trailing directive suppresses the finding.
+func suppressed(h hash.Hash, m map[string]int) {
+	for k := range m { //lint:mapiter-ok fixture: order provably cannot matter here
+		h.Write([]byte(k))
+	}
+}

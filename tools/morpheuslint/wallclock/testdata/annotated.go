@@ -1,0 +1,21 @@
+package fix
+
+import "time"
+
+// A trailing directive with a justification suppresses its own line.
+func annotatedTrailing() time.Time {
+	return time.Now() //lint:wallclock-ok fixture: wall-only by design
+}
+
+// A standalone directive suppresses the line below it.
+func annotatedStandalone() {
+	//lint:wallclock-ok fixture: wall-only by design
+	time.Sleep(time.Millisecond)
+}
+
+// A directive only reaches its own (or the next) line: the rest of the
+// function is still checked.
+func annotatedScopeIsOneLine() {
+	_ = time.Now() //lint:wallclock-ok fixture: wall-only by design
+	_ = time.Now() // want `direct time\.Now bypasses`
+}

@@ -1,0 +1,15 @@
+// Package clock is the fixture's stand-in for the real clock seam: the
+// analyzer matches seam types by package name, so this local fake keeps
+// the fixture module self-contained.
+package clock
+
+import "time"
+
+// Clock is the seam. Calling through it is always clean: its methods are
+// methods, and the analyzer only bans package-level time functions.
+type Clock interface {
+	Now() time.Time
+	Since(t time.Time) time.Duration
+	Sleep(d time.Duration)
+	After(d time.Duration) <-chan time.Time
+}

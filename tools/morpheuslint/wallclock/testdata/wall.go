@@ -1,0 +1,35 @@
+package fix
+
+import (
+	"time"
+
+	"fix/clock"
+)
+
+// Every banned package-level time function is a finding.
+func bad() {
+	_ = time.Now()                  // want `direct time\.Now bypasses the deterministic time plane`
+	time.Sleep(time.Millisecond)    // want `direct time\.Sleep bypasses`
+	<-time.After(time.Millisecond)  // want `direct time\.After bypasses`
+	t := time.NewTimer(time.Second) // want `direct time\.NewTimer bypasses`
+	t.Stop()
+	tk := time.NewTicker(time.Second) // want `direct time\.NewTicker bypasses`
+	tk.Stop()
+	time.AfterFunc(time.Second, func() {}).Stop() // want `direct time\.AfterFunc bypasses`
+	_ = time.Since(time.Unix(0, 0))               // want `direct time\.Since bypasses`
+	<-time.Tick(time.Second)                      // want `direct time\.Tick bypasses`
+}
+
+// Going through the seam is clean, and so is pure time-value arithmetic:
+// (time.Time).After is a comparison, not a clock read.
+func good(clk clock.Clock) {
+	now := clk.Now()
+	if clk.Now().After(now.Add(time.Hour)) {
+		return
+	}
+	clk.Sleep(time.Millisecond)
+	<-clk.After(clk.Since(now))
+	_ = time.Unix(42, 0)
+	_ = now.Sub(time.Date(2005, 6, 1, 0, 0, 0, 0, time.UTC))
+	_ = time.Duration(3) * time.Second
+}

@@ -1,0 +1,11 @@
+package wallclock
+
+import (
+	"testing"
+
+	"morpheus/tools/morpheuslint/analysis"
+)
+
+func TestWallclock(t *testing.T) {
+	analysis.Fixture(t, Analyzer, "testdata")
+}
